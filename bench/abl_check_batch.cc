@@ -1,0 +1,46 @@
+// Ablation — termination-condition re-check batching.
+//
+// The paper notes that [15] re-checks the termination conditions after
+// every popped posting, which is expensive; its Baseline re-checks per
+// batch. This bench sweeps the batch size for both bound modes to show the
+// SP-CPU / popped-postings trade-off: tiny batches burn CPU on checks,
+// huge ones overshoot and pop more than necessary.
+
+#include <cstdio>
+
+#include "bench/inv_bench_util.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+
+int main() {
+  InvFixture fx(/*num_images=*/10000, /*num_clusters=*/2048);
+
+  std::printf("Ablation — condition re-check batch size (10k images, 2048 "
+              "clusters, 200 features, k=10)\n");
+  std::printf("%-14s %8s | %10s %10s %10s\n", "scheme", "batch", "sp_ms",
+              "popped%", "checks");
+  std::printf("--------------------------------------------------------------\n");
+  for (bool filters : {false, true}) {
+    for (size_t batch : {1, 4, 16, 64, 256}) {
+      invindex::InvSearchParams params;
+      params.k = 10;
+      params.check_batch = batch;
+      double sp_ms = 0, popped = 0, checks = 0;
+      const int kQ = 3;
+      for (int q = 0; q < kQ; ++q) {
+        auto query = workload::GenerateQueryBovw(fx.params, 200, 900 + q);
+        Stopwatch t;
+        auto r = invindex::InvSearch(filters ? *fx.filtered : *fx.plain, query,
+                                     params);
+        sp_ms += t.ElapsedMillis();
+        popped += 100.0 * r.stats.PoppedFraction();
+        checks += static_cast<double>(r.stats.condition_checks);
+      }
+      std::printf("%-14s %8zu | %10.2f %9.1f%% %10.0f\n",
+                  filters ? "InvSearch" : "Baseline[15]", batch, sp_ms / kQ,
+                  popped / kQ, checks / kQ);
+    }
+  }
+  return 0;
+}

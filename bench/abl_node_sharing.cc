@@ -1,0 +1,42 @@
+// Ablation — MRKD node sharing in isolation.
+//
+// Complexity claim from Section IV-A: without sharing, the BoVW VO is
+// O(n_q log n_C); with sharing it drops to O(n_q (log n_C - log n_q)), so
+// the benefit grows with the number of query features. This bench holds
+// everything else fixed and toggles only share_nodes.
+
+#include "bench/bench_util.h"
+#include "mrkd/search.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+
+int main() {
+  DeploymentSpec spec;
+  spec.num_images = 1000;
+  spec.num_clusters = 8192;
+  spec.dims = 64;
+
+  std::printf("Ablation — MRKD node sharing (codebook %zu, 64-d)\n",
+              spec.num_clusters);
+  std::printf("%10s | %14s %14s %9s %9s\n", "features", "unshared_vo_KB",
+              "shared_vo_KB", "ratio", "share");
+  std::printf("---------------------------------------------------------------\n");
+
+  core::Config shared_cfg = core::Config::ImageProof();
+  core::Config unshared_cfg = shared_cfg;
+  unshared_cfg.share_nodes = false;
+  Deployment shared(shared_cfg, spec);
+  Deployment unshared(unshared_cfg, spec);
+
+  for (size_t nf : {25, 50, 100, 200, 400, 800}) {
+    Measurement ms = RunQueries(shared, nf, 10, 3);
+    Measurement mu = RunQueries(unshared, nf, 10, 3);
+    std::printf("%10zu | %14.1f %14.1f %9.2f %9.2f\n", nf, mu.bovw_vo_kb,
+                ms.bovw_vo_kb,
+                ms.bovw_vo_kb > 0 ? mu.bovw_vo_kb / ms.bovw_vo_kb : 0.0,
+                ms.share_ratio);
+  }
+  std::printf("(ratio should grow with the feature count)\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every fig*.cc binary prints the series of one figure from Section VII of
+// the paper as an aligned table: scheme x sweep-value -> SP CPU, client
+// CPU, VO size, plus figure-specific extras (% popped postings, shared-node
+// ratio). Scales are reduced versus the paper's MirFlickr1M setup (see
+// EXPERIMENTS.md); the comparisons between schemes are the reproduction
+// target.
+
+#ifndef IMAGEPROOF_BENCH_BENCH_UTIL_H_
+#define IMAGEPROOF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "core/client.h"
+#include "core/owner.h"
+#include "core/server.h"
+#include "workload/synthetic.h"
+
+namespace imageproof::bench {
+
+struct DeploymentSpec {
+  size_t num_images = 10000;
+  size_t num_clusters = 4096;
+  size_t dims = 64;
+  size_t min_distinct = 10;
+  size_t max_distinct = 40;
+  uint64_t seed = 1;
+};
+
+struct Deployment {
+  core::OwnerOutput owner;
+  std::unique_ptr<core::ServiceProvider> sp;
+  std::unique_ptr<core::Client> client;
+
+  Deployment(core::Config config, const DeploymentSpec& spec) {
+    config.rsa_bits = 512;
+    config.sign_images = false;  // constant per-image cost, off the figures
+    workload::CorpusParams cp;
+    cp.num_images = spec.num_images;
+    cp.num_clusters = spec.num_clusters;
+    cp.min_distinct = spec.min_distinct;
+    cp.max_distinct = spec.max_distinct;
+    cp.seed = spec.seed;
+    auto corpus = workload::GenerateCorpus(cp);
+    std::unordered_map<bovw::ImageId, Bytes> blobs;
+    for (const auto& [id, v] : corpus) {
+      blobs[id] = workload::GenerateImageBlob(id, 32);
+    }
+    workload::CodebookParams cbp;
+    cbp.num_clusters = spec.num_clusters;
+    cbp.dims = spec.dims;
+    cbp.seed = spec.seed + 1;
+    owner = core::BuildDeployment(config, workload::GenerateCodebook(cbp),
+                                  std::move(corpus), std::move(blobs),
+                                  spec.seed + 2);
+    sp = std::make_unique<core::ServiceProvider>(owner.package.get());
+    client = std::make_unique<core::Client>(owner.public_params);
+  }
+};
+
+// Averaged measurements over several queries.
+struct Measurement {
+  double sp_bovw_ms = 0, sp_inv_ms = 0;
+  double client_bovw_ms = 0, client_inv_ms = 0;
+  double bovw_vo_kb = 0, inv_vo_kb = 0;
+  double popped_fraction = 0;
+  double share_ratio = 0;
+  bool verified = true;
+
+  double SpMs() const { return sp_bovw_ms + sp_inv_ms; }
+  double ClientMs() const { return client_bovw_ms + client_inv_ms; }
+  double VoKb() const { return bovw_vo_kb + inv_vo_kb; }
+};
+
+inline Measurement RunQueries(Deployment& d, size_t num_features, size_t k,
+                              int num_queries, uint64_t seed = 1000) {
+  Measurement m;
+  // Queries model a photo of something in the database: descriptors are
+  // emitted near the codebook words of a random corpus image (plus 20%
+  // background words) with small quantization noise (sigma 0.25 vs cluster
+  // spread 10, as real quantizable descriptors have — larger noise blows
+  // up the range-search candidate sets unrealistically).
+  for (int q = 0; q < num_queries; ++q) {
+    const auto& corpus = d.owner.package->corpus;
+    const auto& source = corpus[(seed + q) * 2654435761u % corpus.size()].second;
+    auto features =
+        workload::FeaturesFromBovw(d.owner.package->codebook, source,
+                                   num_features, 0.25, 0.2, seed + q);
+    core::QueryResponse resp = d.sp->Query(features, k);
+    auto verified = d.client->Verify(features, k, resp.vo);
+    if (!verified.ok()) {
+      std::fprintf(stderr, "bench: verification FAILED: %s\n",
+                   verified.status().message().c_str());
+      m.verified = false;
+    }
+    m.sp_bovw_ms += resp.stats.sp_bovw_ms;
+    m.sp_inv_ms += resp.stats.sp_inv_ms;
+    if (verified.ok()) {
+      m.client_bovw_ms += verified->client_bovw_ms;
+      m.client_inv_ms += verified->client_inv_ms;
+    }
+    m.bovw_vo_kb += resp.stats.bovw_vo_bytes / 1024.0;
+    m.inv_vo_kb += resp.stats.inv_vo_bytes / 1024.0;
+    m.popped_fraction += resp.stats.inv.PoppedFraction();
+    m.share_ratio += resp.stats.mrkd.ShareRatio();
+  }
+  double inv_n = 1.0 / num_queries;
+  m.sp_bovw_ms *= inv_n;
+  m.sp_inv_ms *= inv_n;
+  m.client_bovw_ms *= inv_n;
+  m.client_inv_ms *= inv_n;
+  m.bovw_vo_kb *= inv_n;
+  m.inv_vo_kb *= inv_n;
+  m.popped_fraction *= inv_n;
+  m.share_ratio *= inv_n;
+  return m;
+}
+
+inline void PrintFigureHeader(const char* figure, const char* description,
+                              const char* x_name) {
+  std::printf("=================================================================="
+              "=============\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("%-16s %8s | %10s %12s %10s %9s %7s\n", "scheme", x_name,
+              "sp_ms", "client_ms", "vo_KB", "popped%", "share");
+  std::printf("------------------------------------------------------------------"
+              "-------------\n");
+}
+
+inline void PrintRow(const std::string& scheme, double x,
+                     const Measurement& m) {
+  std::printf("%-16s %8.0f | %10.2f %12.2f %10.1f %8.1f%% %7.2f%s\n",
+              scheme.c_str(), x, m.SpMs(), m.ClientMs(), m.VoKb(),
+              m.popped_fraction * 100.0, m.share_ratio,
+              m.verified ? "" : "   [VERIFY FAILED]");
+}
+
+}  // namespace imageproof::bench
+
+#endif  // IMAGEPROOF_BENCH_BENCH_UTIL_H_

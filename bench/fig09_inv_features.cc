@@ -1,0 +1,24 @@
+// Figure 9 — inverted-index search performance as the number of query
+// feature vectors grows (dataset 20k, codebook 4096, k = 10).
+//
+// Paper shape to reproduce: the Baseline's loose bounds force it to pop
+// nearly all postings of the relevant lists, so its SP/client CPU dwarfs
+// InvSearch and Optimized, which terminate after a small popped fraction.
+
+#include "bench/inv_bench_util.h"
+
+using namespace imageproof::bench;
+
+int main() {
+  InvFixture fx(/*num_images=*/20000, /*num_clusters=*/4096);
+  PrintInvHeader(
+      "Figure 9 — inverted index vs #features (20k images, 4096 clusters, k=10)",
+      "features");
+  for (InvScheme scheme :
+       {InvScheme::kBaseline, InvScheme::kInvSearch, InvScheme::kOptimized}) {
+    for (size_t nf : {50, 100, 200, 400}) {
+      PrintInvRow(scheme, nf, RunInvQueries(fx, scheme, nf, 10, 3));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 10 — inverted-index search performance as the codebook size grows
+// (dataset 20k, 200 query features, k = 10).
+//
+// Paper shape to reproduce: larger codebooks mean shorter posting lists, so
+// SP and client CPU fall for every scheme; the Baseline still pops nearly
+// everything while the filtered schemes pop a decreasing fraction.
+
+#include "bench/inv_bench_util.h"
+
+using namespace imageproof::bench;
+
+int main() {
+  PrintInvHeader(
+      "Figure 10 — inverted index vs codebook size (20k images, 200 features, k=10)",
+      "codebook");
+  for (size_t codebook : {1024, 2048, 4096, 8192}) {
+    InvFixture fx(20000, codebook);
+    for (InvScheme scheme :
+         {InvScheme::kBaseline, InvScheme::kInvSearch, InvScheme::kOptimized}) {
+      PrintInvRow(scheme, codebook, RunInvQueries(fx, scheme, 200, 10, 3));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 11 — inverted-index search performance as k grows (dataset 20k,
+// codebook 4096, 200 query features).
+//
+// Paper shape to reproduce: the popped-posting fraction of InvSearch and
+// Optimized rises with k (more postings needed to cover the result set),
+// while the Baseline is saturated near 100% regardless; Optimized matches
+// InvSearch on SP CPU but wins on client CPU / VO via grouping.
+
+#include "bench/inv_bench_util.h"
+
+using namespace imageproof::bench;
+
+int main() {
+  InvFixture fx(20000, 4096);
+  PrintInvHeader(
+      "Figure 11 — inverted index vs k (20k images, 4096 clusters, 200 features)",
+      "k");
+  for (InvScheme scheme :
+       {InvScheme::kBaseline, InvScheme::kInvSearch, InvScheme::kOptimized}) {
+    for (size_t k : {1, 5, 10, 20, 50}) {
+      PrintInvRow(scheme, k, RunInvQueries(fx, scheme, 200, k, 3));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 12 — overall authenticated retrieval as the number of query
+// feature vectors grows (dataset 10k, codebook 4096, 64-d, k = 10).
+//
+// Series: Baseline, ImageProof, Optimized(BoVW), Optimized(Both).
+// Paper shape to reproduce: all costs grow with the feature count;
+// ImageProof beats Baseline on SP CPU and VO size; Optimized(BoVW) trades
+// client CPU for a smaller VO; Optimized(Both) recovers client CPU via
+// frequency grouping.
+
+#include "bench/bench_util.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+
+int main() {
+  DeploymentSpec spec;
+  spec.num_images = 10000;
+  spec.num_clusters = 4096;
+  spec.dims = 64;
+
+  struct Scheme {
+    const char* name;
+    core::Config config;
+  };
+  std::vector<Scheme> schemes = {
+      {"Baseline", core::Config::Baseline()},
+      {"ImageProof", core::Config::ImageProof()},
+      {"Opt(BoVW)", core::Config::OptimizedBovw()},
+      {"Opt(Both)", core::Config::OptimizedBoth()},
+  };
+
+  std::printf("Figure 12 — overall vs #features (10k images, 4096 clusters, k=10)\n");
+  std::printf("%-12s %10s | %10s %12s %10s\n", "scheme", "features", "sp_ms",
+              "client_ms", "vo_KB");
+  std::printf("-----------------------------------------------------------\n");
+  for (const Scheme& s : schemes) {
+    Deployment d(s.config, spec);
+    for (size_t nf : {50, 100, 200}) {
+      Measurement m = RunQueries(d, nf, 10, 3);
+      std::printf("%-12s %10zu | %10.2f %12.2f %10.1f%s\n", s.name, nf,
+                  m.SpMs(), m.ClientMs(), m.VoKb(),
+                  m.verified ? "" : "  [VERIFY FAILED]");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 14 — overall authenticated retrieval as the dataset size grows
+// (codebook 4096, 100 query features, 64-d, k = 10).
+//
+// Paper shape to reproduce: ImageProof's SP CPU and VO size stay far below
+// Baseline's at every dataset size; Optimized(Both) has the best client CPU
+// and VO size, and its advantage grows with the dataset (more images per
+// frequency group).
+
+#include "bench/bench_util.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+
+int main() {
+  struct Scheme {
+    const char* name;
+    core::Config config;
+  };
+  std::vector<Scheme> schemes = {
+      {"Baseline", core::Config::Baseline()},
+      {"ImageProof", core::Config::ImageProof()},
+      {"Opt(BoVW)", core::Config::OptimizedBovw()},
+      {"Opt(Both)", core::Config::OptimizedBoth()},
+  };
+
+  std::printf("Figure 14 — overall vs dataset size (4096 clusters, 100 features, k=10)\n");
+  std::printf("%-12s %10s | %10s %12s %10s\n", "scheme", "images", "sp_ms",
+              "client_ms", "vo_KB");
+  std::printf("-----------------------------------------------------------\n");
+  for (const Scheme& s : schemes) {
+    for (size_t images : {2500, 5000, 10000, 20000}) {
+      DeploymentSpec spec;
+      spec.num_images = images;
+      spec.num_clusters = 4096;
+      spec.dims = 64;
+      Deployment d(s.config, spec);
+      Measurement m = RunQueries(d, 100, 10, 3);
+      std::printf("%-12s %10zu | %10.2f %12.2f %10.1f%s\n", s.name, images,
+                  m.SpMs(), m.ClientMs(), m.VoKb(),
+                  m.verified ? "" : "  [VERIFY FAILED]");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks for the cuckoo filter: insert/lookup/delete throughput
+// and the MaxCount (Algorithm 2) scan vs. the incremental tracker.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "cuckoo/cuckoo_filter.h"
+
+namespace {
+
+using namespace imageproof;
+using namespace imageproof::cuckoo;
+
+void BM_Insert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  CuckooParams params = CuckooParams::ForMaxItems(n);
+  for (auto _ : state) {
+    CuckooFilter filter(params);
+    for (uint64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(filter.Insert(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Insert)->Arg(1000)->Arg(10000);
+
+void BM_Lookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  CuckooParams params = CuckooParams::ForMaxItems(n);
+  CuckooFilter filter(params);
+  for (uint64_t i = 0; i < n; ++i) filter.Insert(i);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Contains(probe++ % (2 * n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Lookup)->Arg(1000)->Arg(10000);
+
+void BM_DeleteReinsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  CuckooParams params = CuckooParams::ForMaxItems(n);
+  CuckooFilter filter(params);
+  for (uint64_t i = 0; i < n; ++i) filter.Insert(i);
+  uint64_t item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Delete(item % n));
+    benchmark::DoNotOptimize(filter.Insert(item % n));
+    ++item;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeleteReinsert)->Arg(1000)->Arg(10000);
+
+// Full MaxCount scan over many filters (what a naive per-check
+// implementation would pay).
+void BM_MaxCountScan(benchmark::State& state) {
+  const int num_filters = static_cast<int>(state.range(0));
+  CuckooParams params = CuckooParams::ForMaxItems(500);
+  std::vector<CuckooFilter> filters(num_filters, CuckooFilter(params));
+  Rng rng(5);
+  for (auto& f : filters) {
+    for (int i = 0; i < 300; ++i) f.Insert(rng.NextBounded(100000));
+  }
+  std::vector<const CuckooFilter*> ptrs;
+  for (const auto& f : filters) ptrs.push_back(&f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxCountGamma(ptrs));
+  }
+}
+BENCHMARK(BM_MaxCountScan)->Arg(16)->Arg(64)->Arg(256);
+
+// Incremental tracker: construction + a stream of deletions (what the
+// bounds engine actually pays).
+void BM_MaxCountTrackerDeletes(benchmark::State& state) {
+  const int num_filters = static_cast<int>(state.range(0));
+  CuckooParams params = CuckooParams::ForMaxItems(500);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<CuckooFilter> filters(num_filters, CuckooFilter(params));
+    Rng rng(7);
+    for (auto& f : filters) {
+      for (int i = 0; i < 300; ++i) f.Insert(i * 13 + 1);
+    }
+    std::vector<const CuckooFilter*> ptrs;
+    for (const auto& f : filters) ptrs.push_back(&f);
+    MaxCountTracker tracker(ptrs);
+    state.ResumeTiming();
+    for (int f = 0; f < num_filters; ++f) {
+      for (int i = 0; i < 300; ++i) {
+        uint32_t bucket;
+        if (filters[f].Delete(i * 13 + 1, &bucket)) {
+          tracker.OnDelete(bucket, filters[f].Fingerprint(i * 13 + 1));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(tracker.Gamma());
+  }
+  state.SetItemsProcessed(state.iterations() * num_filters * 300);
+}
+BENCHMARK(BM_MaxCountTrackerDeletes)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Micro-benchmarks for the Merkle hash tree: build and subset-proof
+// generation/verification at codebook-dimension scales.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "merkle/merkle_tree.h"
+
+namespace {
+
+using namespace imageproof;
+using namespace imageproof::merkle;
+
+std::vector<Bytes> Leaves(size_t n) {
+  Rng rng(3);
+  std::vector<Bytes> out(n);
+  for (auto& leaf : out) {
+    leaf.resize(32);
+    for (auto& b : leaf) b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return out;
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  auto leaves = Leaves(state.range(0));
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SubsetProve(benchmark::State& state) {
+  auto leaves = Leaves(128);
+  MerkleTree tree(leaves);
+  std::vector<uint32_t> indices = {3, 17, 64, 100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.ProveSubset(indices));
+  }
+}
+BENCHMARK(BM_SubsetProve);
+
+void BM_SubsetVerify(benchmark::State& state) {
+  auto leaves = Leaves(128);
+  MerkleTree tree(leaves);
+  std::vector<uint32_t> indices = {3, 17, 64, 100};
+  std::vector<Bytes> payloads;
+  for (uint32_t i : indices) payloads.push_back(leaves[i]);
+  auto proof = tree.ProveSubset(indices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MerkleTree::VerifySubset(128, tree.root(), indices, payloads, proof));
+  }
+}
+BENCHMARK(BM_SubsetVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Micro-benchmarks for the image/SIFT substrate: synthesis, Gaussian
+// pyramid filtering, and full feature extraction at both descriptor sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "image/synth.h"
+#include "sift/extractor.h"
+#include "sift/gaussian.h"
+
+namespace {
+
+using namespace imageproof;
+
+void BM_SynthesizeImage(benchmark::State& state) {
+  uint64_t seed = 0;
+  int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(image::SynthesizeImage(seed++, side, side));
+  }
+}
+BENCHMARK(BM_SynthesizeImage)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GaussianBlur(benchmark::State& state) {
+  image::Image img = image::SynthesizeImage(1, 128, 128);
+  image::FloatImage f = image::FloatImage::From(img);
+  double sigma = state.range(0) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sift::GaussianBlur(f, sigma));
+  }
+}
+BENCHMARK(BM_GaussianBlur)->Arg(16)->Arg(32)->Arg(64);  // sigma = 1.6, 3.2, 6.4
+
+void BM_ExtractSift128(benchmark::State& state) {
+  image::Image img = image::SynthesizeImage(7, 128, 128);
+  sift::SiftExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(img));
+  }
+}
+BENCHMARK(BM_ExtractSift128);
+
+void BM_ExtractSurf64(benchmark::State& state) {
+  image::Image img = image::SynthesizeImage(7, 128, 128);
+  sift::SiftParams params;
+  params.orientation_bins = 4;  // 64-d
+  sift::SiftExtractor extractor(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(img));
+  }
+}
+BENCHMARK(BM_ExtractSurf64);
+
+void BM_Rotate(benchmark::State& state) {
+  image::Image img = image::SynthesizeImage(9, 128, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(image::Rotate(img, 0.4));
+  }
+}
+BENCHMARK(BM_Rotate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

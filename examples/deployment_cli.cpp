@@ -1,0 +1,164 @@
+// Command-line deployment tool: the owner/SP/client lifecycle as separate
+// process invocations with on-disk state — what an operational rollout of
+// ImageProof looks like.
+//
+//   deployment_cli build <dir>    owner: build ADSs over a synthetic corpus,
+//                                 write package.bin + params.bin (+ key)
+//   deployment_cli insert <dir>   owner: add one image, re-sign, rewrite
+//   deployment_cli query <dir>    SP+client: answer a query from the stored
+//                                 package and verify it with stored params
+//
+// Run without arguments for a self-contained demo of all three steps.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "core/update.h"
+#include "storage/serializer.h"
+#include "workload/synthetic.h"
+
+using namespace imageproof;
+
+namespace {
+
+std::string PackagePath(const std::string& dir) { return dir + "/package.bin"; }
+std::string ParamsPath(const std::string& dir) { return dir + "/params.bin"; }
+std::string KeyPath(const std::string& dir) { return dir + "/owner.key"; }
+
+int Build(const std::string& dir) {
+  core::Config config = core::Config::ImageProof();
+  config.rsa_bits = 512;
+  workload::CorpusParams cp;
+  cp.num_images = 500;
+  cp.num_clusters = 256;
+  auto corpus = workload::GenerateCorpus(cp);
+  std::unordered_map<bovw::ImageId, Bytes> blobs;
+  for (const auto& [id, v] : corpus) blobs[id] = workload::GenerateImageBlob(id);
+  workload::CodebookParams cbp;
+  cbp.num_clusters = 256;
+  cbp.dims = 32;
+  core::OwnerOutput owner = core::BuildDeployment(
+      config, workload::GenerateCodebook(cbp), std::move(corpus),
+      std::move(blobs));
+
+  if (!storage::SaveSpPackage(PackagePath(dir), *owner.package).ok() ||
+      !storage::SavePublicParams(ParamsPath(dir), owner.public_params).ok()) {
+    std::printf("build: failed to write %s\n", dir.c_str());
+    return 1;
+  }
+  // The private key stays with the owner (toy storage for the demo; a real
+  // deployment would keep it in an HSM).
+  ByteWriter w;
+  w.PutBlob(owner.private_key.n.ToBytes());
+  w.PutBlob(owner.private_key.d.ToBytes());
+  FILE* f = std::fopen(KeyPath(dir).c_str(), "wb");
+  if (!f) return 1;
+  std::fwrite(w.bytes().data(), 1, w.size(), f);
+  std::fclose(f);
+  std::printf("build: %zu images, %zu words -> %s\n",
+              owner.package->corpus.size(), owner.package->codebook.size(),
+              dir.c_str());
+  return 0;
+}
+
+Result<crypto::RsaPrivateKey> LoadKey(const std::string& dir) {
+  FILE* f = std::fopen(KeyPath(dir).c_str(), "rb");
+  if (!f) return Result<crypto::RsaPrivateKey>::Error("missing owner.key");
+  Bytes data;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  ByteReader r(data);
+  Bytes nb, db;
+  if (!r.GetBlob(&nb).ok() || !r.GetBlob(&db).ok()) {
+    return Result<crypto::RsaPrivateKey>::Error("corrupt owner.key");
+  }
+  crypto::RsaPrivateKey key;
+  key.n = crypto::BigInt::FromBytes(nb);
+  key.d = crypto::BigInt::FromBytes(db);
+  return key;
+}
+
+int Insert(const std::string& dir) {
+  auto pkg = storage::LoadSpPackage(PackagePath(dir));
+  auto params = storage::LoadPublicParams(ParamsPath(dir));
+  auto key = LoadKey(dir);
+  if (!pkg.ok() || !params.ok() || !key.ok()) {
+    std::printf("insert: cannot load deployment from %s\n", dir.c_str());
+    return 1;
+  }
+  bovw::ImageId new_id = 1000000 + (*pkg)->corpus.size();
+  bovw::BovwVector v = (*pkg)->corpus[3].second;  // near-duplicate of image 3
+  auto stats = core::InsertImage(pkg->get(), *key, &*params, new_id, v,
+                                 workload::GenerateImageBlob(new_id));
+  if (!stats.ok()) {
+    std::printf("insert: %s\n", stats.status().message().c_str());
+    return 1;
+  }
+  if (!storage::SaveSpPackage(PackagePath(dir), **pkg).ok() ||
+      !storage::SavePublicParams(ParamsPath(dir), *params).ok()) {
+    return 1;
+  }
+  std::printf("insert: image %llu added (%zu lists updated, %zu MRKD nodes "
+              "rehashed), root re-signed\n",
+              static_cast<unsigned long long>(new_id), stats->lists_updated,
+              stats->mrkd_nodes_rehashed);
+  return 0;
+}
+
+int Query(const std::string& dir) {
+  auto pkg = storage::LoadSpPackage(PackagePath(dir));
+  auto params = storage::LoadPublicParams(ParamsPath(dir));
+  if (!pkg.ok() || !params.ok()) {
+    std::printf("query: cannot load deployment from %s\n", dir.c_str());
+    return 1;
+  }
+  core::ServiceProvider sp(pkg->get());
+  core::Client client(*params);
+  const auto& source = (*pkg)->corpus[3].second;
+  auto features =
+      workload::FeaturesFromBovw((*pkg)->codebook, source, 40, 0.2, 0.1, 99);
+  core::QueryResponse resp = sp.Query(features, 5);
+  auto verified = client.Verify(features, 5, resp.vo);
+  if (!verified.ok()) {
+    std::printf("query: REJECTED — %s\n", verified.status().message().c_str());
+    return 1;
+  }
+  std::printf("query: verified top-%zu (VO %zu bytes):\n",
+              verified->topk.size(), resp.vo.TotalBytes());
+  for (const auto& si : verified->topk) {
+    std::printf("  image %-8llu similarity >= %.4f\n",
+                static_cast<unsigned long long>(si.id), si.score);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3) {
+    std::string cmd = argv[1], dir = argv[2];
+    if (cmd == "build") return Build(dir);
+    if (cmd == "insert") return Insert(dir);
+    if (cmd == "query") return Query(dir);
+    std::printf("usage: %s {build|insert|query} <dir>\n", argv[0]);
+    return 2;
+  }
+  // Demo: full lifecycle in a temp directory.
+  std::string dir = "/tmp/imageproof_deployment";
+  (void)system(("mkdir -p " + dir).c_str());
+  std::printf("--- build ---\n");
+  if (Build(dir)) return 1;
+  std::printf("--- query (initial) ---\n");
+  if (Query(dir)) return 1;
+  std::printf("--- insert (near-duplicate of image 3) ---\n");
+  if (Insert(dir)) return 1;
+  std::printf("--- query (after update; new image should appear) ---\n");
+  return Query(dir);
+}

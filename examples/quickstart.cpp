@@ -1,0 +1,67 @@
+// Quickstart: the ImageProof happy path in one page.
+//
+//   owner  — builds the ADSs over an image corpus and publishes the
+//            public key + signed ADS digest
+//   SP     — answers a top-k query with results + verification object
+//   client — verifies soundness & completeness before trusting anything
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/client.h"
+#include "core/owner.h"
+#include "core/server.h"
+#include "workload/synthetic.h"
+
+using namespace imageproof;
+
+int main() {
+  // ----- Owner: assemble a small deployment -------------------------------
+  core::Config config = core::Config::ImageProof();
+  config.rsa_bits = 512;  // demo-sized signing key
+
+  workload::CorpusParams corpus_params;
+  corpus_params.num_images = 1000;
+  corpus_params.num_clusters = 256;
+  auto corpus = workload::GenerateCorpus(corpus_params);
+
+  std::unordered_map<bovw::ImageId, Bytes> images;
+  for (const auto& [id, v] : corpus) {
+    images[id] = workload::GenerateImageBlob(id);
+  }
+
+  workload::CodebookParams codebook_params;
+  codebook_params.num_clusters = 256;
+  codebook_params.dims = 32;
+
+  core::OwnerOutput owner = core::BuildDeployment(
+      config, workload::GenerateCodebook(codebook_params), std::move(corpus),
+      std::move(images));
+  std::printf("owner: built ADS over %zu images, %zu clusters (%zu ADS bytes)\n",
+              owner.package->corpus.size(), owner.package->codebook.size(),
+              owner.package->AdsBytes());
+
+  // ----- SP: answer an authenticated query --------------------------------
+  core::ServiceProvider sp(owner.package.get());
+  auto features =
+      workload::GenerateQueryFeatures(owner.package->codebook, 50, 1.0, 42);
+  core::QueryResponse resp = sp.Query(features, /*k=*/5);
+  std::printf("sp: top-%zu computed, VO = %zu bytes (proof %zu B)\n",
+              resp.topk.size(), resp.vo.TotalBytes(), resp.vo.ProofBytes());
+
+  // ----- Client: verify before trusting ------------------------------------
+  core::Client client(owner.public_params);
+  auto verified = client.Verify(features, 5, resp.vo);
+  if (!verified.ok()) {
+    std::printf("client: REJECTED — %s\n", verified.status().message().c_str());
+    return 1;
+  }
+  std::printf("client: verified %zu results:\n", verified->topk.size());
+  for (const auto& si : verified->topk) {
+    std::printf("  image %-6llu  similarity >= %.4f\n",
+                static_cast<unsigned long long>(si.id), si.score);
+  }
+  std::printf("quickstart OK\n");
+  return 0;
+}

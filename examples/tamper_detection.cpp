@@ -1,0 +1,78 @@
+// Threat-model demo: a malicious service provider tries every attack class
+// from the paper's security analysis (Theorem 1); the client catches each
+// one and names the violated check.
+//
+// Build & run:  ./build/examples/tamper_detection
+
+#include <cstdio>
+
+#include "core/adversary.h"
+#include "core/client.h"
+#include "core/owner.h"
+#include "core/server.h"
+#include "workload/synthetic.h"
+
+using namespace imageproof;
+
+int main() {
+  core::Config config = core::Config::ImageProof();
+  config.rsa_bits = 512;
+
+  workload::CorpusParams corpus_params;
+  corpus_params.num_images = 800;
+  corpus_params.num_clusters = 256;
+  auto corpus = workload::GenerateCorpus(corpus_params);
+  std::unordered_map<bovw::ImageId, Bytes> images;
+  for (const auto& [id, v] : corpus) {
+    images[id] = workload::GenerateImageBlob(id);
+  }
+  workload::CodebookParams codebook_params;
+  codebook_params.num_clusters = 256;
+  codebook_params.dims = 32;
+  core::OwnerOutput owner = core::BuildDeployment(
+      config, workload::GenerateCodebook(codebook_params), std::move(corpus),
+      std::move(images));
+
+  core::ServiceProvider sp(owner.package.get());
+  core::Client client(owner.public_params);
+  auto features =
+      workload::GenerateQueryFeatures(owner.package->codebook, 40, 1.0, 7);
+
+  core::QueryResponse honest = sp.Query(features, 10);
+  auto ok = client.Verify(features, 10, honest.vo);
+  std::printf("honest response:            %s\n",
+              ok.ok() ? "ACCEPTED (as it should be)" : "rejected?!");
+  if (!ok.ok()) return 1;
+
+  struct Attack {
+    const char* name;
+    core::QueryResponse tampered;
+  };
+  bovw::ImageId low_ranked = honest.topk.back().id + 1;
+  std::vector<Attack> attacks;
+  attacks.push_back({"fake image data (case 3)", core::TamperImageData(honest)});
+  attacks.push_back({"forged signature (case 3)", core::TamperSignature(honest)});
+  attacks.push_back(
+      {"swapped top-k result (case 2)", core::TamperSwapResult(honest, low_ranked)});
+  attacks.push_back({"dropped best result (case 2)", core::TamperDropResult(honest)});
+  attacks.push_back({"tampered posting data (case 2)", core::TamperInvVo(honest, 37)});
+  attacks.push_back(
+      {"forged BoVW candidates (case 1)", core::TamperRevealSection(honest, 11)});
+  attacks.push_back({"tampered MRKD-tree VO (case 1)", core::TamperTreeVo(honest, 2, 5)});
+  attacks.push_back(
+      {"manipulated threshold (case 1)", core::TamperThreshold(honest, 0, 1e8)});
+
+  int caught = 0;
+  for (const Attack& attack : attacks) {
+    auto r = client.Verify(features, 10, attack.tampered.vo);
+    if (r.ok()) {
+      std::printf("%-34s NOT DETECTED — security failure!\n", attack.name);
+    } else {
+      std::printf("%-34s detected: %s\n", attack.name,
+                  r.status().message().c_str());
+      ++caught;
+    }
+  }
+  std::printf("\n%d/%zu attacks detected\n", caught, attacks.size());
+  return caught == static_cast<int>(attacks.size()) ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, run the test suite, smoke-run every
+# example, and run the figure/ablation/micro benchmarks.
+#
+#   scripts/check.sh          # build + tests + examples
+#   scripts/check.sh --bench  # additionally run every benchmark binary
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "--- examples ---"
+./build/examples/quickstart
+./build/examples/tamper_detection
+./build/examples/vo_breakdown
+./build/examples/image_pipeline
+./build/examples/deployment_cli
+
+if [[ "${1:-}" == "--bench" ]]; then
+  echo "--- benchmarks ---"
+  for b in build/bench/*; do
+    [[ -f "$b" && -x "$b" ]] || continue
+    echo "===== $b ====="
+    "$b"
+  done
+fi
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,94 @@
+#include "ann/kmeans.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace imageproof::ann {
+
+AkmResult TrainCodebook(const PointSet& points, const AkmParams& params) {
+  AkmResult result;
+  const size_t n = points.size();
+  const size_t dims = points.dims();
+  const size_t k = static_cast<size_t>(params.num_clusters);
+  result.assignment.assign(n, 0);
+  if (n == 0 || k == 0) return result;
+
+  // k-means++ seeding: each next center is sampled with probability
+  // proportional to its squared distance from the nearest chosen center,
+  // which avoids the local minima plain random seeding falls into.
+  Rng rng(params.seed);
+  result.centers = PointSet(dims, 0);
+  result.centers.set_dims(dims);
+  result.centers.AppendRow(points.row(rng.NextBounded(n)));
+  std::vector<double> nearest_sq(n);
+  for (size_t i = 0; i < n; ++i) {
+    nearest_sq[i] = SquaredL2(points.row(i), result.centers.row(0), dims);
+  }
+  while (result.centers.size() < k) {
+    double total = 0;
+    for (double d : nearest_sq) total += d;
+    size_t chosen;
+    if (total <= 0) {
+      chosen = rng.NextBounded(n);
+    } else {
+      double target = rng.NextDouble() * total;
+      chosen = n - 1;
+      double acc = 0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += nearest_sq[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    result.centers.AppendRow(points.row(chosen));
+    const float* c = result.centers.row(result.centers.size() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      nearest_sq[i] = std::min(nearest_sq[i], SquaredL2(points.row(i), c, dims));
+    }
+  }
+
+  std::vector<double> sums(k * dims);
+  std::vector<int64_t> counts(k);
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    ForestParams fp = params.forest;
+    fp.seed = params.seed + 0x1234567ULL * (iter + 1);
+    RkdForest forest(result.centers, fp);
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    double total_err = 0;
+    for (size_t i = 0; i < n; ++i) {
+      NearestResult nearest = forest.ApproxNearest(points.row(i));
+      int32_t c = nearest.index;
+      result.assignment[i] = c;
+      total_err += nearest.dist_sq;
+      counts[c]++;
+      const float* p = points.row(i);
+      double* s = sums.data() + static_cast<size_t>(c) * dims;
+      for (size_t d = 0; d < dims; ++d) s[d] += p[d];
+    }
+    result.quantization_error = total_err / static_cast<double>(n);
+
+    // Recompute means; empty clusters are reseeded to random points.
+    for (size_t c = 0; c < k; ++c) {
+      float* center = result.centers.row(c);
+      if (counts[c] == 0) {
+        const float* p = points.row(rng.NextBounded(n));
+        std::copy(p, p + dims, center);
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      const double* s = sums.data() + c * dims;
+      for (size_t d = 0; d < dims; ++d) {
+        center[d] = static_cast<float>(s[d] * inv);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace imageproof::ann

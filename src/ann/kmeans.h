@@ -1,0 +1,36 @@
+// Approximate k-means (AKM) codebook training, following Philbin et al.
+// (CVPR'07): each Lloyd iteration assigns points to their *approximate*
+// nearest center using a freshly built randomized k-d forest, which is what
+// makes million-word vocabularies tractable.
+
+#ifndef IMAGEPROOF_ANN_KMEANS_H_
+#define IMAGEPROOF_ANN_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/points.h"
+#include "ann/rkd_forest.h"
+
+namespace imageproof::ann {
+
+struct AkmParams {
+  int num_clusters = 0;   // required
+  int iterations = 8;
+  ForestParams forest;    // forest used for approximate assignment
+  uint64_t seed = 0xC0DE;
+};
+
+struct AkmResult {
+  PointSet centers;
+  std::vector<int32_t> assignment;  // final cluster of each input point
+  double quantization_error = 0.0;  // mean squared distance to the center
+};
+
+// Trains a codebook over `points`. Requires
+// params.num_clusters <= points.size().
+AkmResult TrainCodebook(const PointSet& points, const AkmParams& params);
+
+}  // namespace imageproof::ann
+
+#endif  // IMAGEPROOF_ANN_KMEANS_H_

@@ -1,0 +1,62 @@
+// Flat row-major point storage shared by the ANN structures, the AKM
+// trainer, and the MRKD-tree. Keeping points in one contiguous buffer makes
+// tree construction and distance evaluation cache-friendly.
+
+#ifndef IMAGEPROOF_ANN_POINTS_H_
+#define IMAGEPROOF_ANN_POINTS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace imageproof::ann {
+
+class PointSet {
+ public:
+  PointSet() = default;
+  PointSet(size_t dims, size_t count) : dims_(dims), data_(dims * count) {}
+
+  static PointSet FromRows(const std::vector<std::vector<float>>& rows) {
+    PointSet out;
+    if (rows.empty()) return out;
+    out.dims_ = rows[0].size();
+    out.data_.reserve(rows.size() * out.dims_);
+    for (const auto& r : rows) {
+      out.data_.insert(out.data_.end(), r.begin(), r.end());
+    }
+    return out;
+  }
+
+  size_t dims() const { return dims_; }
+  size_t size() const { return dims_ == 0 ? 0 : data_.size() / dims_; }
+  bool empty() const { return data_.empty(); }
+
+  const float* row(size_t i) const { return data_.data() + i * dims_; }
+  float* row(size_t i) { return data_.data() + i * dims_; }
+
+  std::vector<float> RowVec(size_t i) const {
+    return std::vector<float>(row(i), row(i) + dims_);
+  }
+
+  void AppendRow(const float* p) { data_.insert(data_.end(), p, p + dims_); }
+  void AppendRow(const std::vector<float>& p) { AppendRow(p.data()); }
+
+  void set_dims(size_t dims) { dims_ = dims; }
+
+ private:
+  size_t dims_ = 0;
+  std::vector<float> data_;
+};
+
+// Squared Euclidean distance between two d-dimensional points.
+inline double SquaredL2(const float* a, const float* b, size_t d) {
+  double acc = 0;
+  for (size_t i = 0; i < d; ++i) {
+    double diff = static_cast<double>(a[i]) - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace imageproof::ann
+
+#endif  // IMAGEPROOF_ANN_POINTS_H_

@@ -1,0 +1,75 @@
+#include "ann/rkd_forest.h"
+
+#include <limits>
+#include <queue>
+
+namespace imageproof::ann {
+
+RkdForest::RkdForest(const PointSet& points, ForestParams params)
+    : points_(&points), params_(params) {
+  trees_.reserve(params_.num_trees);
+  for (int t = 0; t < params_.num_trees; ++t) {
+    trees_.push_back(std::make_unique<RkdTree>(
+        points, params_.max_leaf_size, params_.seed + 0x9E3779B9ULL * (t + 1)));
+  }
+}
+
+namespace {
+
+struct Branch {
+  double min_dist;
+  int tree;
+  int node;
+  bool operator>(const Branch& o) const { return min_dist > o.min_dist; }
+};
+
+}  // namespace
+
+NearestResult RkdForest::ApproxNearest(const float* query) const {
+  NearestResult best;
+  best.dist_sq = std::numeric_limits<double>::infinity();
+  if (points_->empty()) return best;
+
+  std::priority_queue<Branch, std::vector<Branch>, std::greater<Branch>> queue;
+  for (int t = 0; t < static_cast<int>(trees_.size()); ++t) {
+    queue.push(Branch{0.0, t, trees_[t]->root()});
+  }
+
+  const size_t dims = points_->dims();
+  int leaves_checked = 0;
+  while (!queue.empty() && leaves_checked < params_.max_leaf_checks) {
+    Branch branch = queue.top();
+    queue.pop();
+    if (branch.min_dist >= best.dist_sq) continue;
+
+    const RkdTree& tree = *trees_[branch.tree];
+    int node_index = branch.node;
+    double min_dist = branch.min_dist;
+    // Descend to a leaf, queueing the far sibling at every level with the
+    // FLANN cumulative distance approximation.
+    while (true) {
+      const RkdNode& node = tree.nodes()[node_index];
+      if (node.IsLeaf()) {
+        for (int32_t i = node.begin; i < node.end; ++i) {
+          int32_t pi = tree.point_indices()[i];
+          double d = SquaredL2(query, points_->row(pi), dims);
+          if (d < best.dist_sq ||
+              (d == best.dist_sq && pi < best.index)) {
+            best.dist_sq = d;
+            best.index = pi;
+          }
+        }
+        ++leaves_checked;
+        break;
+      }
+      double diff = static_cast<double>(query[node.split_dim]) - node.split_value;
+      int near_child = diff < 0 ? node.left : node.right;
+      int far_child = diff < 0 ? node.right : node.left;
+      queue.push(Branch{min_dist + diff * diff, branch.tree, far_child});
+      node_index = near_child;
+    }
+  }
+  return best;
+}
+
+}  // namespace imageproof::ann

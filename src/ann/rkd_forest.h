@@ -1,0 +1,59 @@
+// Forest of randomized k-d trees with FLANN-style best-bin-first search —
+// the AKM (approximate k-means) nearest-cluster routine of the paper.
+//
+// All trees are traversed with one shared priority queue keyed by the
+// (approximate) minimum distance from the query to each pending subtree; the
+// search stops after `max_leaf_checks` leaves have been examined and returns
+// the best cluster found so far, exactly as in Philbin et al. (CVPR'07) and
+// Muja & Lowe (VISSAPP'09).
+
+#ifndef IMAGEPROOF_ANN_RKD_FOREST_H_
+#define IMAGEPROOF_ANN_RKD_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ann/rkd_tree.h"
+
+namespace imageproof::ann {
+
+struct ForestParams {
+  int num_trees = 8;        // n_t in the paper
+  int max_leaf_size = 2;    // clusters per leaf
+  int max_leaf_checks = 32; // AKM stops after exploring this many leaves
+  uint64_t seed = 0x5EED;
+};
+
+struct NearestResult {
+  int32_t index = -1;    // point (cluster) index, -1 if the set is empty
+  double dist_sq = 0.0;  // squared distance to it
+};
+
+class RkdForest {
+ public:
+  // Builds `params.num_trees` randomized trees over `points` (borrowed).
+  RkdForest(const PointSet& points, ForestParams params);
+
+  // Approximate nearest neighbor of `query` (AKM step).
+  NearestResult ApproxNearest(const float* query) const;
+
+  const std::vector<std::unique_ptr<RkdTree>>& trees() const { return trees_; }
+
+  // Swaps in persisted tree structures (storage/serializer.h); the trees
+  // must index this forest's point set.
+  void ReplaceTrees(std::vector<std::unique_ptr<RkdTree>> trees) {
+    trees_ = std::move(trees);
+  }
+  const PointSet& points() const { return *points_; }
+  const ForestParams& params() const { return params_; }
+
+ private:
+  const PointSet* points_;
+  ForestParams params_;
+  std::vector<std::unique_ptr<RkdTree>> trees_;
+};
+
+}  // namespace imageproof::ann
+
+#endif  // IMAGEPROOF_ANN_RKD_FOREST_H_

@@ -1,0 +1,186 @@
+#include "ann/rkd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace imageproof::ann {
+
+RkdTree::RkdTree(const PointSet& points, int max_leaf_size, uint64_t seed)
+    : points_(&points), max_leaf_size_(max_leaf_size < 1 ? 1 : max_leaf_size) {
+  point_indices_.resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    point_indices_[i] = static_cast<int32_t>(i);
+  }
+  if (!points.empty()) {
+    Rng rng(seed);
+    BuildNode(0, static_cast<int32_t>(points.size()), rng);
+  }
+}
+
+int RkdTree::BuildNode(int32_t begin, int32_t end, Rng& rng) {
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (end - begin <= max_leaf_size_) {
+    RkdNode& node = nodes_[node_index];
+    node.begin = begin;
+    node.end = end;
+    return node_index;
+  }
+
+  const size_t dims = points_->dims();
+  // Mean and variance per dimension over [begin, end).
+  std::vector<double> mean(dims, 0.0), var(dims, 0.0);
+  for (int32_t i = begin; i < end; ++i) {
+    const float* p = points_->row(point_indices_[i]);
+    for (size_t d = 0; d < dims; ++d) mean[d] += p[d];
+  }
+  double inv_n = 1.0 / (end - begin);
+  for (size_t d = 0; d < dims; ++d) mean[d] *= inv_n;
+  for (int32_t i = begin; i < end; ++i) {
+    const float* p = points_->row(point_indices_[i]);
+    for (size_t d = 0; d < dims; ++d) {
+      double diff = p[d] - mean[d];
+      var[d] += diff * diff;
+    }
+  }
+
+  // Randomly pick the split dimension among the top-variance dimensions.
+  int top_n = static_cast<int>(std::min<size_t>(kTopVarianceDims, dims));
+  std::vector<int> dim_order(dims);
+  for (size_t d = 0; d < dims; ++d) dim_order[d] = static_cast<int>(d);
+  std::partial_sort(dim_order.begin(), dim_order.begin() + top_n, dim_order.end(),
+                    [&var](int a, int b) { return var[a] > var[b]; });
+  int split_dim = dim_order[rng.NextBounded(top_n)];
+  float split_value = static_cast<float>(mean[split_dim]);
+
+  // Partition: strictly-less goes left. Guard against degenerate splits
+  // (all values on one side) by falling back to a median split.
+  int32_t* idx = point_indices_.data();
+  auto is_left = [&](int32_t pi) {
+    return points_->row(pi)[split_dim] < split_value;
+  };
+  int32_t* mid_ptr = std::partition(idx + begin, idx + end,
+                                    [&](int32_t pi) { return is_left(pi); });
+  int32_t mid = static_cast<int32_t>(mid_ptr - idx);
+  if (mid == begin || mid == end) {
+    int32_t half = begin + (end - begin) / 2;
+    std::nth_element(idx + begin, idx + half, idx + end,
+                     [&](int32_t a, int32_t b) {
+                       return points_->row(a)[split_dim] <
+                              points_->row(b)[split_dim];
+                     });
+    mid = half;
+    split_value = points_->row(idx[half])[split_dim];
+  }
+
+  int left = BuildNode(begin, mid, rng);
+  int right = BuildNode(mid, end, rng);
+  RkdNode& node = nodes_[node_index];
+  node.split_dim = split_dim;
+  node.split_value = split_value;
+  node.left = left;
+  node.right = right;
+  node.begin = begin;
+  node.end = end;
+  return node_index;
+}
+
+namespace {
+
+// DFS with exact incremental min-distance maintenance. `offsets[d]` holds
+// the current per-dimension distance from the query to the node's region.
+void RangeSearchRec(const RkdTree& tree, int node_index, const float* query,
+                    double radius_sq, double min_dist_sq,
+                    std::vector<double>& offsets, std::vector<int32_t>* out) {
+  const RkdNode& node = tree.nodes()[node_index];
+  if (node.IsLeaf()) {
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      out->push_back(tree.point_indices()[i]);
+    }
+    return;
+  }
+  int d = node.split_dim;
+  double diff = static_cast<double>(query[d]) - node.split_value;
+  int near_child = diff < 0 ? node.left : node.right;
+  int far_child = diff < 0 ? node.right : node.left;
+
+  RangeSearchRec(tree, near_child, query, radius_sq, min_dist_sq, offsets, out);
+
+  double old_offset = offsets[d];
+  double new_offset_sq = diff * diff;
+  double old_offset_sq = old_offset * old_offset;
+  // Entering the far child, the region's constraint along d tightens to
+  // |diff| (it can only grow relative to the inherited offset).
+  if (new_offset_sq > old_offset_sq) {
+    double far_dist = min_dist_sq - old_offset_sq + new_offset_sq;
+    if (far_dist <= radius_sq) {
+      offsets[d] = std::abs(diff);
+      RangeSearchRec(tree, far_child, query, radius_sq, far_dist, offsets, out);
+      offsets[d] = old_offset;
+    }
+  } else {
+    RangeSearchRec(tree, far_child, query, radius_sq, min_dist_sq, offsets, out);
+  }
+}
+
+void ExactNearestRec(const RkdTree& tree, int node_index, const float* query,
+                     double min_dist_sq, std::vector<double>& offsets,
+                     double* best_dist, int32_t* best_index) {
+  if (min_dist_sq >= *best_dist) return;
+  const RkdNode& node = tree.nodes()[node_index];
+  if (node.IsLeaf()) {
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      int32_t pi = tree.point_indices()[i];
+      double d = SquaredL2(query, tree.points().row(pi), tree.points().dims());
+      if (d < *best_dist || (d == *best_dist && pi < *best_index)) {
+        *best_dist = d;
+        *best_index = pi;
+      }
+    }
+    return;
+  }
+  int d = node.split_dim;
+  double diff = static_cast<double>(query[d]) - node.split_value;
+  int near_child = diff < 0 ? node.left : node.right;
+  int far_child = diff < 0 ? node.right : node.left;
+  ExactNearestRec(tree, near_child, query, min_dist_sq, offsets, best_dist,
+                  best_index);
+  double old_offset = offsets[d];
+  double new_offset_sq = diff * diff;
+  double old_offset_sq = old_offset * old_offset;
+  double far_dist = new_offset_sq > old_offset_sq
+                        ? min_dist_sq - old_offset_sq + new_offset_sq
+                        : min_dist_sq;
+  if (far_dist < *best_dist) {
+    if (new_offset_sq > old_offset_sq) offsets[d] = std::abs(diff);
+    ExactNearestRec(tree, far_child, query, far_dist, offsets, best_dist,
+                    best_index);
+    offsets[d] = old_offset;
+  }
+}
+
+}  // namespace
+
+std::vector<int32_t> RkdTree::RangeSearch(const float* query,
+                                          double radius_sq) const {
+  std::vector<int32_t> out;
+  if (nodes_.empty()) return out;
+  std::vector<double> offsets(points_->dims(), 0.0);
+  RangeSearchRec(*this, root(), query, radius_sq, 0.0, offsets, &out);
+  return out;
+}
+
+int32_t RkdTree::ExactNearest(const float* query, double* dist_sq_out) const {
+  double best = std::numeric_limits<double>::infinity();
+  int32_t best_index = -1;
+  if (!nodes_.empty()) {
+    std::vector<double> offsets(points_->dims(), 0.0);
+    ExactNearestRec(*this, root(), query, 0.0, offsets, &best, &best_index);
+  }
+  if (dist_sq_out) *dist_sq_out = best;
+  return best_index;
+}
+
+}  // namespace imageproof::ann

@@ -1,0 +1,116 @@
+#include "bovw/bovw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace imageproof::bovw {
+
+double BovwVector::L2Norm() const {
+  double acc = 0;
+  for (const auto& [c, f] : entries) {
+    acc += static_cast<double>(f) * f;
+  }
+  return std::sqrt(acc);
+}
+
+uint32_t BovwVector::FrequencyOf(ClusterId c) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), c,
+      [](const auto& e, ClusterId cid) { return e.first < cid; });
+  return (it != entries.end() && it->first == c) ? it->second : 0;
+}
+
+BovwVector CountAssignments(const std::vector<ClusterId>& assignments) {
+  std::map<ClusterId, uint32_t> counts;
+  for (ClusterId c : assignments) ++counts[c];
+  BovwVector out;
+  out.entries.assign(counts.begin(), counts.end());
+  return out;
+}
+
+BovwVector EncodeWithForest(const ann::RkdForest& forest,
+                            const std::vector<std::vector<float>>& features) {
+  std::vector<ClusterId> assignments;
+  assignments.reserve(features.size());
+  for (const auto& f : features) {
+    ann::NearestResult r = forest.ApproxNearest(f.data());
+    if (r.index >= 0) assignments.push_back(static_cast<ClusterId>(r.index));
+  }
+  return CountAssignments(assignments);
+}
+
+ClusterWeights::ClusterWeights(uint64_t num_images,
+                               std::vector<uint64_t> n_images_containing) {
+  weights_.resize(n_images_containing.size(), 0.0);
+  for (size_t c = 0; c < n_images_containing.size(); ++c) {
+    if (n_images_containing[c] > 0) {
+      weights_[c] = std::log(static_cast<double>(num_images) /
+                             static_cast<double>(n_images_containing[c]));
+    }
+  }
+}
+
+ClusterWeights ClusterWeights::FromCorpus(size_t num_clusters,
+                                          const std::vector<BovwVector>& corpus) {
+  std::vector<uint64_t> containing(num_clusters, 0);
+  for (const BovwVector& v : corpus) {
+    for (const auto& [c, f] : v.entries) {
+      if (c < num_clusters) ++containing[c];
+    }
+  }
+  return ClusterWeights(corpus.size(), std::move(containing));
+}
+
+std::vector<std::pair<ClusterId, double>> ImpactVector(
+    const BovwVector& bovw, const ClusterWeights& weights) {
+  std::vector<std::pair<ClusterId, double>> out;
+  double norm = bovw.L2Norm();
+  out.reserve(bovw.entries.size());
+  for (const auto& [c, f] : bovw.entries) {
+    out.emplace_back(c, ImpactValue(weights.WeightOf(c), f, norm));
+  }
+  return out;
+}
+
+double Similarity(const std::vector<std::pair<ClusterId, double>>& a,
+                  const std::vector<std::pair<ClusterId, double>>& b) {
+  double acc = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      acc += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+std::vector<ScoredImage> BruteForceTopK(
+    const std::vector<std::pair<ImageId, BovwVector>>& corpus,
+    const BovwVector& query, const ClusterWeights& weights, size_t k) {
+  auto query_impact = ImpactVector(query, weights);
+  std::vector<ScoredImage> scored;
+  scored.reserve(corpus.size());
+  for (const auto& [id, bovw] : corpus) {
+    scored.push_back({id, Similarity(query_impact, ImpactVector(bovw, weights))});
+  }
+  auto better = [](const ScoredImage& a, const ScoredImage& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  if (scored.size() > k) {
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(), better);
+    scored.resize(k);
+  } else {
+    std::sort(scored.begin(), scored.end(), better);
+  }
+  return scored;
+}
+
+}  // namespace imageproof::bovw

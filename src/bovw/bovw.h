@@ -1,0 +1,98 @@
+// Bag-of-visual-words encoding and the similarity measure of Section II-A.
+//
+//   w_c      = ln(n_D / n_{D,c})                         (cluster weight)
+//   p_{I,c}  = w_c * f_{I,c} / ||B_I||                   (impact value)
+//   S(Q, I)  = sum over shared clusters of p_{Q,c} p_{I,c}
+//
+// ||B_I|| is the L2 norm of the raw frequency vector, exactly as written in
+// the paper. This module also provides the exact brute-force top-k search
+// used as the ground-truth oracle in tests and as the SP's internal result
+// computation.
+
+#ifndef IMAGEPROOF_BOVW_BOVW_H_
+#define IMAGEPROOF_BOVW_BOVW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ann/points.h"
+#include "ann/rkd_forest.h"
+
+namespace imageproof::bovw {
+
+using ImageId = uint64_t;
+using ClusterId = uint32_t;
+
+// Sparse frequency vector, sorted by cluster id, frequencies > 0.
+struct BovwVector {
+  std::vector<std::pair<ClusterId, uint32_t>> entries;
+
+  // sqrt(sum of squared frequencies); 0 for an empty vector.
+  double L2Norm() const;
+  uint32_t FrequencyOf(ClusterId c) const;
+  bool empty() const { return entries.empty(); }
+};
+
+// Builds a sorted BovwVector by counting cluster assignments.
+BovwVector CountAssignments(const std::vector<ClusterId>& assignments);
+
+// Encodes a set of feature vectors by assigning each to its approximate
+// nearest cluster with the AKM forest (the *unauthenticated* baseline
+// encoding; the authenticated variant goes through the MRKD-tree).
+BovwVector EncodeWithForest(const ann::RkdForest& forest,
+                            const std::vector<std::vector<float>>& features);
+
+// Per-cluster idf weights over a corpus.
+class ClusterWeights {
+ public:
+  // n_images_containing[c] = n_{D,c}; clusters never seen get weight 0.
+  ClusterWeights(uint64_t num_images, std::vector<uint64_t> n_images_containing);
+
+  double WeightOf(ClusterId c) const {
+    return c < weights_.size() ? weights_[c] : 0.0;
+  }
+  size_t num_clusters() const { return weights_.size(); }
+
+  static ClusterWeights FromCorpus(size_t num_clusters,
+                                   const std::vector<BovwVector>& corpus);
+
+  // Wraps explicit weight values (e.g., persisted ones — weights are part
+  // of the committed ADS state and may be frozen across corpus updates).
+  static ClusterWeights FromRaw(std::vector<double> weights) {
+    ClusterWeights w(0, {});
+    w.weights_ = std::move(weights);
+    return w;
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+// Impact value p_{I,c} for one entry of a BoVW vector.
+inline double ImpactValue(double weight, uint32_t frequency, double l2_norm) {
+  return l2_norm > 0 ? weight * frequency / l2_norm : 0.0;
+}
+
+// Sparse impact vector of an image or query.
+std::vector<std::pair<ClusterId, double>> ImpactVector(
+    const BovwVector& bovw, const ClusterWeights& weights);
+
+// S(Q, I) over sparse impact vectors (both sorted by cluster id).
+double Similarity(const std::vector<std::pair<ClusterId, double>>& a,
+                  const std::vector<std::pair<ClusterId, double>>& b);
+
+struct ScoredImage {
+  ImageId id = 0;
+  double score = 0.0;
+};
+
+// Exact top-k by full scan of the corpus; deterministic tie-break on
+// (score desc, id asc). The ground-truth oracle for every search test.
+std::vector<ScoredImage> BruteForceTopK(
+    const std::vector<std::pair<ImageId, BovwVector>>& corpus,
+    const BovwVector& query, const ClusterWeights& weights, size_t k);
+
+}  // namespace imageproof::bovw
+
+#endif  // IMAGEPROOF_BOVW_BOVW_H_

@@ -1,0 +1,47 @@
+// Minimal deterministic data-parallelism helper for the owner's ADS
+// construction (per-list digest chains, cluster commitments, tree builds
+// are all independent).
+//
+// ParallelFor partitions [0, n) into contiguous chunks, one per worker.
+// Each index is processed exactly once and the result arrays the callers
+// write into are disjoint per index, so the outcome is bit-identical to the
+// serial loop regardless of thread count.
+
+#ifndef IMAGEPROOF_COMMON_PARALLEL_H_
+#define IMAGEPROOF_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace imageproof {
+
+// Invokes fn(i) for every i in [0, n), using up to `max_threads` workers
+// (0 = hardware concurrency). Falls back to the plain loop for small n.
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& fn, unsigned max_threads = 0) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  unsigned workers = max_threads == 0 ? hw : std::min(max_threads, hw);
+  if (workers <= 1 || n < 2 * workers || n < 64) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace imageproof
+
+#endif  // IMAGEPROOF_COMMON_PARALLEL_H_

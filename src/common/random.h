@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (tree splits, synthetic datasets, cuckoo
+// eviction paths) takes an explicit seed so experiments are exactly
+// reproducible across runs and across the SP/client boundary. The generator
+// is xoshiro256**, which is fast, well distributed, and trivially portable.
+
+#ifndef IMAGEPROOF_COMMON_RANDOM_H_
+#define IMAGEPROOF_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace imageproof {
+
+// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+// seeded through splitmix64 so that any 64-bit seed yields a good state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Debiased multiply-shift (Lemire). Good enough for simulation use.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Box-Muller (no caching; simple and stateless).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Approximately Zipf-distributed rank in [0, n) with exponent s != 1,
+  // via the inverse CDF of the continuous bounded power law. Exact Zipf
+  // weights are unnecessary for workload synthesis; what matters is the
+  // heavy-tailed shape of posting-list lengths.
+  uint64_t NextZipf(uint64_t n, double s) {
+    double u = NextDouble();
+    double t = std::pow(static_cast<double>(n), 1.0 - s);
+    double y = std::pow((t - 1.0) * u + 1.0, 1.0 / (1.0 - s));
+    uint64_t k = static_cast<uint64_t>(y);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    return k - 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace imageproof
+
+#endif  // IMAGEPROOF_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+// Lightweight, exception-free error handling for the ImageProof library.
+//
+// Library code never throws: fallible operations return Status or Result<T>.
+// A Status is either OK or carries a short human-readable message describing
+// the first failed check (verification code uses this to name the violated
+// security property).
+
+#ifndef IMAGEPROOF_COMMON_STATUS_H_
+#define IMAGEPROOF_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace imageproof {
+
+// Outcome of a fallible operation. Cheap to copy in the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return !message_.has_value(); }
+  // Message of a non-OK status; empty string when OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+// A value or an error. Use `ok()` before dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  static Result<T> Error(std::string message) {
+    return Result<T>(Status::Error(std::move(message)));
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace imageproof
+
+#endif  // IMAGEPROOF_COMMON_STATUS_H_

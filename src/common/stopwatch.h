@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harnesses to report the
+// SP-CPU-time / client-CPU-time columns of the paper's figures.
+
+#ifndef IMAGEPROOF_COMMON_STOPWATCH_H_
+#define IMAGEPROOF_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace imageproof {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace imageproof
+
+#endif  // IMAGEPROOF_COMMON_STOPWATCH_H_

@@ -1,0 +1,72 @@
+#include "core/adversary.h"
+
+namespace imageproof::core {
+
+QueryResponse TamperImageData(QueryResponse honest) {
+  if (!honest.vo.results.empty()) {
+    if (honest.vo.results[0].data.empty()) {
+      honest.vo.results[0].data.push_back(0x42);
+    } else {
+      honest.vo.results[0].data[0] ^= 0xFF;
+    }
+  }
+  return honest;
+}
+
+QueryResponse TamperSignature(QueryResponse honest) {
+  if (!honest.vo.results.empty() && !honest.vo.results[0].signature.empty()) {
+    honest.vo.results[0].signature.back() ^= 0x01;
+  }
+  return honest;
+}
+
+QueryResponse TamperSwapResult(QueryResponse honest, bovw::ImageId substitute) {
+  if (!honest.vo.results.empty()) {
+    honest.vo.results[0].id = substitute;
+    honest.topk[0].id = substitute;
+  }
+  return honest;
+}
+
+QueryResponse TamperDropResult(QueryResponse honest) {
+  if (!honest.vo.results.empty()) {
+    honest.vo.results.erase(honest.vo.results.begin());
+    honest.topk.erase(honest.topk.begin());
+  }
+  return honest;
+}
+
+QueryResponse TamperInvVo(QueryResponse honest, size_t byte_index) {
+  if (!honest.vo.inv_vo.empty()) {
+    honest.vo.inv_vo[byte_index % honest.vo.inv_vo.size()] ^= 0x5A;
+  }
+  return honest;
+}
+
+QueryResponse TamperRevealSection(QueryResponse honest, size_t byte_index) {
+  if (!honest.vo.reveal_section.empty()) {
+    honest.vo.reveal_section[byte_index % honest.vo.reveal_section.size()] ^=
+        0x5A;
+  }
+  return honest;
+}
+
+QueryResponse TamperTreeVo(QueryResponse honest, size_t tree,
+                           size_t byte_index) {
+  if (!honest.vo.tree_vos.empty()) {
+    Bytes& vo = honest.vo.tree_vos[tree % honest.vo.tree_vos.size()];
+    if (!vo.empty()) vo[byte_index % vo.size()] ^= 0x5A;
+  }
+  return honest;
+}
+
+QueryResponse TamperThreshold(QueryResponse honest, size_t query_index,
+                              double new_threshold_sq) {
+  if (!honest.vo.thresholds_sq.empty()) {
+    honest.vo.thresholds_sq[query_index % honest.vo.thresholds_sq.size()] =
+        new_threshold_sq;
+  }
+  return honest;
+}
+
+}  // namespace imageproof::core

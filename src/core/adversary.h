@@ -1,0 +1,42 @@
+// Tampering harness modeling the malicious SP of the threat model
+// (Section III): each function mutates an honest query response the way a
+// cheating server would, so tests and the tamper_detection example can
+// confirm the client rejects every attack class from the security analysis
+// (Theorem 1).
+
+#ifndef IMAGEPROOF_CORE_ADVERSARY_H_
+#define IMAGEPROOF_CORE_ADVERSARY_H_
+
+#include "core/server.h"
+
+namespace imageproof::core {
+
+// Case 3 of Theorem 1: return fake image data for a result.
+QueryResponse TamperImageData(QueryResponse honest);
+
+// Case 3 variant: valid-looking but wrong signature.
+QueryResponse TamperSignature(QueryResponse honest);
+
+// Case 2: swap a top-k result id for a different (lower-ranked) image.
+QueryResponse TamperSwapResult(QueryResponse honest, bovw::ImageId substitute);
+
+// Case 2 variant: silently drop the best result.
+QueryResponse TamperDropResult(QueryResponse honest);
+
+// Case 2 variant: flip bits inside the inverted-index VO (e.g., inflate an
+// impact value).
+QueryResponse TamperInvVo(QueryResponse honest, size_t byte_index);
+
+// Case 1: forge the BoVW encoding by corrupting a candidate reveal.
+QueryResponse TamperRevealSection(QueryResponse honest, size_t byte_index);
+
+// Case 1 variant: corrupt an MRKD tree VO (hide a subtree / fake a digest).
+QueryResponse TamperTreeVo(QueryResponse honest, size_t tree, size_t byte_index);
+
+// Case 1 variant: enlarge a threshold to smuggle extra candidates.
+QueryResponse TamperThreshold(QueryResponse honest, size_t query_index,
+                              double new_threshold_sq);
+
+}  // namespace imageproof::core
+
+#endif  // IMAGEPROOF_CORE_ADVERSARY_H_

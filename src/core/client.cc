@@ -1,0 +1,209 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "crypto/hasher.h"
+#include "crypto/sha3.h"
+#include "freqgroup/fg_verify.h"
+#include "invindex/verify.h"
+#include "mrkd/verify.h"
+
+namespace imageproof::core {
+
+namespace {
+
+crypto::Digest ImageDigest(ImageId id, const Bytes& data) {
+  return crypto::DigestBuilder()
+      .AddU64(id)
+      .AddDigest(crypto::Sha3(data))
+      .Finalize();
+}
+
+}  // namespace
+
+Result<VerifiedResults> Client::Verify(
+    const std::vector<std::vector<float>>& features, size_t k,
+    const QueryVO& vo) const {
+  VerifiedResults out;
+  const Config& config = params_.config;
+  const size_t dims = params_.dims;
+  const size_t nq = features.size();
+  Stopwatch bovw_timer;
+
+  for (const auto& f : features) {
+    if (f.size() != dims) {
+      return Result<VerifiedResults>::Error("client: feature dims mismatch");
+    }
+  }
+  if (vo.thresholds_sq.size() != nq) {
+    return Result<VerifiedResults>::Error("client: threshold count mismatch");
+  }
+  for (double t : vo.thresholds_sq) {
+    if (!(t >= 0) || !std::isfinite(t)) {
+      return Result<VerifiedResults>::Error("client: invalid threshold");
+    }
+  }
+
+  // ---- Step 1: candidate reveals -> commitments + distance evidence ----
+  std::vector<mrkd::ClusterReveal> reveals;
+  {
+    ByteReader r(vo.reveal_section);
+    Status s = mrkd::DeserializeReveals(r, dims, &reveals);
+    if (!s.ok()) return s;
+    if (!r.AtEnd()) {
+      return Result<VerifiedResults>::Error("client: trailing reveal bytes");
+    }
+  }
+  std::map<mrkd::ClusterId, crypto::Digest> commitments;
+  std::map<mrkd::ClusterId, const mrkd::ClusterReveal*> reveal_of;
+  for (const mrkd::ClusterReveal& rev : reveals) {
+    crypto::Digest commitment;
+    Status s = mrkd::VerifyReveal(config.reveal_mode, dims, rev, &commitment);
+    if (!s.ok()) return s;
+    if (!commitments.emplace(rev.id, commitment).second) {
+      return Result<VerifiedResults>::Error("client: duplicate cluster reveal");
+    }
+    reveal_of[rev.id] = &rev;
+  }
+
+  // ---- Step 2: MRKD replay + root signature ----
+  std::vector<const float*> queries(nq);
+  for (size_t i = 0; i < nq; ++i) queries[i] = features[i].data();
+
+  if (vo.tree_vos.size() != static_cast<size_t>(config.forest.num_trees)) {
+    return Result<VerifiedResults>::Error("client: wrong number of tree VOs");
+  }
+  std::vector<std::set<mrkd::ClusterId>> candidates(nq);
+  std::map<mrkd::ClusterId, crypto::Digest> list_digests;
+  crypto::DigestBuilder roots;
+  for (const Bytes& tree_vo : vo.tree_vos) {
+    ByteReader r(tree_vo);
+    mrkd::TreeVerifyOutput tv;
+    Status s = mrkd::VerifyTreeVo(r, dims, commitments, queries,
+                                  vo.thresholds_sq, config.share_nodes, &tv);
+    if (!s.ok()) return s;
+    if (!r.AtEnd()) {
+      return Result<VerifiedResults>::Error("client: trailing tree VO bytes");
+    }
+    roots.AddDigest(tv.root);
+    for (size_t i = 0; i < nq; ++i) {
+      candidates[i].insert(tv.candidates[i].begin(), tv.candidates[i].end());
+    }
+    for (const auto& [c, d] : tv.list_digests) {
+      auto [it, inserted] = list_digests.emplace(c, d);
+      if (!inserted && it->second != d) {
+        return Result<VerifiedResults>::Error(
+            "client: conflicting list digests across trees");
+      }
+    }
+  }
+  crypto::RsaVerifier verifier(params_.public_key);
+  if (!verifier.Verify(roots.Finalize(), params_.root_signature)) {
+    return Result<VerifiedResults>::Error(
+        "client: ADS root signature verification failed");
+  }
+
+  // ---- Step 3: BoVW encoding ----
+  std::vector<bovw::ClusterId> assignment(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    if (candidates[i].empty()) {
+      return Result<VerifiedResults>::Error(
+          "client: no candidate cluster for a feature vector");
+    }
+    // Nearest among fully revealed candidates.
+    bool have_full = false;
+    double best = 0;
+    mrkd::ClusterId best_c = 0;
+    for (mrkd::ClusterId c : candidates[i]) {
+      auto it = reveal_of.find(c);
+      if (it == reveal_of.end()) {
+        return Result<VerifiedResults>::Error(
+            "client: candidate missing from reveal section");
+      }
+      if (!it->second->full) continue;
+      double d = ann::SquaredL2(queries[i], it->second->coords.data(), dims);
+      if (!have_full || d < best || (d == best && c < best_c)) {
+        best = d;
+        best_c = c;
+        have_full = true;
+      }
+    }
+    if (!have_full) {
+      return Result<VerifiedResults>::Error(
+          "client: no fully revealed candidate for a feature vector");
+    }
+    if (best > vo.thresholds_sq[i]) {
+      return Result<VerifiedResults>::Error(
+          "client: assigned cluster outside the search threshold");
+    }
+    // Every partially revealed candidate must be provably farther.
+    for (mrkd::ClusterId c : candidates[i]) {
+      const mrkd::ClusterReveal* rev = reveal_of[c];
+      if (rev->full) continue;
+      double lb = mrkd::PartialDistanceSq(queries[i], rev->dim_indices,
+                                          rev->dim_values);
+      if (lb <= best) {
+        return Result<VerifiedResults>::Error(
+            "client: partial candidate not provably farther than assignment");
+      }
+    }
+    assignment[i] = best_c;
+  }
+  bovw::BovwVector query_bovw = bovw::CountAssignments(assignment);
+  out.client_bovw_ms = bovw_timer.ElapsedMillis();
+
+  // ---- Step 4: inverted-index VO ----
+  Stopwatch inv_timer;
+  std::vector<ImageId> claimed;
+  claimed.reserve(vo.results.size());
+  for (const ResultImage& ri : vo.results) claimed.push_back(ri.id);
+
+  invindex::InvVerifyResult inv;
+  Status s = config.freq_grouped
+                 ? freqgroup::FgVerifyVo(vo.inv_vo, query_bovw, claimed, k,
+                                         config.with_filters, &inv)
+                 : invindex::VerifyInvVo(vo.inv_vo, query_bovw, claimed, k,
+                                         config.with_filters, &inv);
+  if (!s.ok()) return s;
+
+  // Cross-check the reconstructed list digests against the MRKD-anchored
+  // ones. Every support cluster is an assigned cluster, hence a candidate,
+  // hence present in some revealed leaf.
+  for (const auto& [c, digest] : inv.list_digests) {
+    auto it = list_digests.find(c);
+    if (it == list_digests.end()) {
+      return Result<VerifiedResults>::Error(
+          "client: support cluster not authenticated by any MRKD leaf");
+    }
+    if (it->second != digest) {
+      return Result<VerifiedResults>::Error(
+          "client: inverted-list digest mismatch (tampered posting data)");
+    }
+  }
+
+  // ---- Step 5: image payload signatures ----
+  for (const ResultImage& ri : vo.results) {
+    if (!config.sign_images && ri.signature.empty()) continue;  // bench mode
+    if (!verifier.Verify(ImageDigest(ri.id, ri.data), ri.signature)) {
+      return Result<VerifiedResults>::Error(
+          "client: image signature verification failed");
+    }
+  }
+
+  out.topk = inv.topk;
+  for (const auto& si : out.topk) {
+    for (const ResultImage& ri : vo.results) {
+      if (ri.id == si.id) {
+        out.images.push_back(ri.data);
+        break;
+      }
+    }
+  }
+  out.client_inv_ms = inv_timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace imageproof::core

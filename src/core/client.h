@@ -1,0 +1,53 @@
+// Client: result verification (Section V-C).
+//
+// Given its own feature vectors, the SP's claimed top-k and the VO, the
+// client checks, in order:
+//   1. the candidate-reveal section (cluster commitments, Merkle subset
+//      proofs under Optimization A);
+//   2. every MRKD-tree VO by exact replay — reconstructing each root — and
+//      the owner's signature over h(root_1 | ... | root_{n_t});
+//   3. the BoVW encoding: each feature's assigned cluster is the provable
+//      nearest among the authenticated candidates, within its threshold;
+//   4. the inverted-index VO: list digests (cross-checked against the ones
+//      the MRKD leaves authenticate), posting chains, termination
+//      conditions, and that the claimed results are the top-k;
+//   5. each result image's Eq. (15) signature.
+// Any failure yields a Status naming the violated check.
+
+#ifndef IMAGEPROOF_CORE_CLIENT_H_
+#define IMAGEPROOF_CORE_CLIENT_H_
+
+#include <vector>
+
+#include "core/server.h"
+#include "core/vo.h"
+
+namespace imageproof::core {
+
+struct VerifiedResults {
+  // Result ids with verified lower-bound similarity scores, best first.
+  std::vector<bovw::ScoredImage> topk;
+  // Verified raw image payloads, aligned with `topk`.
+  std::vector<Bytes> images;
+  double client_bovw_ms = 0;  // time in steps 1-3
+  double client_inv_ms = 0;   // time in steps 4-5
+};
+
+class Client {
+ public:
+  explicit Client(PublicParams params) : params_(std::move(params)) {}
+
+  // Verifies a query response end to end. `features` are the client's own
+  // query vectors (the same ones sent to the SP); `k` the requested k.
+  Result<VerifiedResults> Verify(const std::vector<std::vector<float>>& features,
+                                 size_t k, const QueryVO& vo) const;
+
+  const PublicParams& params() const { return params_; }
+
+ private:
+  PublicParams params_;
+};
+
+}  // namespace imageproof::core
+
+#endif  // IMAGEPROOF_CORE_CLIENT_H_

@@ -1,0 +1,84 @@
+// Scheme configuration and the preset variants evaluated in the paper.
+
+#ifndef IMAGEPROOF_CORE_CONFIG_H_
+#define IMAGEPROOF_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ann/rkd_forest.h"
+#include "mrkd/commit.h"
+
+namespace imageproof::core {
+
+// Everything that defines one deployed authentication scheme. The owner,
+// SP, and client must agree on a Config (it is part of the public
+// parameters): it determines the ADS digests and the VO layout.
+struct Config {
+  // AKM / MRKD forest (paper defaults: 8 trees, 2 clusters per leaf, stop
+  // after 32 leaf checks).
+  ann::ForestParams forest;
+
+  // BoVW step.
+  bool share_nodes = true;  // false = Baseline (per-query traversals)
+  mrkd::RevealMode reveal_mode = mrkd::RevealMode::kFullVector;
+
+  // Inverted-index step.
+  bool with_filters = true;      // false = Baseline loose bounds
+  bool freq_grouped = false;     // Optimization B index layout
+  uint32_t fingerprint_bits = 8;
+  uint64_t filter_seed = 0xF117E2;
+  size_t check_batch = 16;
+
+  // Signature key size for the owner (tests shrink this for speed).
+  int rsa_bits = 1024;
+
+  // Benchmarks may disable per-image signing: ADS construction would
+  // otherwise be dominated by one RSA signature per image, a fixed,
+  // embarrassingly parallel cost orthogonal to what the figures measure.
+  // The client then skips the Eq. (15) check for results shipped with an
+  // empty signature. Production deployments keep this true.
+  bool sign_images = true;
+
+  // ----- The paper's four evaluated schemes -----
+
+  // MRKDSearch without node sharing + [15]-style loose-bound search.
+  static Config Baseline() {
+    Config c;
+    c.share_nodes = false;
+    c.with_filters = false;
+    return c;
+  }
+
+  // The ImageProof scheme of Section V.
+  static Config ImageProof() { return Config{}; }
+
+  // ImageProof + Optimization A (partial-dimension candidates).
+  static Config OptimizedBovw() {
+    Config c;
+    c.reveal_mode = mrkd::RevealMode::kDimMerkle;
+    return c;
+  }
+
+  // ImageProof + both optimizations (A and the frequency-grouped index B).
+  static Config OptimizedBoth() {
+    Config c;
+    c.reveal_mode = mrkd::RevealMode::kDimMerkle;
+    c.freq_grouped = true;
+    return c;
+  }
+
+  std::string Name() const {
+    if (!share_nodes && !with_filters) return "Baseline";
+    if (reveal_mode == mrkd::RevealMode::kDimMerkle && freq_grouped) {
+      return "Optimized(Both)";
+    }
+    if (reveal_mode == mrkd::RevealMode::kDimMerkle) return "Optimized(BoVW)";
+    if (freq_grouped) return "Optimized(Inv)";
+    return "ImageProof";
+  }
+};
+
+}  // namespace imageproof::core
+
+#endif  // IMAGEPROOF_CORE_CONFIG_H_

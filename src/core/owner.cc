@@ -1,0 +1,127 @@
+#include "core/owner.h"
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "crypto/hasher.h"
+#include "crypto/sha3.h"
+
+namespace imageproof::core {
+
+namespace {
+
+crypto::Digest ImageDigest(ImageId id, const Bytes& data) {
+  // h(I | h(img_I)) per Eq. (15).
+  return crypto::DigestBuilder()
+      .AddU64(id)
+      .AddDigest(crypto::Sha3(data))
+      .Finalize();
+}
+
+}  // namespace
+
+crypto::Digest SpPackage::RootDigest() const {
+  crypto::DigestBuilder b;
+  for (const auto& tree : mrkd_trees) b.AddDigest(tree->root_digest());
+  return b.Finalize();
+}
+
+size_t SpPackage::AdsBytes() const {
+  size_t n = 0;
+  // MRKD digests: one per node per tree, plus cluster commitments.
+  for (const auto& tree : mrkd_trees) {
+    n += tree->tree().nodes().size() * crypto::kDigestSize;
+  }
+  n += codebook.size() * crypto::kDigestSize;
+  // Inverted-index digests and filters.
+  if (inv_index) {
+    for (size_t c = 0; c < inv_index->num_clusters(); ++c) {
+      const auto& list = inv_index->list(static_cast<bovw::ClusterId>(c));
+      n += list.postings.size() * crypto::kDigestSize;
+      if (list.filter.has_value()) n += list.filter->Serialize().size();
+    }
+  }
+  if (fg_index) {
+    for (size_t c = 0; c < fg_index->num_clusters(); ++c) {
+      const auto& list = fg_index->list(static_cast<bovw::ClusterId>(c));
+      n += list.postings.size() * crypto::kDigestSize;
+      if (list.filter.has_value()) n += list.filter->Serialize().size();
+    }
+  }
+  // Per-image signatures.
+  for (const auto& [id, sig] : image_signatures) n += sig.size();
+  return n;
+}
+
+OwnerOutput BuildDeployment(
+    const Config& config, ann::PointSet codebook,
+    std::vector<std::pair<ImageId, bovw::BovwVector>> corpus,
+    std::unordered_map<ImageId, Bytes> image_data, uint64_t key_seed) {
+  OwnerOutput out;
+  out.package = std::make_unique<SpPackage>();
+  SpPackage& pkg = *out.package;
+  pkg.config = config;
+  pkg.codebook = std::move(codebook);
+  pkg.corpus = std::move(corpus);
+  pkg.image_data = std::move(image_data);
+
+  // Keys and per-image signatures (Eq. 15).
+  Rng key_rng(key_seed);
+  crypto::RsaKeyPair keys = crypto::RsaKeyPair::Generate(config.rsa_bits, key_rng);
+  if (config.sign_images) {
+    // One RSA signature per image; embarrassingly parallel.
+    std::vector<const std::pair<const ImageId, Bytes>*> entries;
+    entries.reserve(pkg.image_data.size());
+    for (const auto& entry : pkg.image_data) entries.push_back(&entry);
+    std::vector<Bytes> signatures(entries.size());
+    ParallelFor(entries.size(), [&](size_t i) {
+      signatures[i] = crypto::RsaSign(
+          keys.private_key, ImageDigest(entries[i]->first, entries[i]->second));
+    });
+    for (size_t i = 0; i < entries.size(); ++i) {
+      pkg.image_signatures[entries[i]->first] = std::move(signatures[i]);
+    }
+  }
+
+  // Weights + inverted index (plain or frequency-grouped).
+  size_t num_clusters = pkg.codebook.size();
+  std::vector<bovw::BovwVector> vecs;
+  vecs.reserve(pkg.corpus.size());
+  for (const auto& [id, v] : pkg.corpus) vecs.push_back(v);
+  bovw::ClusterWeights weights =
+      bovw::ClusterWeights::FromCorpus(num_clusters, vecs);
+
+  if (config.freq_grouped) {
+    pkg.fg_index = std::make_unique<freqgroup::FgInvertedIndex>(
+        freqgroup::FgInvertedIndex::Build(num_clusters, pkg.corpus, weights,
+                                          config.with_filters,
+                                          config.fingerprint_bits,
+                                          config.filter_seed));
+    pkg.list_digests = pkg.fg_index->ListDigests();
+  } else {
+    pkg.inv_index = std::make_unique<invindex::MerkleInvertedIndex>(
+        invindex::MerkleInvertedIndex::Build(num_clusters, pkg.corpus, weights,
+                                             config.with_filters,
+                                             config.fingerprint_bits,
+                                             config.filter_seed));
+    pkg.list_digests = pkg.inv_index->ListDigests();
+  }
+
+  // Randomized k-d forest and the MRKD decorations.
+  pkg.forest = std::make_unique<ann::RkdForest>(pkg.codebook, config.forest);
+  for (const auto& tree : pkg.forest->trees()) {
+    pkg.mrkd_trees.push_back(std::make_unique<mrkd::MrkdTree>(
+        tree.get(), config.reveal_mode, pkg.list_digests));
+  }
+
+  // Public parameters: signed ADS digest.
+  out.public_params.config = config;
+  out.public_params.public_key = keys.public_key;
+  out.public_params.root_signature =
+      crypto::RsaSign(keys.private_key, pkg.RootDigest());
+  out.public_params.dims = pkg.codebook.dims();
+  out.public_params.num_clusters = num_clusters;
+  out.private_key = keys.private_key;
+  return out;
+}
+
+}  // namespace imageproof::core

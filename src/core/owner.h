@@ -1,0 +1,73 @@
+// Image owner: ADS generation (Section V-A).
+//
+// Given the codebook, the encoded corpus, and the raw image payloads, the
+// owner
+//   1. signs every image:  sig_I = sign(sk, h(I | h(img_I)))      (Eq. 15)
+//   2. builds the (frequency-grouped) Merkle inverted index,
+//   3. builds n_t randomized k-d trees over the codebook and decorates them
+//      into MRKD-trees whose leaves embed the inverted-list digests,
+//   4. signs h(root_1 | ... | root_{n_t}) — the digest of ImageProof.
+// The output splits into the SP package (everything the service provider
+// hosts) and the public parameters clients use for verification.
+
+#ifndef IMAGEPROOF_CORE_OWNER_H_
+#define IMAGEPROOF_CORE_OWNER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ann/rkd_forest.h"
+#include "core/config.h"
+#include "core/vo.h"
+#include "freqgroup/fg_index.h"
+#include "invindex/merkle_inv_index.h"
+#include "mrkd/mrkd_tree.h"
+
+namespace imageproof::core {
+
+// Everything outsourced to the SP. Movable, not copyable (the MRKD-trees
+// borrow the forest's trees).
+struct SpPackage {
+  Config config;
+  ann::PointSet codebook;
+  std::vector<std::pair<ImageId, bovw::BovwVector>> corpus;
+  std::unordered_map<ImageId, Bytes> image_data;
+  std::unordered_map<ImageId, Bytes> image_signatures;
+
+  std::unique_ptr<ann::RkdForest> forest;
+  std::vector<std::unique_ptr<mrkd::MrkdTree>> mrkd_trees;
+  // Exactly one of the two indexes is populated, per config.freq_grouped.
+  std::unique_ptr<invindex::MerkleInvertedIndex> inv_index;
+  std::unique_ptr<freqgroup::FgInvertedIndex> fg_index;
+  std::vector<crypto::Digest> list_digests;
+
+  // h(root_1 | ... | root_{n_t}).
+  crypto::Digest RootDigest() const;
+
+  // Rough memory footprint of the ADS components (digests + filters), for
+  // reporting.
+  size_t AdsBytes() const;
+};
+
+struct OwnerOutput {
+  // Heap-allocated and never moved: the forest and MRKD-trees hold pointers
+  // into the package's codebook and list-digest members.
+  std::unique_ptr<SpPackage> package;
+  PublicParams public_params;
+  // Retained by the owner (never shipped to the SP) so the deployment can
+  // be updated incrementally and re-signed; see core/update.h.
+  crypto::RsaPrivateKey private_key;
+};
+
+// Builds the whole deployment. `corpus` pairs image ids with their BoVW
+// vectors (pre-encoded; see workload/ or the sift+ann pipeline), and
+// `image_data` maps each id to its raw payload.
+OwnerOutput BuildDeployment(
+    const Config& config, ann::PointSet codebook,
+    std::vector<std::pair<ImageId, bovw::BovwVector>> corpus,
+    std::unordered_map<ImageId, Bytes> image_data, uint64_t key_seed = 0x5E5);
+
+}  // namespace imageproof::core
+
+#endif  // IMAGEPROOF_CORE_OWNER_H_

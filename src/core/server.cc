@@ -1,0 +1,144 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "freqgroup/fg_search.h"
+
+namespace imageproof::core {
+
+QueryResponse ServiceProvider::Query(
+    const std::vector<std::vector<float>>& features, size_t k) const {
+  QueryResponse resp;
+  const Config& config = pkg_->config;
+  const ann::PointSet& codebook = pkg_->codebook;
+  const size_t dims = codebook.dims();
+  const size_t nq = features.size();
+
+  Stopwatch bovw_timer;
+
+  // Step 1: AKM search for thresholds.
+  std::vector<const float*> queries(nq);
+  for (size_t i = 0; i < nq; ++i) queries[i] = features[i].data();
+  std::vector<double> thresholds_sq(nq, 0.0);
+  for (size_t i = 0; i < nq; ++i) {
+    ann::NearestResult r = pkg_->forest->ApproxNearest(queries[i]);
+    thresholds_sq[i] = r.dist_sq;
+  }
+  resp.vo.thresholds_sq = thresholds_sq;
+
+  // Step 2: MRKDSearch over every tree.
+  std::vector<std::set<mrkd::ClusterId>> candidates(nq);
+  for (const auto& tree : pkg_->mrkd_trees) {
+    mrkd::TreeSearchOutput out =
+        config.share_nodes
+            ? mrkd::MrkdSearchShared(*tree, queries, thresholds_sq)
+            : mrkd::MrkdSearchUnshared(*tree, queries, thresholds_sq);
+    for (size_t i = 0; i < nq; ++i) {
+      candidates[i].insert(out.candidates[i].begin(), out.candidates[i].end());
+    }
+    resp.stats.mrkd.traversed_nodes += out.stats.traversed_nodes;
+    resp.stats.mrkd.shared_nodes += out.stats.shared_nodes;
+    resp.stats.mrkd.pruned_subtrees += out.stats.pruned_subtrees;
+    resp.vo.tree_vos.push_back(std::move(out.vo));
+  }
+
+  // Step 3: assignments = exact nearest among candidates, then the shared
+  // candidate-reveal section.
+  std::vector<mrkd::ClusterId> assignment(nq);
+  std::vector<double> assigned_dist(nq, 0.0);
+  for (size_t i = 0; i < nq; ++i) {
+    double best = -1;
+    mrkd::ClusterId best_c = 0;
+    bool first = true;
+    for (mrkd::ClusterId c : candidates[i]) {
+      double d = ann::SquaredL2(queries[i], codebook.row(c), dims);
+      if (first || d < best || (d == best && c < best_c)) {
+        best = d;
+        best_c = c;
+        first = false;
+      }
+    }
+    assignment[i] = best_c;
+    assigned_dist[i] = best;
+  }
+
+  // Which queries must each candidate be excluded for, and which clusters
+  // must be revealed fully (someone's assigned cluster).
+  std::map<mrkd::ClusterId, std::vector<size_t>> exclusion_queries;
+  std::set<mrkd::ClusterId> full_clusters;
+  for (size_t i = 0; i < nq; ++i) {
+    full_clusters.insert(assignment[i]);
+    for (mrkd::ClusterId c : candidates[i]) {
+      if (c != assignment[i]) exclusion_queries[c].push_back(i);
+    }
+  }
+  std::set<mrkd::ClusterId> all_candidates;
+  for (size_t i = 0; i < nq; ++i) {
+    all_candidates.insert(candidates[i].begin(), candidates[i].end());
+  }
+
+  std::vector<mrkd::ClusterReveal> reveals;
+  reveals.reserve(all_candidates.size());
+  for (mrkd::ClusterId c : all_candidates) {
+    bool full = full_clusters.contains(c);
+    std::vector<const float*> qs;
+    std::vector<double> bounds;
+    if (!full) {
+      for (size_t qi : exclusion_queries[c]) {
+        qs.push_back(queries[qi]);
+        bounds.push_back(assigned_dist[qi]);
+      }
+    }
+    reveals.push_back(mrkd::BuildReveal(config.reveal_mode, c, codebook.row(c),
+                                        dims, full, qs, bounds));
+  }
+  ByteWriter reveal_writer;
+  mrkd::SerializeReveals(reveals, reveal_writer);
+  resp.vo.reveal_section = reveal_writer.Take();
+
+  // Step 4: BoVW encoding.
+  std::vector<bovw::ClusterId> assigned_ids(assignment.begin(), assignment.end());
+  bovw::BovwVector query_bovw = bovw::CountAssignments(assigned_ids);
+  resp.stats.sp_bovw_ms = bovw_timer.ElapsedMillis();
+  resp.stats.bovw_vo_bytes =
+      resp.vo.reveal_section.size() + nq * sizeof(double);
+  for (const Bytes& t : resp.vo.tree_vos) resp.stats.bovw_vo_bytes += t.size();
+
+  // Step 5: inverted-index search.
+  Stopwatch inv_timer;
+  invindex::InvSearchParams params;
+  params.k = k;
+  params.check_batch = config.check_batch;
+  if (config.freq_grouped) {
+    freqgroup::FgSearchResult r = freqgroup::FgSearch(*pkg_->fg_index,
+                                                      query_bovw, params);
+    resp.topk = std::move(r.topk);
+    resp.vo.inv_vo = std::move(r.vo);
+    resp.stats.inv = r.stats;
+  } else {
+    invindex::InvSearchResult r =
+        invindex::InvSearch(*pkg_->inv_index, query_bovw, params);
+    resp.topk = std::move(r.topk);
+    resp.vo.inv_vo = std::move(r.vo);
+    resp.stats.inv = r.stats;
+  }
+  resp.stats.sp_inv_ms = inv_timer.ElapsedMillis();
+  resp.stats.inv_vo_bytes = resp.vo.inv_vo.size();
+
+  // Step 6: result payloads + signatures.
+  for (const auto& si : resp.topk) {
+    ResultImage ri;
+    ri.id = si.id;
+    auto data_it = pkg_->image_data.find(si.id);
+    if (data_it != pkg_->image_data.end()) ri.data = data_it->second;
+    auto sig_it = pkg_->image_signatures.find(si.id);
+    if (sig_it != pkg_->image_signatures.end()) ri.signature = sig_it->second;
+    resp.vo.results.push_back(std::move(ri));
+  }
+  return resp;
+}
+
+}  // namespace imageproof::core

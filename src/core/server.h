@@ -1,0 +1,58 @@
+// Service provider: authenticated query processing (Algorithm 5).
+//
+// For a query Q = {q_1..q_nq} and parameter k the SP
+//   1. runs the AKM forest search to find each q_i's approximate nearest
+//      cluster; its distance becomes the threshold t_i,
+//   2. runs MRKDSearch over every MRKD-tree (shared or per-query traversals
+//      per config), collecting the per-query candidate sets and VO_C,i,
+//   3. assigns each q_i to the (distance, id)-minimal candidate — which,
+//      because the range search is exact, is the true nearest cluster —
+//      and builds the shared candidate-reveal section (full vectors, or
+//      partial dimensions under Optimization A),
+//   4. encodes B_Q and runs InvSearch (or FgSearch) for the top-k and
+//      VO_inv,
+//   5. attaches the result images and their Eq. (15) signatures.
+
+#ifndef IMAGEPROOF_CORE_SERVER_H_
+#define IMAGEPROOF_CORE_SERVER_H_
+
+#include <vector>
+
+#include "core/owner.h"
+#include "invindex/search.h"
+#include "mrkd/search.h"
+
+namespace imageproof::core {
+
+struct QueryStats {
+  double sp_bovw_ms = 0;      // BoVW step (forest + MRKD search + reveals)
+  double sp_inv_ms = 0;       // inverted-index step
+  size_t bovw_vo_bytes = 0;   // reveal section + tree VOs + thresholds
+  size_t inv_vo_bytes = 0;
+  mrkd::MrkdSearchStats mrkd;  // aggregated over trees
+  invindex::InvSearchStats inv;
+};
+
+struct QueryResponse {
+  std::vector<bovw::ScoredImage> topk;
+  QueryVO vo;
+  QueryStats stats;
+};
+
+class ServiceProvider {
+ public:
+  // Borrows the package; the owner output must outlive the SP.
+  explicit ServiceProvider(const SpPackage* package) : pkg_(package) {}
+
+  QueryResponse Query(const std::vector<std::vector<float>>& features,
+                      size_t k) const;
+
+  const SpPackage& package() const { return *pkg_; }
+
+ private:
+  const SpPackage* pkg_;
+};
+
+}  // namespace imageproof::core
+
+#endif  // IMAGEPROOF_CORE_SERVER_H_

@@ -1,0 +1,72 @@
+#include "core/vo.h"
+
+namespace imageproof::core {
+
+size_t QueryVO::TotalBytes() const {
+  size_t n = ProofBytes();
+  for (const ResultImage& r : results) n += r.data.size();
+  return n;
+}
+
+size_t QueryVO::ProofBytes() const {
+  size_t n = reveal_section.size() + inv_vo.size() +
+             thresholds_sq.size() * sizeof(double);
+  for (const Bytes& t : tree_vos) n += t.size();
+  for (const ResultImage& r : results) n += r.signature.size();
+  return n;
+}
+
+Bytes QueryVO::Serialize() const {
+  ByteWriter w;
+  w.PutVarint(thresholds_sq.size());
+  for (double t : thresholds_sq) w.PutF64(t);
+  w.PutBlob(reveal_section);
+  w.PutVarint(tree_vos.size());
+  for (const Bytes& t : tree_vos) w.PutBlob(t);
+  w.PutBlob(inv_vo);
+  w.PutVarint(results.size());
+  for (const ResultImage& r : results) {
+    w.PutVarint(r.id);
+    w.PutBlob(r.data);
+    w.PutBlob(r.signature);
+  }
+  return w.Take();
+}
+
+Status QueryVO::Deserialize(const Bytes& data, QueryVO* out) {
+  ByteReader r(data);
+  uint64_t n;
+  Status s = r.GetVarint(&n);
+  if (!s.ok()) return s;
+  if (n > r.remaining() / 8) {
+    return Status::Error("vo: threshold count exceeds input size");
+  }
+  out->thresholds_sq.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!(s = r.GetF64(&out->thresholds_sq[i])).ok()) return s;
+  }
+  if (!(s = r.GetBlob(&out->reveal_section)).ok()) return s;
+  if (!(s = r.GetVarint(&n)).ok()) return s;
+  if (n > 256) return Status::Error("vo: absurd tree count");
+  out->tree_vos.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!(s = r.GetBlob(&out->tree_vos[i])).ok()) return s;
+  }
+  if (!(s = r.GetBlob(&out->inv_vo)).ok()) return s;
+  if (!(s = r.GetVarint(&n)).ok()) return s;
+  if (n > r.remaining() / 3) {
+    return Status::Error("vo: result count exceeds input size");
+  }
+  out->results.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id;
+    if (!(s = r.GetVarint(&id)).ok()) return s;
+    out->results[i].id = id;
+    if (!(s = r.GetBlob(&out->results[i].data)).ok()) return s;
+    if (!(s = r.GetBlob(&out->results[i].signature)).ok()) return s;
+  }
+  if (!r.AtEnd()) return Status::Error("vo: trailing bytes");
+  return Status::Ok();
+}
+
+}  // namespace imageproof::core

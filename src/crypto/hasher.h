@@ -1,0 +1,96 @@
+// DigestBuilder: the canonical way every ADS in this library computes
+// h(field_1 | field_2 | ... | field_n).
+//
+// Fields are streamed straight into the SHA3-256 sponge using the same
+// canonical encodings as common/bytes.h (little-endian integers, IEEE-754
+// bit patterns for floats), so a digest is a pure function of the logical
+// field values and both SP and client reproduce it bit-for-bit.
+
+#ifndef IMAGEPROOF_CRYPTO_HASHER_H_
+#define IMAGEPROOF_CRYPTO_HASHER_H_
+
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+#include "crypto/sha3.h"
+
+namespace imageproof::crypto {
+
+class DigestBuilder {
+ public:
+  DigestBuilder() = default;
+
+  DigestBuilder& AddU8(uint8_t v) {
+    sponge_.Update(&v, 1);
+    return *this;
+  }
+
+  DigestBuilder& AddU32(uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    sponge_.Update(b, 4);
+    return *this;
+  }
+
+  DigestBuilder& AddU64(uint64_t v) {
+    uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    sponge_.Update(b, 8);
+    return *this;
+  }
+
+  DigestBuilder& AddF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return AddU64(bits);
+  }
+
+  DigestBuilder& AddF32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return AddU32(bits);
+  }
+
+  DigestBuilder& AddDigest(const Digest& d) {
+    sponge_.Update(d.bytes.data(), d.bytes.size());
+    return *this;
+  }
+
+  DigestBuilder& AddBytes(const uint8_t* data, size_t n) {
+    sponge_.Update(data, n);
+    return *this;
+  }
+
+  DigestBuilder& AddBytes(const Bytes& b) { return AddBytes(b.data(), b.size()); }
+
+  DigestBuilder& AddString(const std::string& s) {
+    return AddBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  Digest Finalize() { return sponge_.Finalize(); }
+
+ private:
+  Sha3_256 sponge_;
+};
+
+// h(left | right) — the classic Merkle internal-node combiner.
+inline Digest HashPair(const Digest& left, const Digest& right) {
+  return DigestBuilder().AddDigest(left).AddDigest(right).Finalize();
+}
+
+// Fast non-cryptographic 64-bit mix used for cuckoo-filter bucket selection
+// (not for any authenticated digest).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace imageproof::crypto
+
+#endif  // IMAGEPROOF_CRYPTO_HASHER_H_

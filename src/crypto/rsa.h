@@ -1,0 +1,83 @@
+// RSA signatures over the from-scratch bignum layer.
+//
+// The image owner signs (a) each image digest per Eq. (15) and (b) the root
+// digest of the ImageProof ADS. Any EUF-CMA signature scheme works; we use
+// textbook-keygen RSA with a PKCS#1-v1.5-style deterministic encoding of a
+// SHA3-256 digest. Key sizes are caller-chosen (tests use 512-bit keys for
+// speed; benchmarks use 1024).
+
+#ifndef IMAGEPROOF_CRYPTO_RSA_H_
+#define IMAGEPROOF_CRYPTO_RSA_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/bignum.h"
+#include "crypto/digest.h"
+
+namespace imageproof::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  // modulus
+  BigInt e;  // public exponent
+  // Length of the modulus (and of every signature) in bytes.
+  size_t ModulusBytes() const { return (static_cast<size_t>(n.BitLength()) + 7) / 8; }
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt d;  // private exponent
+};
+
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+
+  // Generates a fresh key pair with an n of `modulus_bits` bits (e = 65537).
+  static RsaKeyPair Generate(int modulus_bits, Rng& rng);
+};
+
+// Signs a 32-byte digest. The signature is ModulusBytes() long.
+Bytes RsaSign(const RsaPrivateKey& key, const Digest& digest);
+
+// Verifies a signature over a 32-byte digest.
+bool RsaVerify(const RsaPublicKey& key, const Digest& digest, const Bytes& sig);
+
+// Abstract signing interfaces so the core scheme is signature-agnostic.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+  virtual Bytes Sign(const Digest& digest) const = 0;
+};
+
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+  virtual bool Verify(const Digest& digest, const Bytes& signature) const = 0;
+};
+
+class RsaSigner : public Signer {
+ public:
+  explicit RsaSigner(RsaPrivateKey key) : key_(std::move(key)) {}
+  Bytes Sign(const Digest& digest) const override { return RsaSign(key_, digest); }
+
+ private:
+  RsaPrivateKey key_;
+};
+
+class RsaVerifier : public Verifier {
+ public:
+  explicit RsaVerifier(RsaPublicKey key) : key_(std::move(key)) {}
+  bool Verify(const Digest& digest, const Bytes& signature) const override {
+    return RsaVerify(key_, digest, signature);
+  }
+
+ private:
+  RsaPublicKey key_;
+};
+
+}  // namespace imageproof::crypto
+
+#endif  // IMAGEPROOF_CRYPTO_RSA_H_

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4) implemented from scratch.
+//
+// Used as an alternative hash backend (the library is hash-agnostic through
+// crypto/hasher.h) and inside the RSA PKCS#1-style signature encoding.
+
+#ifndef IMAGEPROOF_CRYPTO_SHA256_H_
+#define IMAGEPROOF_CRYPTO_SHA256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace imageproof::crypto {
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t n);
+  void Update(const Bytes& b) { Update(b.data(), b.size()); }
+  Digest Finalize();
+
+ private:
+  void Compress(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint8_t buffer_[64];
+  size_t buffered_;
+  uint64_t total_len_;
+};
+
+Digest Sha2(const uint8_t* data, size_t n);
+inline Digest Sha2(const Bytes& b) { return Sha2(b.data(), b.size()); }
+
+}  // namespace imageproof::crypto
+
+#endif  // IMAGEPROOF_CRYPTO_SHA256_H_

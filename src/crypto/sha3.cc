@@ -1,0 +1,124 @@
+#include "crypto/sha3.h"
+
+#include <cstring>
+
+namespace imageproof::crypto {
+
+namespace {
+
+constexpr int kRounds = 24;
+
+constexpr uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808AULL,
+    0x8000000080008000ULL, 0x000000000000808BULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008AULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000AULL,
+    0x000000008000808BULL, 0x800000000000008BULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800AULL, 0x800000008000000AULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+// Rotation offsets for the rho step, indexed by lane (x + 5y).
+constexpr int kRotations[25] = {
+    0,  1,  62, 28, 27,  //
+    36, 44, 6,  55, 20,  //
+    3,  10, 43, 25, 39,  //
+    41, 45, 15, 21, 8,   //
+    18, 2,  61, 56, 14,
+};
+
+inline uint64_t Rotl64(uint64_t x, int k) {
+  if (k == 0) return x;
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Sha3_256::KeccakF(uint64_t a[25]) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      uint64_t d = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 25; y += 5) a[x + y] ^= d;
+    }
+
+    // Rho and pi combined: b[y, 2x+3y] = rot(a[x, y]).
+    uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        int src = x + 5 * y;
+        int dst = y + 5 * ((2 * x + 3 * y) % 5);
+        b[dst] = Rotl64(a[src], kRotations[src]);
+      }
+    }
+
+    // Chi.
+    for (int y = 0; y < 25; y += 5) {
+      for (int x = 0; x < 5; ++x) {
+        a[y + x] = b[y + x] ^ (~b[y + (x + 1) % 5] & b[y + (x + 2) % 5]);
+      }
+    }
+
+    // Iota.
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+void Sha3_256::Reset() {
+  std::memset(state_, 0, sizeof(state_));
+  std::memset(buffer_, 0, sizeof(buffer_));
+  buffered_ = 0;
+}
+
+void Sha3_256::Absorb(const uint8_t* block) {
+  for (size_t i = 0; i < kRate / 8; ++i) {
+    uint64_t lane = 0;
+    for (int j = 0; j < 8; ++j) {
+      lane |= static_cast<uint64_t>(block[8 * i + j]) << (8 * j);
+    }
+    state_[i] ^= lane;
+  }
+  KeccakF(state_);
+}
+
+void Sha3_256::Update(const uint8_t* data, size_t n) {
+  while (n > 0) {
+    size_t take = kRate - buffered_;
+    if (take > n) take = n;
+    std::memcpy(buffer_ + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    n -= take;
+    if (buffered_ == kRate) {
+      Absorb(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+Digest Sha3_256::Finalize() {
+  // Pad with the SHA-3 domain separator 0x06 ... 0x80.
+  std::memset(buffer_ + buffered_, 0, kRate - buffered_);
+  buffer_[buffered_] = 0x06;
+  buffer_[kRate - 1] |= 0x80;
+  Absorb(buffer_);
+
+  Digest out;
+  for (size_t i = 0; i < kDigestSize; ++i) {
+    out.bytes[i] = static_cast<uint8_t>(state_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+Digest Sha3(const uint8_t* data, size_t n) {
+  Sha3_256 h;
+  h.Update(data, n);
+  return h.Finalize();
+}
+
+}  // namespace imageproof::crypto

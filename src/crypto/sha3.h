@@ -1,0 +1,46 @@
+// SHA3-256 (FIPS 202) implemented from scratch on Keccak-f[1600].
+//
+// This is the cryptographic hash the ImageProof paper selects for all ADS
+// digests. The implementation is validated against the NIST example vectors
+// in tests/crypto_test.cc.
+
+#ifndef IMAGEPROOF_CRYPTO_SHA3_H_
+#define IMAGEPROOF_CRYPTO_SHA3_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace imageproof::crypto {
+
+// Incremental SHA3-256 hasher (rate 1088 bits / 136 bytes, capacity 512).
+class Sha3_256 {
+ public:
+  Sha3_256() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t n);
+  void Update(const Bytes& b) { Update(b.data(), b.size()); }
+  // Finalizes and returns the digest. The hasher must be Reset() before
+  // further use.
+  Digest Finalize();
+
+ private:
+  void Absorb(const uint8_t* block);  // absorbs one rate-sized block
+  static void KeccakF(uint64_t state[25]);
+
+  static constexpr size_t kRate = 136;  // bytes
+  uint64_t state_[25];
+  uint8_t buffer_[kRate];
+  size_t buffered_;
+};
+
+// One-shot convenience.
+Digest Sha3(const uint8_t* data, size_t n);
+inline Digest Sha3(const Bytes& b) { return Sha3(b.data(), b.size()); }
+
+}  // namespace imageproof::crypto
+
+#endif  // IMAGEPROOF_CRYPTO_SHA3_H_

@@ -1,0 +1,213 @@
+#include "cuckoo/cuckoo_filter.h"
+
+#include <algorithm>
+
+#include "crypto/hasher.h"
+#include "crypto/sha3.h"
+
+namespace imageproof::cuckoo {
+
+using crypto::Mix64;
+
+CuckooParams CuckooParams::ForMaxItems(size_t max_items,
+                                       uint32_t fingerprint_bits,
+                                       uint64_t seed) {
+  CuckooParams p;
+  p.fingerprint_bits = fingerprint_bits;
+  p.seed = seed;
+  // 60% of the maximum posting-list length, as in the paper's setup, with 4
+  // slots per bucket; rounded up to a power of two for XOR-based partial-key
+  // hashing. The +3 keeps tiny indexes from degenerating to one bucket.
+  size_t target = (max_items * 6) / 10 + 3;
+  uint32_t buckets = 4;
+  while (buckets < target) buckets <<= 1;
+  p.num_buckets = buckets;
+  return p;
+}
+
+CuckooFilter::CuckooFilter(CuckooParams params)
+    : params_(params),
+      table_(static_cast<size_t>(params.num_buckets) * params.slots_per_bucket, 0),
+      kick_state_(params.seed ^ 0x9E3779B97F4A7C15ULL) {}
+
+uint16_t CuckooFilter::Fingerprint(uint64_t item) const {
+  uint64_t h = Mix64(item ^ (params_.seed * 0xA24BAED4963EE407ULL));
+  uint16_t fp = static_cast<uint16_t>(h & ((1u << params_.fingerprint_bits) - 1));
+  return fp == 0 ? 1 : fp;  // 0 marks an empty slot
+}
+
+uint32_t CuckooFilter::Bucket1(uint64_t item) const {
+  return static_cast<uint32_t>(Mix64(item ^ params_.seed) &
+                               (params_.num_buckets - 1));
+}
+
+uint32_t CuckooFilter::AltBucket(uint32_t bucket, uint16_t fp) const {
+  return (bucket ^ static_cast<uint32_t>(Mix64(fp ^ (params_.seed >> 7)))) &
+         (params_.num_buckets - 1);
+}
+
+bool CuckooFilter::InsertFingerprint(uint16_t fp, uint32_t bucket) {
+  // Try both candidate buckets first.
+  uint32_t b2 = AltBucket(bucket, fp);
+  for (uint32_t b : {bucket, b2}) {
+    for (uint32_t s = 0; s < params_.slots_per_bucket; ++s) {
+      size_t pos = static_cast<size_t>(b) * params_.slots_per_bucket + s;
+      if (table_[pos] == 0) {
+        table_[pos] = fp;
+        return true;
+      }
+    }
+  }
+  // Random-walk eviction starting from b2 (deterministic state).
+  uint32_t cur = b2;
+  for (uint32_t kick = 0; kick < params_.max_kicks; ++kick) {
+    kick_state_ = Mix64(kick_state_ + kick + 1);
+    uint32_t victim = static_cast<uint32_t>(kick_state_ % params_.slots_per_bucket);
+    size_t pos = static_cast<size_t>(cur) * params_.slots_per_bucket + victim;
+    std::swap(fp, table_[pos]);
+    cur = AltBucket(cur, fp);
+    for (uint32_t s = 0; s < params_.slots_per_bucket; ++s) {
+      size_t p = static_cast<size_t>(cur) * params_.slots_per_bucket + s;
+      if (table_[p] == 0) {
+        table_[p] = fp;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::Insert(uint64_t item) {
+  return InsertFingerprint(Fingerprint(item), Bucket1(item));
+}
+
+bool CuckooFilter::Contains(uint64_t item) const {
+  uint16_t fp = Fingerprint(item);
+  uint32_t b1 = Bucket1(item);
+  uint32_t b2 = AltBucket(b1, fp);
+  for (uint32_t b : {b1, b2}) {
+    for (uint32_t s = 0; s < params_.slots_per_bucket; ++s) {
+      if (slot(b, s) == fp) return true;
+    }
+    if (b1 == b2) break;
+  }
+  return false;
+}
+
+bool CuckooFilter::Delete(uint64_t item, uint32_t* removed_bucket) {
+  uint16_t fp = Fingerprint(item);
+  uint32_t b1 = Bucket1(item);
+  uint32_t b2 = AltBucket(b1, fp);
+  for (uint32_t b : {b1, b2}) {
+    for (uint32_t s = 0; s < params_.slots_per_bucket; ++s) {
+      size_t pos = static_cast<size_t>(b) * params_.slots_per_bucket + s;
+      if (table_[pos] == fp) {
+        table_[pos] = 0;
+        if (removed_bucket) *removed_bucket = b;
+        return true;
+      }
+    }
+    if (b1 == b2) break;
+  }
+  return false;
+}
+
+size_t CuckooFilter::Count() const {
+  size_t n = 0;
+  for (uint16_t v : table_) n += (v != 0);
+  return n;
+}
+
+Bytes CuckooFilter::Serialize() const {
+  ByteWriter w;
+  w.PutU32(params_.num_buckets);
+  w.PutU32(params_.slots_per_bucket);
+  w.PutU32(params_.fingerprint_bits);
+  w.PutU64(params_.seed);
+  w.PutU32(params_.max_kicks);
+  for (uint16_t v : table_) {
+    w.PutU8(static_cast<uint8_t>(v & 0xFF));
+    if (params_.fingerprint_bits > 8) w.PutU8(static_cast<uint8_t>(v >> 8));
+  }
+  return w.Take();
+}
+
+Result<CuckooFilter> CuckooFilter::Deserialize(const Bytes& data) {
+  ByteReader r(data);
+  CuckooParams p;
+  Status s;
+  if (!(s = r.GetU32(&p.num_buckets)).ok()) return s;
+  if (!(s = r.GetU32(&p.slots_per_bucket)).ok()) return s;
+  if (!(s = r.GetU32(&p.fingerprint_bits)).ok()) return s;
+  if (!(s = r.GetU64(&p.seed)).ok()) return s;
+  if (!(s = r.GetU32(&p.max_kicks)).ok()) return s;
+  if (p.num_buckets == 0 || (p.num_buckets & (p.num_buckets - 1)) != 0 ||
+      p.slots_per_bucket == 0 || p.slots_per_bucket > 8 ||
+      p.fingerprint_bits == 0 || p.fingerprint_bits > 16) {
+    return Status::Error("cuckoo: invalid parameters");
+  }
+  size_t slots = static_cast<size_t>(p.num_buckets) * p.slots_per_bucket;
+  if (slots > (1u << 28)) return Status::Error("cuckoo: table too large");
+  CuckooFilter f(p);
+  uint16_t mask = static_cast<uint16_t>((1u << p.fingerprint_bits) - 1);
+  for (size_t i = 0; i < slots; ++i) {
+    uint8_t lo = 0, hi = 0;
+    if (!(s = r.GetU8(&lo)).ok()) return s;
+    uint16_t v = lo;
+    if (p.fingerprint_bits > 8) {
+      if (!(s = r.GetU8(&hi)).ok()) return s;
+      v |= static_cast<uint16_t>(hi) << 8;
+    }
+    if ((v & ~mask) != 0) return Status::Error("cuckoo: fingerprint overflow");
+    f.table_[i] = v;
+  }
+  if (!r.AtEnd()) return Status::Error("cuckoo: trailing bytes");
+  return f;
+}
+
+crypto::Digest CuckooFilter::StateDigest() const {
+  return crypto::Sha3(Serialize());
+}
+
+uint32_t MaxCountGamma(const std::vector<const CuckooFilter*>& filters) {
+  if (filters.empty()) return 0;
+  MaxCountTracker tracker(filters);
+  return tracker.Gamma();
+}
+
+size_t MaxCountTracker::KeyOf(uint32_t bucket, uint16_t fp) const {
+  return (static_cast<size_t>(bucket) << fp_bits_) + fp;
+}
+
+MaxCountTracker::MaxCountTracker(const std::vector<const CuckooFilter*>& filters) {
+  if (filters.empty()) return;
+  num_buckets_ = filters[0]->params().num_buckets;
+  fp_bits_ = filters[0]->params().fingerprint_bits;
+  counts_.assign(static_cast<size_t>(num_buckets_) << fp_bits_, 0);
+  histogram_.assign(filters.size() * filters[0]->params().slots_per_bucket + 2, 0);
+  for (const CuckooFilter* f : filters) {
+    for (uint32_t b = 0; b < num_buckets_; ++b) {
+      for (uint32_t s = 0; s < f->params().slots_per_bucket; ++s) {
+        uint16_t fp = f->slot(b, s);
+        if (fp == 0) continue;
+        uint32_t& c = counts_[KeyOf(b, fp)];
+        if (c > 0) --histogram_[c];
+        ++c;
+        ++histogram_[c];
+        if (c > current_max_) current_max_ = c;
+      }
+    }
+  }
+}
+
+void MaxCountTracker::OnDelete(uint32_t bucket, uint16_t fp) {
+  if (counts_.empty()) return;
+  uint32_t& c = counts_[KeyOf(bucket, fp)];
+  if (c == 0) return;  // deletion of an untracked fingerprint
+  --histogram_[c];
+  --c;
+  if (c > 0) ++histogram_[c];
+  while (current_max_ > 0 && histogram_[current_max_] == 0) --current_max_;
+}
+
+}  // namespace imageproof::cuckoo

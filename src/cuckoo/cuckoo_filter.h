@@ -1,0 +1,118 @@
+// Cuckoo filter (Fan, Andersen, Kaminsky, Mitzenmacher — CoNEXT 2014),
+// from scratch.
+//
+// A compact approximate-membership structure storing an f-bit fingerprint
+// per item in one of two buckets chosen by partial-key cuckoo hashing
+// (bucket2 = bucket1 XOR hash(fingerprint), so relocation never needs the
+// original key). ImageProof attaches one filter per Merkle inverted list;
+// the paper exploits that filters support *deletion* — the verifier removes
+// the revealed (popped) images and then bounds the remaining lists'
+// contribution via MaxCount (Algorithm 2).
+//
+// Every filter in one index shares identical geometry and hash seeds, which
+// Lemma 1 of the paper requires: an item's fingerprint and candidate buckets
+// must coincide across all filters.
+
+#ifndef IMAGEPROOF_CUCKOO_CUCKOO_FILTER_H_
+#define IMAGEPROOF_CUCKOO_CUCKOO_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/digest.h"
+
+namespace imageproof::cuckoo {
+
+struct CuckooParams {
+  uint32_t num_buckets = 64;   // power of two
+  uint32_t slots_per_bucket = 4;
+  uint32_t fingerprint_bits = 8;  // 1..16
+  uint64_t seed = 0xF117E2;       // shared across all filters of one index
+  uint32_t max_kicks = 500;
+
+  // Geometry sized per the paper's setting: buckets for ~60% of
+  // `max_items` at 4 slots, rounded up to a power of two.
+  static CuckooParams ForMaxItems(size_t max_items, uint32_t fingerprint_bits = 8,
+                                  uint64_t seed = 0xF117E2);
+
+  bool operator==(const CuckooParams&) const = default;
+};
+
+class CuckooFilter {
+ public:
+  explicit CuckooFilter(CuckooParams params);
+
+  // Inserts an item; false iff the filter is too loaded (max_kicks spent).
+  bool Insert(uint64_t item);
+
+  // Approximate membership: false => definitely absent.
+  bool Contains(uint64_t item) const;
+
+  // Removes one stored occurrence of the item's fingerprint, scanning its
+  // first bucket before its alternate bucket (slot order) so SP and client
+  // mutate identical states. Returns the bucket the fingerprint was removed
+  // from via `removed_bucket` (if non-null); false if absent.
+  bool Delete(uint64_t item, uint32_t* removed_bucket = nullptr);
+
+  size_t Count() const;  // occupied slots
+
+  // Slot accessors used by MaxCount: 0 = empty, otherwise fingerprint
+  // (fingerprints are never 0).
+  uint16_t slot(uint32_t bucket, uint32_t s) const {
+    return table_[static_cast<size_t>(bucket) * params_.slots_per_bucket + s];
+  }
+  const CuckooParams& params() const { return params_; }
+
+  // Fingerprint/buckets of an item under this filter's parameters.
+  uint16_t Fingerprint(uint64_t item) const;
+  uint32_t Bucket1(uint64_t item) const;
+  uint32_t AltBucket(uint32_t bucket, uint16_t fingerprint) const;
+
+  // Canonical serialization (hashed into the inverted-list digest, and
+  // shipped inside VOs).
+  Bytes Serialize() const;
+  static Result<CuckooFilter> Deserialize(const Bytes& data);
+  // h(Theta): digest of the canonical serialization.
+  crypto::Digest StateDigest() const;
+
+ private:
+  bool InsertFingerprint(uint16_t fp, uint32_t bucket);
+
+  CuckooParams params_;
+  std::vector<uint16_t> table_;  // num_buckets * slots_per_bucket
+  uint64_t kick_state_;          // deterministic eviction-choice state
+};
+
+// Algorithm 2 (MaxCount): upper-bounds the number of posting lists that can
+// still contain any single image, given the filters of the lists with
+// unrevealed postings. Returns gamma = 2 * max over bucket index i of the
+// highest multiplicity of one fingerprint in bucket i across all filters.
+uint32_t MaxCountGamma(const std::vector<const CuckooFilter*>& filters);
+
+// Incremental version: tracks (bucket, fingerprint) multiplicities across a
+// fixed set of filters and keeps gamma current under deletions, so each
+// UpdateBounds costs O(1) instead of a full table scan.
+class MaxCountTracker {
+ public:
+  explicit MaxCountTracker(const std::vector<const CuckooFilter*>& filters);
+
+  // Records that `fingerprint` was deleted from `bucket` of one filter.
+  void OnDelete(uint32_t bucket, uint16_t fingerprint);
+
+  uint32_t Gamma() const { return 2 * current_max_; }
+
+ private:
+  size_t KeyOf(uint32_t bucket, uint16_t fp) const;
+
+  uint32_t num_buckets_ = 0;
+  uint32_t fp_bits_ = 0;
+  std::vector<uint32_t> counts_;      // (bucket, fp) -> multiplicity
+  std::vector<uint64_t> histogram_;   // multiplicity -> how many keys have it
+  uint32_t current_max_ = 0;
+};
+
+}  // namespace imageproof::cuckoo
+
+#endif  // IMAGEPROOF_CUCKOO_CUCKOO_FILTER_H_

@@ -1,0 +1,204 @@
+#include "freqgroup/fg_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/parallel.h"
+#include "crypto/hasher.h"
+#include "invindex/merkle_inv_index.h"
+
+namespace imageproof::freqgroup {
+
+Digest FgPostingDigest(const FgPosting& posting, const Digest& next) {
+  crypto::DigestBuilder b;
+  b.AddU32(posting.freq);
+  for (const FgMember& m : posting.members) {
+    b.AddU64(m.id);
+    b.AddF64(m.norm);
+  }
+  b.AddDigest(next);
+  return b.Finalize();
+}
+
+size_t FgList::TotalImages() const {
+  size_t n = 0;
+  for (const auto& p : postings) n += p.members.size();
+  return n;
+}
+
+FgInvertedIndex FgInvertedIndex::Build(
+    size_t num_clusters,
+    const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
+    const bovw::ClusterWeights& weights, bool with_filters,
+    uint32_t fingerprint_bits, uint64_t filter_seed) {
+  FgInvertedIndex index;
+  index.with_filters_ = with_filters;
+  index.lists_.resize(num_clusters);
+
+  // cluster -> freq -> members.
+  std::vector<std::map<uint32_t, std::vector<FgMember>>> raw(num_clusters);
+  size_t max_len = 1;
+  std::vector<size_t> lengths(num_clusters, 0);
+  for (const auto& [id, vec] : corpus) {
+    double norm = vec.L2Norm();
+    for (const auto& [c, f] : vec.entries) {
+      if (c >= num_clusters) continue;
+      raw[c][f].push_back(FgMember{id, norm});
+      ++lengths[c];
+    }
+  }
+  for (size_t c = 0; c < num_clusters; ++c) {
+    max_len = std::max(max_len, lengths[c]);
+  }
+  index.filter_params_ =
+      cuckoo::CuckooParams::ForMaxItems(max_len, fingerprint_bits, filter_seed);
+  const cuckoo::CuckooParams& filter_params = index.filter_params_;
+
+  // Per-list builds are independent; parallelize with identical results.
+  ParallelFor(num_clusters, [&](size_t c) {
+    FgList& list = index.lists_[c];
+    list.cluster = static_cast<ClusterId>(c);
+    list.weight = weights.WeightOf(static_cast<ClusterId>(c));
+
+    for (auto& [freq, members] : raw[c]) {
+      FgPosting posting;
+      posting.freq = freq;
+      std::sort(members.begin(), members.end(),
+                [](const FgMember& a, const FgMember& b) {
+                  if (a.norm != b.norm) return a.norm < b.norm;
+                  return a.id < b.id;
+                });
+      posting.members = std::move(members);
+      list.postings.push_back(std::move(posting));
+    }
+    // Order groups by descending impact (freq ascending on ties for
+    // determinism).
+    std::sort(list.postings.begin(), list.postings.end(),
+              [&list](const FgPosting& a, const FgPosting& b) {
+                double ia = a.GroupImpact(list.weight);
+                double ib = b.GroupImpact(list.weight);
+                if (ia != ib) return ia > ib;
+                return a.freq < b.freq;
+              });
+
+    if (with_filters) {
+      cuckoo::CuckooFilter filter(filter_params);
+      for (const FgPosting& p : list.postings) {
+        for (const FgMember& m : p.members) {
+          bool ok = filter.Insert(m.id);
+          (void)ok;
+        }
+      }
+      list.theta_digest = filter.StateDigest();
+      list.filter = std::move(filter);
+    } else {
+      list.theta_digest = Digest::Zero();
+    }
+
+    Digest next = Digest::Zero();
+    for (size_t i = list.postings.size(); i-- > 0;) {
+      next = FgPostingDigest(list.postings[i], next);
+      list.postings[i].digest = next;
+    }
+    list.digest = invindex::ListDigest(list.weight, list.theta_digest,
+                                       list.FirstPostingDigest());
+  });
+  return index;
+}
+
+Status FgInvertedIndex::RechainList(FgList* list) {
+  // Restore group ordering (impact desc, freq asc on ties).
+  std::sort(list->postings.begin(), list->postings.end(),
+            [list](const FgPosting& a, const FgPosting& b) {
+              double ia = a.GroupImpact(list->weight);
+              double ib = b.GroupImpact(list->weight);
+              if (ia != ib) return ia > ib;
+              return a.freq < b.freq;
+            });
+  if (with_filters_) {
+    cuckoo::CuckooFilter filter(filter_params_);
+    for (const FgPosting& p : list->postings) {
+      for (const FgMember& m : p.members) {
+        if (!filter.Insert(m.id)) {
+          return Status::Error(
+              "fg: list outgrew the shared filter geometry; full rebuild "
+              "required");
+        }
+      }
+    }
+    list->theta_digest = filter.StateDigest();
+    list->filter = std::move(filter);
+  }
+  Digest next = Digest::Zero();
+  for (size_t i = list->postings.size(); i-- > 0;) {
+    next = FgPostingDigest(list->postings[i], next);
+    list->postings[i].digest = next;
+  }
+  list->digest = invindex::ListDigest(list->weight, list->theta_digest,
+                                      list->FirstPostingDigest());
+  return Status::Ok();
+}
+
+Status FgInvertedIndex::ApplyInsert(ClusterId c, ImageId id, uint32_t freq,
+                                    double norm) {
+  if (c >= lists_.size()) return Status::Error("fg: cluster out of range");
+  if (freq == 0 || !(norm > 0)) return Status::Error("fg: bad posting values");
+  FgList& list = lists_[c];
+  for (const FgPosting& p : list.postings) {
+    for (const FgMember& m : p.members) {
+      if (m.id == id) return Status::Error("fg: image already in list");
+    }
+  }
+  FgMember member{id, norm};
+  auto group = std::find_if(list.postings.begin(), list.postings.end(),
+                            [freq](const FgPosting& p) { return p.freq == freq; });
+  if (group == list.postings.end()) {
+    FgPosting posting;
+    posting.freq = freq;
+    posting.members.push_back(member);
+    list.postings.push_back(std::move(posting));
+  } else {
+    auto pos = std::lower_bound(group->members.begin(), group->members.end(),
+                                member, [](const FgMember& a, const FgMember& b) {
+                                  if (a.norm != b.norm) return a.norm < b.norm;
+                                  return a.id < b.id;
+                                });
+    group->members.insert(pos, member);
+  }
+  return RechainList(&list);
+}
+
+Status FgInvertedIndex::ApplyRemove(ClusterId c, ImageId id) {
+  if (c >= lists_.size()) return Status::Error("fg: cluster out of range");
+  FgList& list = lists_[c];
+  for (auto group = list.postings.begin(); group != list.postings.end();
+       ++group) {
+    auto pos = std::find_if(group->members.begin(), group->members.end(),
+                            [id](const FgMember& m) { return m.id == id; });
+    if (pos == group->members.end()) continue;
+    group->members.erase(pos);
+    if (group->members.empty()) list.postings.erase(group);
+    return RechainList(&list);
+  }
+  return Status::Error("fg: image not in list");
+}
+
+std::vector<Digest> FgInvertedIndex::ListDigests() const {
+  std::vector<Digest> out(lists_.size());
+  for (size_t i = 0; i < lists_.size(); ++i) out[i] = lists_[i].digest;
+  return out;
+}
+
+size_t FgInvertedIndex::TotalGroups() const {
+  size_t n = 0;
+  for (const auto& l : lists_) n += l.postings.size();
+  return n;
+}
+
+size_t FgInvertedIndex::TotalImageEntries() const {
+  size_t n = 0;
+  for (const auto& l : lists_) n += l.TotalImages();
+  return n;
+}
+
+}  // namespace imageproof::freqgroup

@@ -1,0 +1,102 @@
+// Frequency-grouped Merkle inverted index with cuckoo filters
+// (Section VI-B, Optimization B).
+//
+// Images with the same frequency count f in a cluster's list are grouped
+// into one posting. Within a group, members are ordered by ascending BoVW
+// L2 norm (id ascending on ties), so the first member carries the group's
+// largest impact w*f/l — which is the group's impact used for list
+// ordering and for the remaining-impact caps during PostingSearch. Group
+// digests chain backwards like plain postings:
+//   h_pos = h(f | I_1 | l_1 | ... | I_n | l_n | h_next)      (Definition 6)
+//   h_Gamma = h(w | h(Theta) | h_pos_1)                       (Definition 7)
+// Because member order is recoverable from the member data itself (sort by
+// (l, id)), the VO may transmit members id-sorted with d-gap varints — the
+// paper's compression — without losing digest verifiability.
+
+#ifndef IMAGEPROOF_FREQGROUP_FG_INDEX_H_
+#define IMAGEPROOF_FREQGROUP_FG_INDEX_H_
+
+#include <optional>
+#include <vector>
+
+#include "bovw/bovw.h"
+#include "crypto/digest.h"
+#include "cuckoo/cuckoo_filter.h"
+
+namespace imageproof::freqgroup {
+
+using bovw::ClusterId;
+using bovw::ImageId;
+using crypto::Digest;
+
+struct FgMember {
+  ImageId id = 0;
+  double norm = 0.0;  // ||B_I||
+
+  bool operator==(const FgMember&) const = default;
+};
+
+struct FgPosting {
+  uint32_t freq = 0;
+  std::vector<FgMember> members;  // (norm asc, id asc)
+  Digest digest;
+
+  // Impact of member i given the cluster weight.
+  double MemberImpact(double weight, size_t i) const {
+    return bovw::ImpactValue(weight, freq, members[i].norm);
+  }
+  // The group's (maximal) impact = impact of the first member.
+  double GroupImpact(double weight) const { return MemberImpact(weight, 0); }
+};
+
+// h(f | I_1 | l_1 | ... | h_next), per Definition 6.
+Digest FgPostingDigest(const FgPosting& posting, const Digest& next);
+
+struct FgList {
+  ClusterId cluster = 0;
+  double weight = 0.0;
+  std::vector<FgPosting> postings;  // group impact descending
+  std::optional<cuckoo::CuckooFilter> filter;
+  Digest theta_digest;
+  Digest digest;  // h_Gamma
+
+  bool empty() const { return postings.empty(); }
+  Digest FirstPostingDigest() const {
+    return postings.empty() ? Digest::Zero() : postings.front().digest;
+  }
+  size_t TotalImages() const;
+};
+
+class FgInvertedIndex {
+ public:
+  static FgInvertedIndex Build(
+      size_t num_clusters,
+      const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
+      const bovw::ClusterWeights& weights, bool with_filters,
+      uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2);
+
+  bool with_filters() const { return with_filters_; }
+  size_t num_clusters() const { return lists_.size(); }
+  const FgList& list(ClusterId c) const { return lists_[c]; }
+  std::vector<Digest> ListDigests() const;
+  size_t TotalGroups() const;
+  size_t TotalImageEntries() const;
+
+  // Incremental owner-side updates (core/update.h); weights stay frozen.
+  // Inserting adds the image to its frequency group (creating the group if
+  // needed); removing may dissolve a group. Digest chains and the filter
+  // are rebuilt for the affected list only.
+  Status ApplyInsert(ClusterId c, ImageId id, uint32_t freq, double norm);
+  Status ApplyRemove(ClusterId c, ImageId id);
+
+ private:
+  Status RechainList(FgList* list);
+
+  bool with_filters_ = true;
+  cuckoo::CuckooParams filter_params_;
+  std::vector<FgList> lists_;
+};
+
+}  // namespace imageproof::freqgroup
+
+#endif  // IMAGEPROOF_FREQGROUP_FG_INDEX_H_

@@ -1,0 +1,277 @@
+#include "freqgroup/fg_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+#include "invindex/bounds.h"
+
+namespace imageproof::freqgroup {
+
+using invindex::BoundsEngine;
+using invindex::BoundsList;
+
+namespace {
+
+struct SearchList {
+  const FgList* list = nullptr;
+  double q_impact = 0.0;
+  size_t next_pop = 0;  // groups [0, next_pop) popped
+};
+
+BoundsEngine CanonicalEngine(const std::vector<SearchList>& lists,
+                             bool use_filters) {
+  std::vector<BoundsList> bl;
+  bl.reserve(lists.size());
+  for (const SearchList& sl : lists) {
+    BoundsList b;
+    b.cluster = sl.list->cluster;
+    b.q_impact = sl.q_impact;
+    bool exhausted = sl.next_pop >= sl.list->postings.size();
+    if (use_filters && !exhausted) b.filter = sl.list->filter;
+    bl.push_back(std::move(b));
+  }
+  BoundsEngine engine(std::move(bl), use_filters);
+  for (size_t li = 0; li < lists.size(); ++li) {
+    const SearchList& sl = lists[li];
+    for (size_t g = 0; g < sl.next_pop; ++g) {
+      const FgPosting& p = sl.list->postings[g];
+      double cap = p.GroupImpact(sl.list->weight);
+      for (size_t m = 0; m < p.members.size(); ++m) {
+        Status s = engine.AddPopped(li, p.members[m].id,
+                                    p.MemberImpact(sl.list->weight, m), cap);
+        (void)s;
+      }
+    }
+    if (sl.next_pop >= sl.list->postings.size()) engine.MarkExhausted(li);
+  }
+  return engine;
+}
+
+bool ConditionsHold(const BoundsEngine& engine,
+                    const std::vector<ImageId>& topk_ids) {
+  double skl = 0;
+  if (!invindex::VerifyClaimedTopK(engine, topk_ids, &skl)) return false;
+  if (skl < engine.PiUpper()) return false;
+  std::unordered_set<ImageId> topk_set(topk_ids.begin(), topk_ids.end());
+  for (const auto& [id, score] : engine.Scores()) {
+    if (topk_set.contains(id)) continue;
+    if (engine.SUpper(id) > skl) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FgSearchResult FgSearch(const FgInvertedIndex& index,
+                        const bovw::BovwVector& query_bovw,
+                        const invindex::InvSearchParams& params) {
+  FgSearchResult result;
+  const bool use_filters = index.with_filters();
+  const double norm = query_bovw.L2Norm();
+
+  std::vector<SearchList> relevant;
+  for (const auto& [c, f] : query_bovw.entries) {
+    if (c >= index.num_clusters()) continue;
+    const FgList& list = index.list(c);
+    double q_impact = bovw::ImpactValue(list.weight, f, norm);
+    if (q_impact > 0 && !list.empty()) {
+      relevant.push_back(SearchList{&list, q_impact, 0});
+    }
+  }
+  result.stats.relevant_lists = relevant.size();
+  for (const SearchList& sl : relevant) {
+    result.stats.relevant_postings += sl.list->TotalImages();
+  }
+
+  // Exact top-k.
+  std::unordered_map<ImageId, double> exact;
+  for (const SearchList& sl : relevant) {
+    for (const FgPosting& p : sl.list->postings) {
+      for (size_t m = 0; m < p.members.size(); ++m) {
+        exact[p.members[m].id] +=
+            sl.q_impact * p.MemberImpact(sl.list->weight, m);
+      }
+    }
+  }
+  std::vector<bovw::ScoredImage> ranked;
+  ranked.reserve(exact.size());
+  for (const auto& [id, score] : exact) ranked.push_back({id, score});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const bovw::ScoredImage& a, const bovw::ScoredImage& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  size_t k = std::min(params.k, ranked.size());
+  result.topk.assign(ranked.begin(), ranked.begin() + k);
+  std::vector<ImageId> topk_ids;
+  for (const auto& si : result.topk) topk_ids.push_back(si.id);
+  std::unordered_set<ImageId> topk_set(topk_ids.begin(), topk_ids.end());
+
+  // k == 0 asks for nothing; emit a pop-free VO (see invindex/search.cc).
+  const bool trivial = k == 0;
+
+  // Pop through the deepest group containing a top-k image, at least one
+  // group per list — applied up front so the engine is fed once, in
+  // canonical order (see invindex/search.cc).
+  for (size_t li = 0; !trivial && li < relevant.size(); ++li) {
+    const auto& postings = relevant[li].list->postings;
+    size_t deepest = 0;
+    for (size_t g = 0; g < postings.size(); ++g) {
+      for (const FgMember& m : postings[g].members) {
+        if (topk_set.contains(m.id)) deepest = g;
+      }
+    }
+    relevant[li].next_pop = deepest + 1;
+    for (size_t g = 0; g < relevant[li].next_pop; ++g) {
+      result.stats.popped_postings += postings[g].members.size();
+    }
+  }
+  BoundsEngine engine = CanonicalEngine(relevant, use_filters);
+
+  auto pop_group = [&](size_t li) -> bool {
+    SearchList& sl = relevant[li];
+    if (sl.next_pop >= sl.list->postings.size()) return false;
+    const FgPosting& p = sl.list->postings[sl.next_pop++];
+    double cap = p.GroupImpact(sl.list->weight);
+    for (size_t m = 0; m < p.members.size(); ++m) {
+      Status s = engine.AddPopped(li, p.members[m].id,
+                                  p.MemberImpact(sl.list->weight, m), cap);
+      (void)s;
+      ++result.stats.popped_postings;
+    }
+    if (sl.next_pop >= sl.list->postings.size()) engine.MarkExhausted(li);
+    return true;
+  };
+
+  // See invindex/search.cc: min over the (fully popped) claimed top-k is
+  // the exact s_k^L, at O(k) per check.
+  auto sk_lower = [&]() {
+    double skl = std::numeric_limits<double>::infinity();
+    for (ImageId id : topk_ids) skl = std::min(skl, engine.ScoreOf(id));
+    return topk_ids.empty() ? 0.0 : skl;
+  };
+
+  // Condition 1.
+  while (!trivial) {
+    ++result.stats.condition_checks;
+    if (sk_lower() >= engine.PiUpper()) break;
+    size_t best = relevant.size();
+    double best_val = -1;
+    for (size_t li = 0; li < relevant.size(); ++li) {
+      if (engine.Exhausted(li)) continue;
+      double v = relevant[li].q_impact * engine.Cap(li);
+      if (v > best_val) {
+        best_val = v;
+        best = li;
+      }
+    }
+    if (best == relevant.size()) break;
+    pop_group(best);
+  }
+
+  // Condition 2.
+  while (!trivial) {
+    ++result.stats.condition_checks;
+    double skl = sk_lower();
+    ImageId violator = 0;
+    bool found = false;
+    for (const auto& [id, score] : engine.Scores()) {
+      if (topk_set.contains(id)) continue;
+      if (engine.SUpper(id) > skl) {
+        violator = id;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    auto possible = engine.PossibleLists(violator);
+    bool progressed = false;
+    double skl_now = skl;
+    for (size_t li : possible) {
+      size_t popped_here = 0;
+      while (!engine.Exhausted(li) && !engine.PoppedIn(li, violator)) {
+        if (!pop_group(li)) break;
+        ++popped_here;
+        if (popped_here % params.check_batch == 0 &&
+            engine.SUpper(violator) <= skl_now) {
+          break;
+        }
+      }
+      if (popped_here > 0) progressed = true;
+      if (engine.SUpper(violator) <= skl_now) break;
+    }
+    if (!progressed) break;
+  }
+
+  // Final canonical re-check (same rationale as invindex/search.cc).
+  while (!trivial) {
+    BoundsEngine canonical = CanonicalEngine(relevant, use_filters);
+    ++result.stats.condition_checks;
+    if (ConditionsHold(canonical, topk_ids)) break;
+    size_t best = relevant.size();
+    double best_val = -1;
+    for (size_t li = 0; li < relevant.size(); ++li) {
+      if (engine.Exhausted(li)) continue;
+      double v = relevant[li].q_impact * engine.Cap(li);
+      if (v > best_val) {
+        best_val = v;
+        best = li;
+      }
+    }
+    if (best == relevant.size()) break;
+    pop_group(best);
+  }
+
+  // ----- VO serialization -----
+  ByteWriter w;
+  w.PutU8(use_filters ? 1 : 0);
+  std::map<size_t, size_t> relevant_by_cluster;
+  for (size_t li = 0; li < relevant.size(); ++li) {
+    relevant_by_cluster[relevant[li].list->cluster] = li;
+  }
+  w.PutVarint(query_bovw.entries.size());
+  for (const auto& [c, f] : query_bovw.entries) {
+    const FgList& list = index.list(c);
+    w.PutVarint(c);
+    w.PutF64(list.weight);
+    auto it = relevant_by_cluster.find(c);
+    size_t popped =
+        it == relevant_by_cluster.end() ? 0 : relevant[it->second].next_pop;
+    w.PutVarint(popped);
+    for (size_t g = 0; g < popped; ++g) {
+      const FgPosting& p = list.postings[g];
+      w.PutVarint(p.freq);
+      w.PutVarint(p.members.size());
+      // Transmit members id-ascending with d-gaps; norms ride along. The
+      // verifier re-sorts by (norm, id) to rebuild the digest order.
+      std::vector<FgMember> by_id = p.members;
+      std::sort(by_id.begin(), by_id.end(),
+                [](const FgMember& a, const FgMember& b) { return a.id < b.id; });
+      ImageId prev = 0;
+      for (size_t m = 0; m < by_id.size(); ++m) {
+        w.PutVarint(m == 0 ? by_id[m].id : by_id[m].id - prev);
+        prev = by_id[m].id;
+        w.PutF64(by_id[m].norm);
+      }
+    }
+    bool has_remaining = popped < list.postings.size();
+    bool relevant_list = it != relevant_by_cluster.end();
+    bool filter_included = use_filters && relevant_list && has_remaining;
+    uint8_t flags = (has_remaining ? 1 : 0) | (filter_included ? 2 : 0);
+    w.PutU8(flags);
+    if (has_remaining) crypto::PutDigest(w, list.postings[popped].digest);
+    if (use_filters) {
+      if (filter_included) {
+        w.PutBlob(list.filter->Serialize());
+      } else {
+        crypto::PutDigest(w, list.theta_digest);
+      }
+    }
+  }
+  result.vo = w.Take();
+  return result;
+}
+
+}  // namespace imageproof::freqgroup

@@ -1,0 +1,41 @@
+// SP-side authenticated top-k search over the frequency-grouped Merkle
+// inverted index (Optimization B). Same termination conditions as
+// invindex/search.h, evaluated at group granularity: popping a group
+// reveals all of its member images at once and lowers the list's remaining
+// cap to the group's impact.
+//
+// VO layout:
+//   u8   use_filters
+//   varint num_lists                      -- the query's BoVW support
+//   per list (cluster ascending):
+//     varint cluster_id; f64 weight
+//     varint num_popped_groups
+//     per group: varint freq; varint num_members;
+//                members id-ascending as (varint d-gap id, f64 norm)
+//     u8 flags (bit0 has_remaining, bit1 filter_included)
+//     [has_remaining]   digest of first unpopped group
+//     [filter_included] blob: original cuckoo filter
+//     [use_filters && !filter_included] digest h(Theta)
+
+#ifndef IMAGEPROOF_FREQGROUP_FG_SEARCH_H_
+#define IMAGEPROOF_FREQGROUP_FG_SEARCH_H_
+
+#include "common/bytes.h"
+#include "freqgroup/fg_index.h"
+#include "invindex/search.h"
+
+namespace imageproof::freqgroup {
+
+struct FgSearchResult {
+  std::vector<bovw::ScoredImage> topk;
+  Bytes vo;
+  invindex::InvSearchStats stats;  // popped counts are *image entries*
+};
+
+FgSearchResult FgSearch(const FgInvertedIndex& index,
+                        const bovw::BovwVector& query_bovw,
+                        const invindex::InvSearchParams& params);
+
+}  // namespace imageproof::freqgroup
+
+#endif  // IMAGEPROOF_FREQGROUP_FG_SEARCH_H_

@@ -1,0 +1,26 @@
+// Client-side verification of an FgSearch VO — the frequency-grouped
+// counterpart of invindex/verify.h. Reconstructs group digests from the
+// d-gap-compressed member reveals (re-sorted into the canonical (norm, id)
+// digest order), replays pops through the shared bounds engine, and checks
+// the same termination conditions.
+
+#ifndef IMAGEPROOF_FREQGROUP_FG_VERIFY_H_
+#define IMAGEPROOF_FREQGROUP_FG_VERIFY_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "invindex/verify.h"
+
+namespace imageproof::freqgroup {
+
+// Result type is shared with the plain index (same caller contract).
+using invindex::InvVerifyResult;
+using bovw::ImageId;
+
+Status FgVerifyVo(const Bytes& vo, const bovw::BovwVector& query_bovw,
+                  const std::vector<ImageId>& claimed_topk, size_t requested_k,
+                  bool expect_filters, InvVerifyResult* out);
+
+}  // namespace imageproof::freqgroup
+
+#endif  // IMAGEPROOF_FREQGROUP_FG_VERIFY_H_

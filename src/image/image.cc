@@ -1,0 +1,27 @@
+#include "image/image.h"
+
+namespace imageproof::image {
+
+Bytes Image::Serialize() const {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(width_));
+  w.PutU32(static_cast<uint32_t>(height_));
+  w.PutBytes(pixels_.data(), pixels_.size());
+  return w.Take();
+}
+
+bool Image::Deserialize(const Bytes& data, Image* out) {
+  ByteReader r(data);
+  uint32_t w = 0, h = 0;
+  if (!r.GetU32(&w).ok() || !r.GetU32(&h).ok()) return false;
+  if (w == 0 || h == 0 || w > 1u << 16 || h > 1u << 16) return false;
+  size_t n = static_cast<size_t>(w) * h;
+  if (r.remaining() != n) return false;
+  Bytes pixels;
+  if (!r.GetBytes(n, &pixels).ok()) return false;
+  *out = Image(static_cast<int>(w), static_cast<int>(h));
+  out->pixels() = std::move(pixels);
+  return true;
+}
+
+}  // namespace imageproof::image

@@ -1,0 +1,115 @@
+// Grayscale image container used by the synthetic dataset generator, the
+// PGM codec, and the SIFT-style feature extractor.
+
+#ifndef IMAGEPROOF_IMAGE_IMAGE_H_
+#define IMAGEPROOF_IMAGE_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace imageproof::image {
+
+// Row-major 8-bit grayscale image.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, uint8_t fill = 0)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height, fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  uint8_t at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, uint8_t v) {
+    pixels_[static_cast<size_t>(y) * width_ + x] = v;
+  }
+
+  // Clamped access: coordinates outside the image read the nearest edge
+  // pixel. Used by filters and geometric transforms.
+  uint8_t AtClamped(int x, int y) const {
+    if (x < 0) x = 0;
+    if (x >= width_) x = width_ - 1;
+    if (y < 0) y = 0;
+    if (y >= height_) y = height_ - 1;
+    return at(x, y);
+  }
+
+  // Bilinear sample at a real-valued position, edge-clamped.
+  double Sample(double x, double y) const {
+    int x0 = static_cast<int>(x < 0 ? x - 1 : x);
+    int y0 = static_cast<int>(y < 0 ? y - 1 : y);
+    double fx = x - x0;
+    double fy = y - y0;
+    double v00 = AtClamped(x0, y0);
+    double v10 = AtClamped(x0 + 1, y0);
+    double v01 = AtClamped(x0, y0 + 1);
+    double v11 = AtClamped(x0 + 1, y0 + 1);
+    return v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+           v01 * (1 - fx) * fy + v11 * fx * fy;
+  }
+
+  const std::vector<uint8_t>& pixels() const { return pixels_; }
+  std::vector<uint8_t>& pixels() { return pixels_; }
+
+  // Raw bytes including dimensions; this is what the owner signs (Eq. 15
+  // hashes the raw image data).
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& data, Image* out);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+// Floating-point image plane for filter pipelines (Gaussian pyramid, DoG).
+class FloatImage {
+ public:
+  FloatImage() = default;
+  FloatImage(int width, int height, float fill = 0.0f)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height, fill) {}
+
+  static FloatImage From(const Image& img) {
+    FloatImage out(img.width(), img.height());
+    for (size_t i = 0; i < img.pixels().size(); ++i) {
+      out.pixels_[i] = static_cast<float>(img.pixels()[i]) / 255.0f;
+    }
+    return out;
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  float at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, float v) {
+    pixels_[static_cast<size_t>(y) * width_ + x] = v;
+  }
+  float AtClamped(int x, int y) const {
+    if (x < 0) x = 0;
+    if (x >= width_) x = width_ - 1;
+    if (y < 0) y = 0;
+    if (y >= height_) y = height_ - 1;
+    return at(x, y);
+  }
+
+  const std::vector<float>& pixels() const { return pixels_; }
+  std::vector<float>& pixels() { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> pixels_;
+};
+
+}  // namespace imageproof::image
+
+#endif  // IMAGEPROOF_IMAGE_IMAGE_H_

@@ -1,0 +1,96 @@
+#include "image/pgm_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace imageproof::image {
+
+namespace {
+
+// Skips whitespace and '#' comment lines in a PGM header.
+void SkipSeparators(const Bytes& data, size_t* pos) {
+  while (*pos < data.size()) {
+    uint8_t c = data[*pos];
+    if (c == '#') {
+      while (*pos < data.size() && data[*pos] != '\n') ++(*pos);
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++(*pos);
+    } else {
+      break;
+    }
+  }
+}
+
+Status ParseInt(const Bytes& data, size_t* pos, int* out) {
+  SkipSeparators(data, pos);
+  if (*pos >= data.size() || data[*pos] < '0' || data[*pos] > '9') {
+    return Status::Error("pgm: expected integer in header");
+  }
+  long v = 0;
+  while (*pos < data.size() && data[*pos] >= '0' && data[*pos] <= '9') {
+    v = v * 10 + (data[*pos] - '0');
+    if (v > 1 << 20) return Status::Error("pgm: header value too large");
+    ++(*pos);
+  }
+  *out = static_cast<int>(v);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes EncodePgm(const Image& img) {
+  std::string header = "P5\n" + std::to_string(img.width()) + " " +
+                       std::to_string(img.height()) + "\n255\n";
+  Bytes out(header.begin(), header.end());
+  out.insert(out.end(), img.pixels().begin(), img.pixels().end());
+  return out;
+}
+
+Status DecodePgm(const Bytes& data, Image* out) {
+  if (data.size() < 2 || data[0] != 'P' || data[1] != '5') {
+    return Status::Error("pgm: missing P5 magic");
+  }
+  size_t pos = 2;
+  int width, height, maxval;
+  Status s = ParseInt(data, &pos, &width);
+  if (!s.ok()) return s;
+  s = ParseInt(data, &pos, &height);
+  if (!s.ok()) return s;
+  s = ParseInt(data, &pos, &maxval);
+  if (!s.ok()) return s;
+  if (maxval <= 0 || maxval > 255) return Status::Error("pgm: unsupported maxval");
+  if (width <= 0 || height <= 0) return Status::Error("pgm: bad dimensions");
+  if (pos >= data.size()) return Status::Error("pgm: truncated header");
+  ++pos;  // single whitespace byte after maxval
+  size_t n = static_cast<size_t>(width) * height;
+  if (data.size() - pos < n) return Status::Error("pgm: truncated pixel data");
+  *out = Image(width, height);
+  std::copy(data.begin() + pos, data.begin() + pos + n, out->pixels().begin());
+  return Status::Ok();
+}
+
+Status WritePgmFile(const std::string& path, const Image& img) {
+  Bytes data = EncodePgm(img);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::Error("pgm: cannot open for writing: " + path);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) return Status::Error("pgm: short write: " + path);
+  return Status::Ok();
+}
+
+Status ReadPgmFile(const std::string& path, Image* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::Error("pgm: cannot open for reading: " + path);
+  Bytes data;
+  uint8_t buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return DecodePgm(data, out);
+}
+
+}  // namespace imageproof::image

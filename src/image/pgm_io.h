@@ -1,0 +1,25 @@
+// Binary PGM (P5) codec so example programs can exchange images with
+// standard tools. No external image library is used anywhere in the repo.
+
+#ifndef IMAGEPROOF_IMAGE_PGM_IO_H_
+#define IMAGEPROOF_IMAGE_PGM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "image/image.h"
+
+namespace imageproof::image {
+
+// Serializes to the 8-bit binary PGM format ("P5").
+Bytes EncodePgm(const Image& img);
+
+// Parses a binary PGM buffer (maxval <= 255).
+Status DecodePgm(const Bytes& data, Image* out);
+
+Status WritePgmFile(const std::string& path, const Image& img);
+Status ReadPgmFile(const std::string& path, Image* out);
+
+}  // namespace imageproof::image
+
+#endif  // IMAGEPROOF_IMAGE_PGM_IO_H_

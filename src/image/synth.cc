@@ -1,0 +1,168 @@
+#include "image/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "crypto/hasher.h"
+
+namespace imageproof::image {
+
+namespace {
+
+inline uint8_t ClampPixel(double v) {
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return static_cast<uint8_t>(v + 0.5);
+}
+
+// Hash-based 2D lattice value noise: value at integer (x, y) for a seed.
+inline double LatticeValue(uint64_t seed, int x, int y) {
+  uint64_t h = crypto::Mix64(seed ^ (static_cast<uint64_t>(static_cast<uint32_t>(x)) |
+                                     (static_cast<uint64_t>(static_cast<uint32_t>(y)) << 32)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double SmoothNoise(uint64_t seed, double x, double y) {
+  int x0 = static_cast<int>(std::floor(x));
+  int y0 = static_cast<int>(std::floor(y));
+  double fx = x - x0;
+  double fy = y - y0;
+  // Smoothstep interpolation weights.
+  double sx = fx * fx * (3 - 2 * fx);
+  double sy = fy * fy * (3 - 2 * fy);
+  double v00 = LatticeValue(seed, x0, y0);
+  double v10 = LatticeValue(seed, x0 + 1, y0);
+  double v01 = LatticeValue(seed, x0, y0 + 1);
+  double v11 = LatticeValue(seed, x0 + 1, y0 + 1);
+  double a = v00 + (v10 - v00) * sx;
+  double b = v01 + (v11 - v01) * sx;
+  return a + (b - a) * sy;
+}
+
+}  // namespace
+
+Image SynthesizeImage(uint64_t seed, int width, int height) {
+  Rng rng(seed);
+  Image img(width, height);
+
+  // Multi-octave value noise base texture.
+  double base_freq = 0.04 + rng.NextDouble() * 0.04;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double v = 0, amp = 1, total = 0, freq = base_freq;
+      for (int octave = 0; octave < 4; ++octave) {
+        v += amp * SmoothNoise(seed + octave * 1315423911ULL, x * freq, y * freq);
+        total += amp;
+        amp *= 0.55;
+        freq *= 2.1;
+      }
+      img.set(x, y, ClampPixel(255.0 * v / total));
+    }
+  }
+
+  // High-contrast Gaussian blobs: strong scale-space extrema for the
+  // detector.
+  int num_blobs = 6 + static_cast<int>(rng.NextBounded(8));
+  for (int i = 0; i < num_blobs; ++i) {
+    double cx = rng.NextDouble() * width;
+    double cy = rng.NextDouble() * height;
+    double radius = 3.0 + rng.NextDouble() * 10.0;
+    double amplitude = (rng.NextDouble() < 0.5 ? -1 : 1) * (90 + rng.NextDouble() * 120);
+    int extent = static_cast<int>(radius * 3);
+    for (int y = std::max(0, static_cast<int>(cy) - extent);
+         y < std::min(height, static_cast<int>(cy) + extent); ++y) {
+      for (int x = std::max(0, static_cast<int>(cx) - extent);
+           x < std::min(width, static_cast<int>(cx) + extent); ++x) {
+        double dx = x - cx, dy = y - cy;
+        double g = std::exp(-(dx * dx + dy * dy) / (2 * radius * radius));
+        img.set(x, y, ClampPixel(img.at(x, y) + amplitude * g));
+      }
+    }
+  }
+
+  // A few oriented bars for edge/corner structure.
+  int num_bars = 2 + static_cast<int>(rng.NextBounded(4));
+  for (int i = 0; i < num_bars; ++i) {
+    double cx = rng.NextDouble() * width;
+    double cy = rng.NextDouble() * height;
+    double angle = rng.NextDouble() * 3.14159265;
+    double len = 15 + rng.NextDouble() * 30;
+    double thick = 1.5 + rng.NextDouble() * 3.0;
+    double amplitude = (rng.NextDouble() < 0.5 ? -1 : 1) * (70 + rng.NextDouble() * 90);
+    double ca = std::cos(angle), sa = std::sin(angle);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        double dx = x - cx, dy = y - cy;
+        double along = dx * ca + dy * sa;
+        double across = -dx * sa + dy * ca;
+        if (std::abs(along) < len / 2 && std::abs(across) < thick) {
+          img.set(x, y, ClampPixel(img.at(x, y) + amplitude));
+        }
+      }
+    }
+  }
+
+  return img;
+}
+
+Image Rotate(const Image& img, double radians) {
+  Image out(img.width(), img.height());
+  double cx = img.width() / 2.0, cy = img.height() / 2.0;
+  double ca = std::cos(radians), sa = std::sin(radians);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      // Inverse map destination -> source.
+      double dx = x - cx, dy = y - cy;
+      double sx = cx + dx * ca + dy * sa;
+      double sy = cy - dx * sa + dy * ca;
+      out.set(x, y, ClampPixel(img.Sample(sx, sy)));
+    }
+  }
+  return out;
+}
+
+Image Scale(const Image& img, double factor) {
+  int nw = std::max(1, static_cast<int>(img.width() * factor + 0.5));
+  int nh = std::max(1, static_cast<int>(img.height() * factor + 0.5));
+  Image out(nw, nh);
+  for (int y = 0; y < nh; ++y) {
+    for (int x = 0; x < nw; ++x) {
+      out.set(x, y, ClampPixel(img.Sample(x / factor, y / factor)));
+    }
+  }
+  return out;
+}
+
+Image AdjustBrightness(const Image& img, double gain, double bias) {
+  Image out(img.width(), img.height());
+  for (size_t i = 0; i < img.pixels().size(); ++i) {
+    out.pixels()[i] = ClampPixel(gain * img.pixels()[i] + bias);
+  }
+  return out;
+}
+
+Image AddNoise(const Image& img, double stddev, uint64_t seed) {
+  Rng rng(seed);
+  Image out(img.width(), img.height());
+  for (size_t i = 0; i < img.pixels().size(); ++i) {
+    out.pixels()[i] = ClampPixel(img.pixels()[i] + stddev * rng.NextGaussian());
+  }
+  return out;
+}
+
+Image CenterCrop(const Image& img, double fraction) {
+  int nw = std::max(1, static_cast<int>(img.width() * fraction));
+  int nh = std::max(1, static_cast<int>(img.height() * fraction));
+  int x0 = (img.width() - nw) / 2;
+  int y0 = (img.height() - nh) / 2;
+  Image out(nw, nh);
+  for (int y = 0; y < nh; ++y) {
+    for (int x = 0; x < nw; ++x) {
+      out.set(x, y, img.at(x0 + x, y0 + y));
+    }
+  }
+  return out;
+}
+
+}  // namespace imageproof::image

@@ -1,0 +1,42 @@
+// Deterministic synthetic image generator and photometric/geometric
+// transforms.
+//
+// Substitutes for the MirFlickr1M photographs used in the paper: each seed
+// yields a unique textured image with enough local structure for the
+// SIFT-style extractor to find keypoints, and the transforms produce
+// "similar" variants (rotated / scaled / noisy copies) so retrieval quality
+// and the authenticated pipeline can be exercised end to end.
+
+#ifndef IMAGEPROOF_IMAGE_SYNTH_H_
+#define IMAGEPROOF_IMAGE_SYNTH_H_
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace imageproof::image {
+
+// Generates a width x height textured image from `seed`. The texture mixes
+// multi-octave value noise with a handful of high-contrast blobs and bars so
+// DoG keypoint detection has strong extrema to latch onto.
+Image SynthesizeImage(uint64_t seed, int width = 128, int height = 128);
+
+// Rotates around the image center by `radians` (bilinear, edge-clamped).
+Image Rotate(const Image& img, double radians);
+
+// Uniform rescale by `factor` (bilinear). factor must be > 0.
+Image Scale(const Image& img, double factor);
+
+// Per-pixel v' = clamp(gain * v + bias).
+Image AdjustBrightness(const Image& img, double gain, double bias);
+
+// Adds zero-mean Gaussian pixel noise with the given standard deviation
+// (in 0..255 units), deterministically from `seed`.
+Image AddNoise(const Image& img, double stddev, uint64_t seed);
+
+// Central crop covering `fraction` of each dimension (0 < fraction <= 1).
+Image CenterCrop(const Image& img, double fraction);
+
+}  // namespace imageproof::image
+
+#endif  // IMAGEPROOF_IMAGE_SYNTH_H_

@@ -1,0 +1,165 @@
+#include "invindex/merkle_inv_index.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "crypto/hasher.h"
+
+namespace imageproof::invindex {
+
+Digest PostingDigest(ImageId id, double impact, const Digest& next) {
+  return crypto::DigestBuilder()
+      .AddU64(id)
+      .AddF64(impact)
+      .AddDigest(next)
+      .Finalize();
+}
+
+Digest ListDigest(double weight, const Digest& theta_digest,
+                  const Digest& first_posting_digest) {
+  return crypto::DigestBuilder()
+      .AddF64(weight)
+      .AddDigest(theta_digest)
+      .AddDigest(first_posting_digest)
+      .Finalize();
+}
+
+MerkleInvertedIndex MerkleInvertedIndex::Build(
+    size_t num_clusters,
+    const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
+    const bovw::ClusterWeights& weights, bool with_filters,
+    uint32_t fingerprint_bits, uint64_t filter_seed) {
+  MerkleInvertedIndex index;
+  index.with_filters_ = with_filters;
+  index.lists_.resize(num_clusters);
+
+  // Gather raw postings per cluster.
+  std::vector<std::vector<std::pair<ImageId, double>>> raw(num_clusters);
+  for (const auto& [id, vec] : corpus) {
+    double norm = vec.L2Norm();
+    for (const auto& [c, f] : vec.entries) {
+      if (c >= num_clusters) continue;
+      double impact = bovw::ImpactValue(weights.WeightOf(c), f, norm);
+      raw[c].emplace_back(id, impact);
+    }
+  }
+
+  size_t max_len = 1;
+  for (const auto& r : raw) max_len = std::max(max_len, r.size());
+  index.filter_params_ =
+      cuckoo::CuckooParams::ForMaxItems(max_len, fingerprint_bits, filter_seed);
+  const cuckoo::CuckooParams& filter_params = index.filter_params_;
+
+  // Every list is built independently (sort, filter, digest chain), so the
+  // per-cluster loop parallelizes with bit-identical results.
+  ParallelFor(num_clusters, [&](size_t c) {
+    MerkleInvertedList& list = index.lists_[c];
+    list.cluster = static_cast<ClusterId>(c);
+    list.weight = weights.WeightOf(static_cast<ClusterId>(c));
+
+    auto& postings = raw[c];
+    std::sort(postings.begin(), postings.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    list.postings.resize(postings.size());
+    for (size_t i = 0; i < postings.size(); ++i) {
+      list.postings[i].id = postings[i].first;
+      list.postings[i].impact = postings[i].second;
+    }
+
+    if (with_filters) {
+      cuckoo::CuckooFilter filter(filter_params);
+      for (const MerklePosting& p : list.postings) {
+        // The 60% sizing rule keeps load under ~42%, so insertion cannot
+        // realistically fail; if it ever did the ADS would be unusable, so
+        // treat it as a fatal construction error.
+        bool ok = filter.Insert(p.id);
+        (void)ok;
+      }
+      list.theta_digest = filter.StateDigest();
+      list.filter = std::move(filter);
+    } else {
+      list.theta_digest = Digest::Zero();
+    }
+
+    // Backward digest chain.
+    Digest next = Digest::Zero();
+    for (size_t i = list.postings.size(); i-- > 0;) {
+      next = PostingDigest(list.postings[i].id, list.postings[i].impact, next);
+      list.postings[i].digest = next;
+    }
+    list.digest = ListDigest(list.weight, list.theta_digest,
+                             list.FirstPostingDigest());
+  });
+  return index;
+}
+
+Status MerkleInvertedIndex::RechainList(MerkleInvertedList* list) {
+  if (with_filters_) {
+    cuckoo::CuckooFilter filter(filter_params_);
+    for (const MerklePosting& p : list->postings) {
+      if (!filter.Insert(p.id)) {
+        return Status::Error(
+            "inv: list outgrew the shared filter geometry; full rebuild "
+            "required");
+      }
+    }
+    list->theta_digest = filter.StateDigest();
+    list->filter = std::move(filter);
+  }
+  Digest next = Digest::Zero();
+  for (size_t i = list->postings.size(); i-- > 0;) {
+    next = PostingDigest(list->postings[i].id, list->postings[i].impact, next);
+    list->postings[i].digest = next;
+  }
+  list->digest =
+      ListDigest(list->weight, list->theta_digest, list->FirstPostingDigest());
+  return Status::Ok();
+}
+
+Status MerkleInvertedIndex::ApplyInsert(ClusterId c, ImageId id, double impact) {
+  if (c >= lists_.size()) return Status::Error("inv: cluster out of range");
+  MerkleInvertedList& list = lists_[c];
+  for (const MerklePosting& p : list.postings) {
+    if (p.id == id) return Status::Error("inv: image already in list");
+  }
+  MerklePosting posting;
+  posting.id = id;
+  posting.impact = impact;
+  auto pos = std::lower_bound(
+      list.postings.begin(), list.postings.end(), posting,
+      [](const MerklePosting& a, const MerklePosting& b) {
+        if (a.impact != b.impact) return a.impact > b.impact;
+        return a.id < b.id;
+      });
+  list.postings.insert(pos, posting);
+  return RechainList(&list);
+}
+
+Status MerkleInvertedIndex::ApplyRemove(ClusterId c, ImageId id) {
+  if (c >= lists_.size()) return Status::Error("inv: cluster out of range");
+  MerkleInvertedList& list = lists_[c];
+  auto pos = std::find_if(list.postings.begin(), list.postings.end(),
+                          [id](const MerklePosting& p) { return p.id == id; });
+  if (pos == list.postings.end()) {
+    return Status::Error("inv: image not in list");
+  }
+  list.postings.erase(pos);
+  return RechainList(&list);
+}
+
+std::vector<Digest> MerkleInvertedIndex::ListDigests() const {
+  std::vector<Digest> out(lists_.size());
+  for (size_t i = 0; i < lists_.size(); ++i) out[i] = lists_[i].digest;
+  return out;
+}
+
+size_t MerkleInvertedIndex::TotalPostings() const {
+  size_t n = 0;
+  for (const auto& l : lists_) n += l.postings.size();
+  return n;
+}
+
+}  // namespace imageproof::invindex

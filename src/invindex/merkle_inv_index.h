@@ -1,0 +1,108 @@
+// Merkle inverted index with cuckoo filters (Section IV-B) — the second ADS
+// of ImageProof.
+//
+// Each cluster c with a nonzero posting list gets a Merkle inverted list:
+//   * postings <I, p_{I,c}> sorted by impact descending (id ascending on
+//     ties), each carrying a backward-chained digest
+//       h_{pos_j} = h(I | p_{I,c} | h_{pos_{j+1}})         (Definition 4)
+//     with h_{pos_{n+1}} = 0^256, so a VO can reveal exactly a prefix;
+//   * a cuckoo filter over the list's image ids (shared geometry across all
+//     lists, as Lemma 1 requires);
+//   * the list digest
+//       h_Gamma = h(w_c | h(Theta) | h_{pos_1})            (Definition 5)
+//     which the MRKD-tree leaves embed, linking the two ADSs.
+//
+// `with_filters = false` builds the plain variant used by the Baseline
+// scheme (Pang & Mouratidis [15] adapted): same chain, h(Theta) fixed to
+// 0^256, no filters shipped or consulted.
+
+#ifndef IMAGEPROOF_INVINDEX_MERKLE_INV_INDEX_H_
+#define IMAGEPROOF_INVINDEX_MERKLE_INV_INDEX_H_
+
+#include <optional>
+#include <vector>
+
+#include "bovw/bovw.h"
+#include "crypto/digest.h"
+#include "cuckoo/cuckoo_filter.h"
+
+namespace imageproof::invindex {
+
+using bovw::ClusterId;
+using bovw::ImageId;
+using crypto::Digest;
+
+struct MerklePosting {
+  ImageId id = 0;
+  double impact = 0.0;
+  Digest digest;  // h(id | impact | next digest)
+};
+
+// h(id | impact | next) — shared by the owner's build and the client's
+// chain reconstruction.
+Digest PostingDigest(ImageId id, double impact, const Digest& next);
+
+// h(w | h(Theta) | h_pos1) per Definition 5.
+Digest ListDigest(double weight, const Digest& theta_digest,
+                  const Digest& first_posting_digest);
+
+struct MerkleInvertedList {
+  ClusterId cluster = 0;
+  double weight = 0.0;                 // w_c
+  std::vector<MerklePosting> postings; // impact desc, id asc on ties
+  std::optional<cuckoo::CuckooFilter> filter;  // nullopt in plain mode
+  Digest theta_digest;                 // h(Theta); zero in plain mode
+  Digest digest;                       // h_Gamma
+
+  bool empty() const { return postings.empty(); }
+  // Digest of the first posting, or zero for an empty list.
+  Digest FirstPostingDigest() const {
+    return postings.empty() ? Digest::Zero() : postings.front().digest;
+  }
+};
+
+class MerkleInvertedIndex {
+ public:
+  // Builds the full index over a corpus of (image id, BoVW vector) pairs.
+  // All filters share one geometry derived from the longest posting list
+  // (the paper's 60% sizing rule) and `filter_seed`.
+  static MerkleInvertedIndex Build(
+      size_t num_clusters,
+      const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
+      const bovw::ClusterWeights& weights, bool with_filters,
+      uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2);
+
+  bool with_filters() const { return with_filters_; }
+  size_t num_clusters() const { return lists_.size(); }
+  const MerkleInvertedList& list(ClusterId c) const { return lists_[c]; }
+
+  // h_Gamma per cluster, in cluster order — input to the MRKD-tree build.
+  std::vector<Digest> ListDigests() const;
+
+  size_t TotalPostings() const;
+
+  // ----- Incremental updates (owner-side; see core/update.h) -----
+  //
+  // Weights are frozen at build time (the usual IR practice between full
+  // index rebuilds), so an image touching a list changes only that list:
+  // its posting is inserted/removed in impact order, the digest chain is
+  // recomputed, and the filter is rebuilt deterministically with the
+  // index-wide geometry. Fails if the shared filter geometry can no longer
+  // hold the list (a full rebuild is then required).
+
+  Status ApplyInsert(ClusterId c, ImageId id, double impact);
+  Status ApplyRemove(ClusterId c, ImageId id);
+
+  const cuckoo::CuckooParams& filter_params() const { return filter_params_; }
+
+ private:
+  Status RechainList(MerkleInvertedList* list);
+
+  bool with_filters_ = true;
+  cuckoo::CuckooParams filter_params_;
+  std::vector<MerkleInvertedList> lists_;
+};
+
+}  // namespace imageproof::invindex
+
+#endif  // IMAGEPROOF_INVINDEX_MERKLE_INV_INDEX_H_

@@ -1,0 +1,333 @@
+#include "invindex/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "crypto/sha3.h"
+
+namespace imageproof::invindex {
+
+namespace {
+
+// SP-side view of one relevant list during the search.
+struct SearchList {
+  const MerkleInvertedList* list = nullptr;
+  double q_impact = 0.0;
+  size_t next_pop = 0;  // postings [0, next_pop) have been popped
+};
+
+// Rebuilds a bounds engine exactly as the client will: lists in cluster
+// order, pops in prefix order.
+BoundsEngine CanonicalEngine(const std::vector<SearchList>& lists,
+                             bool use_filters) {
+  std::vector<BoundsList> bl;
+  bl.reserve(lists.size());
+  for (const SearchList& sl : lists) {
+    BoundsList b;
+    b.cluster = sl.list->cluster;
+    b.q_impact = sl.q_impact;
+    bool exhausted = sl.next_pop >= sl.list->postings.size();
+    if (use_filters && !exhausted) b.filter = sl.list->filter;
+    bl.push_back(std::move(b));
+  }
+  BoundsEngine engine(std::move(bl), use_filters);
+  for (size_t li = 0; li < lists.size(); ++li) {
+    const SearchList& sl = lists[li];
+    for (size_t i = 0; i < sl.next_pop; ++i) {
+      Status s = engine.AddPopped(li, sl.list->postings[i].id,
+                                  sl.list->postings[i].impact);
+      (void)s;  // owner-built data always satisfies the invariants
+    }
+    if (sl.next_pop >= sl.list->postings.size()) engine.MarkExhausted(li);
+  }
+  return engine;
+}
+
+bool ConditionsHold(const BoundsEngine& engine,
+                    const std::vector<ImageId>& topk_ids) {
+  double skl = 0;
+  if (!VerifyClaimedTopK(engine, topk_ids, &skl)) return false;
+  if (skl < engine.PiUpper()) return false;  // Condition 1
+  std::unordered_set<ImageId> topk_set(topk_ids.begin(), topk_ids.end());
+  for (const auto& [id, score] : engine.Scores()) {
+    if (topk_set.contains(id)) continue;
+    if (engine.SUpper(id) > skl) return false;  // Condition 2
+  }
+  return true;
+}
+
+}  // namespace
+
+InvSearchResult InvSearch(const MerkleInvertedIndex& index,
+                          const bovw::BovwVector& query_bovw,
+                          const InvSearchParams& params) {
+  InvSearchResult result;
+  const bool use_filters = index.with_filters();
+  const double norm = query_bovw.L2Norm();
+
+  // Support clusters (sorted by construction of BovwVector) and the
+  // relevant subset (q_impact > 0, nonempty list).
+  std::vector<SearchList> relevant;
+  for (const auto& [c, f] : query_bovw.entries) {
+    if (c >= index.num_clusters()) continue;
+    const MerkleInvertedList& list = index.list(c);
+    double q_impact = bovw::ImpactValue(list.weight, f, norm);
+    if (q_impact > 0 && !list.empty()) {
+      relevant.push_back(SearchList{&list, q_impact, 0});
+    }
+  }
+  result.stats.relevant_lists = relevant.size();
+  for (const SearchList& sl : relevant) {
+    result.stats.relevant_postings += sl.list->postings.size();
+  }
+
+  // Exact top-k by full accumulation over the relevant lists.
+  std::unordered_map<ImageId, double> exact;
+  for (const SearchList& sl : relevant) {
+    for (const MerklePosting& p : sl.list->postings) {
+      exact[p.id] += sl.q_impact * p.impact;
+    }
+  }
+  std::vector<bovw::ScoredImage> ranked;
+  ranked.reserve(exact.size());
+  for (const auto& [id, score] : exact) ranked.push_back({id, score});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const bovw::ScoredImage& a, const bovw::ScoredImage& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  size_t k = std::min(params.k, ranked.size());
+  result.topk.assign(ranked.begin(), ranked.begin() + k);
+  std::vector<ImageId> topk_ids;
+  for (const auto& si : result.topk) topk_ids.push_back(si.id);
+  std::unordered_set<ImageId> topk_set(topk_ids.begin(), topk_ids.end());
+
+  // k == 0 asks for nothing, so nothing needs proving: emit a pop-free VO
+  // (the client skips the termination conditions for an empty request).
+  const bool trivial = k == 0;
+
+  // Line 1 of Algorithm 3: pop everything up to the deepest top-k
+  // occurrence in each list, and at least the head posting of every list so
+  // every cap is finite. These pops are known up front, so the bounds
+  // engine is constructed directly in the canonical (client) order with
+  // them applied — one feed instead of two. The lazy extension pops only
+  // the heads and reveals top-k occurrences on demand later.
+  for (size_t li = 0; !trivial && li < relevant.size(); ++li) {
+    const auto& postings = relevant[li].list->postings;
+    size_t deepest = 0;  // pop at least one
+    if (!params.lazy_topk_pops) {
+      for (size_t i = 0; i < postings.size(); ++i) {
+        if (topk_set.contains(postings[i].id)) deepest = i;
+      }
+    }
+    relevant[li].next_pop = deepest + 1;
+    result.stats.popped_initial += relevant[li].next_pop;
+    result.stats.popped_postings += relevant[li].next_pop;
+  }
+  BoundsEngine engine = CanonicalEngine(relevant, use_filters);
+
+  // Lazy mode: the schedule of unrevealed top-k occurrences, highest impact
+  // first (each reveal pops the containing list down to the occurrence).
+  struct Occurrence {
+    double impact;
+    size_t li;
+    size_t pos;
+  };
+  std::vector<Occurrence> claimed_occurrences;
+  if (params.lazy_topk_pops && !trivial) {
+    for (size_t li = 0; li < relevant.size(); ++li) {
+      const auto& postings = relevant[li].list->postings;
+      for (size_t i = 0; i < postings.size(); ++i) {
+        if (topk_set.contains(postings[i].id)) {
+          claimed_occurrences.push_back({postings[i].impact, li, i});
+        }
+      }
+    }
+    std::sort(claimed_occurrences.begin(), claimed_occurrences.end(),
+              [](const Occurrence& a, const Occurrence& b) {
+                return a.impact > b.impact;
+              });
+  }
+  size_t next_occurrence = 0;
+
+  auto pop_one = [&](size_t li) -> bool {
+    SearchList& sl = relevant[li];
+    if (sl.next_pop >= sl.list->postings.size()) return false;
+    const MerklePosting& p = sl.list->postings[sl.next_pop++];
+    Status s = engine.AddPopped(li, p.id, p.impact);
+    (void)s;
+    ++result.stats.popped_postings;
+    if (sl.next_pop >= sl.list->postings.size()) engine.MarkExhausted(li);
+    return true;
+  };
+
+  // During the search s_k^L = min lower-bound score over the claimed top-k.
+  // With eager line-1 popping these bounds are exact; in lazy mode they are
+  // partial but still valid lower bounds. O(k) per check.
+  auto sk_lower = [&]() {
+    double skl = std::numeric_limits<double>::infinity();
+    for (ImageId id : topk_ids) skl = std::min(skl, engine.ScoreOf(id));
+    return topk_ids.empty() ? 0.0 : skl;
+  };
+
+  // Condition 1 loop: pop from the list with the largest remaining
+  // contribution until s_k^L >= pi^U.
+  auto run_condition1 = [&]() {
+    while (!trivial) {
+      ++result.stats.condition_checks;
+      if (sk_lower() >= engine.PiUpper()) break;
+      // Greedy: reduce the largest q_impact * cap.
+      size_t best = relevant.size();
+      double best_val = -1;
+      for (size_t li = 0; li < relevant.size(); ++li) {
+        if (engine.Exhausted(li)) continue;
+        double v = relevant[li].q_impact * engine.Cap(li);
+        if (v > best_val) {
+          best_val = v;
+          best = li;
+        }
+      }
+      if (best == relevant.size()) break;  // everything popped
+      for (size_t i = 0; i < params.check_batch; ++i) {
+        if (!pop_one(best)) break;
+        ++result.stats.popped_cond1;
+      }
+    }
+  };
+
+  // Condition 2 loop: resolve every popped non-result whose upper bound
+  // still exceeds s_k^L.
+  auto run_condition2 = [&]() {
+    while (!trivial) {
+      ++result.stats.condition_checks;
+      double skl = sk_lower();
+      ImageId violator = 0;
+      bool found = false;
+      for (const auto& [id, score] : engine.Scores()) {
+        if (topk_set.contains(id)) continue;
+        if (engine.SUpper(id) > skl) {
+          violator = id;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      // Pop from the lists that may still contain the violator until its
+      // bound drops or its true contribution is revealed.
+      auto possible = engine.PossibleLists(violator);
+      bool progressed = false;
+      double skl_now = skl;
+      for (size_t li : possible) {
+        // Drain this list until the violator's true contribution is
+        // revealed (or the list ends), re-checking its bound periodically
+        // so we stop as soon as the remaining caps alone settle it.
+        size_t popped_here = 0;
+        while (!engine.Exhausted(li) && !engine.PoppedIn(li, violator)) {
+          if (!pop_one(li)) break;
+          ++result.stats.popped_cond2;
+          ++popped_here;
+          if (popped_here % params.check_batch == 0 &&
+              engine.SUpper(violator) <= skl_now) {
+            break;
+          }
+        }
+        if (popped_here > 0) progressed = true;
+        if (engine.SUpper(violator) <= skl_now) break;
+      }
+      if (!progressed) break;  // nothing left to pop; bounds are final
+    }
+  };
+
+  run_condition1();
+  run_condition2();
+
+  // Lazy mode: the claimed set must also be the k best by *revealed* score
+  // (which the client checks). Reveal claimed occurrences, highest impact
+  // first, until it is, re-settling the conditions after each batch.
+  while (params.lazy_topk_pops && !trivial) {
+    double skl_check = 0;
+    ++result.stats.condition_checks;
+    if (VerifyClaimedTopK(engine, topk_ids, &skl_check)) break;
+    bool revealed = false;
+    while (next_occurrence < claimed_occurrences.size()) {
+      const Occurrence& occ = claimed_occurrences[next_occurrence++];
+      if (occ.pos < relevant[occ.li].next_pop) continue;  // already popped
+      while (relevant[occ.li].next_pop <= occ.pos) {
+        if (!pop_one(occ.li)) break;
+      }
+      revealed = true;
+      break;
+    }
+    if (!revealed) break;  // every occurrence revealed; ranking is exact
+    run_condition1();
+    run_condition2();
+  }
+
+  // Final canonical re-check: evaluate the conditions exactly as the client
+  // will (same summation order). On the rare float-ordering miss, keep
+  // popping the largest remaining contribution and re-check.
+  while (!trivial) {
+    BoundsEngine canonical = CanonicalEngine(relevant, use_filters);
+    ++result.stats.condition_checks;
+    if (ConditionsHold(canonical, topk_ids)) break;
+    size_t best = relevant.size();
+    double best_val = -1;
+    for (size_t li = 0; li < relevant.size(); ++li) {
+      if (engine.Exhausted(li)) continue;
+      double v = relevant[li].q_impact * engine.Cap(li);
+      if (v > best_val) {
+        best_val = v;
+        best = li;
+      }
+    }
+    if (best == relevant.size()) break;  // fully popped; conditions maximal
+    for (size_t i = 0; i < params.check_batch; ++i) {
+      if (!pop_one(best)) break;
+    }
+  }
+
+  // ----- VO serialization -----
+  ByteWriter w;
+  w.PutU8(use_filters ? 1 : 0);
+  // Every support cluster appears, relevant or not.
+  std::map<size_t, size_t> relevant_by_cluster;  // cluster -> index
+  for (size_t li = 0; li < relevant.size(); ++li) {
+    relevant_by_cluster[relevant[li].list->cluster] = li;
+  }
+  w.PutVarint(query_bovw.entries.size());
+  for (const auto& [c, f] : query_bovw.entries) {
+    const MerkleInvertedList& list = index.list(c);
+    w.PutVarint(c);
+    w.PutF64(list.weight);
+    auto it = relevant_by_cluster.find(c);
+    size_t popped = it == relevant_by_cluster.end()
+                        ? 0
+                        : relevant[it->second].next_pop;
+    w.PutVarint(popped);
+    for (size_t i = 0; i < popped; ++i) {
+      w.PutVarint(list.postings[i].id);
+      w.PutF64(list.postings[i].impact);
+    }
+    bool has_remaining = popped < list.postings.size();
+    bool relevant_list = it != relevant_by_cluster.end();
+    bool filter_included = use_filters && relevant_list && has_remaining;
+    uint8_t flags = (has_remaining ? 1 : 0) | (filter_included ? 2 : 0);
+    w.PutU8(flags);
+    if (has_remaining) {
+      crypto::PutDigest(w, list.postings[popped].digest);
+    }
+    if (use_filters) {
+      if (filter_included) {
+        w.PutBlob(list.filter->Serialize());
+      } else {
+        crypto::PutDigest(w, list.theta_digest);
+      }
+    }
+  }
+  result.vo = w.Take();
+  return result;
+}
+
+}  // namespace imageproof::invindex

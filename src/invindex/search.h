@@ -1,0 +1,85 @@
+// PostingSearch + InvSearch (Algorithms 3 and 4): SP-side top-k search over
+// the Merkle inverted index and VO generation.
+//
+// The SP first pops, for every relevant list, the prefix covering all
+// occurrences of the exact top-k images (plus at least the head posting so
+// every remaining-impact cap is finite), then keeps popping until both
+// termination conditions hold:
+//   Condition 1: s_k^L >= pi^U
+//   Condition 2: s_k^L >= S^U(Q, I) for every popped I outside the top-k
+// Bounds come from invindex/bounds.h — with cuckoo filters (InvSearch) or
+// the loose Eq. (10) bounds (Baseline) depending on how the index was
+// built. Before emitting the VO the SP re-evaluates both conditions on a
+// canonically-ordered engine (exactly what the client will run), so
+// floating-point summation order can never make an honest VO fail
+// verification.
+//
+// VO layout (all canonical encodings):
+//   u8   use_filters
+//   varint num_lists                     -- every cluster in the query's
+//   per list (cluster ascending):           BoVW support, relevant or not
+//     varint cluster_id
+//     f64 weight w_c
+//     varint num_popped; per posting: varint image_id, f64 impact
+//     u8 flags (bit0 has_remaining, bit1 filter_included)
+//     [has_remaining]   digest of first unpopped posting
+//     [filter_included] blob: original cuckoo filter
+//     [use_filters && !filter_included] digest h(Theta)
+
+#ifndef IMAGEPROOF_INVINDEX_SEARCH_H_
+#define IMAGEPROOF_INVINDEX_SEARCH_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "invindex/bounds.h"
+#include "invindex/merkle_inv_index.h"
+
+namespace imageproof::invindex {
+
+struct InvSearchParams {
+  size_t k = 10;
+  // Postings popped between termination-condition re-checks (the paper's
+  // batching optimization over [15], which re-checked per posting).
+  size_t check_batch = 16;
+  // Extension (off by default = Algorithm 3 line 1 verbatim): instead of
+  // eagerly popping every occurrence of every top-k image up front, start
+  // from one posting per list and reveal top-k occurrences lazily, highest
+  // impact first, only until the claimed set provably dominates. Deep
+  // low-impact occurrences of result images — which line 1 pays for in
+  // full — are then usually never popped. See bench/abl_lazy_topk.
+  bool lazy_topk_pops = false;
+};
+
+struct InvSearchStats {
+  size_t popped_postings = 0;
+  size_t relevant_postings = 0;  // total postings in relevant lists
+  size_t relevant_lists = 0;
+  size_t condition_checks = 0;
+  // Breakdown of popped_postings by search phase.
+  size_t popped_initial = 0;  // Algorithm 3 line 1 (top-k occurrences)
+  size_t popped_cond1 = 0;
+  size_t popped_cond2 = 0;
+
+  double PoppedFraction() const {
+    return relevant_postings == 0
+               ? 0.0
+               : static_cast<double>(popped_postings) / relevant_postings;
+  }
+};
+
+struct InvSearchResult {
+  std::vector<bovw::ScoredImage> topk;  // exact scores, best first
+  Bytes vo;
+  InvSearchStats stats;
+};
+
+// Runs the authenticated top-k search for a query BoVW vector. The bound
+// mode (filters vs. loose) follows index.with_filters().
+InvSearchResult InvSearch(const MerkleInvertedIndex& index,
+                          const bovw::BovwVector& query_bovw,
+                          const InvSearchParams& params);
+
+}  // namespace imageproof::invindex
+
+#endif  // IMAGEPROOF_INVINDEX_SEARCH_H_

@@ -1,0 +1,151 @@
+#include "merkle/merkle_tree.h"
+
+#include <algorithm>
+
+#include "crypto/hasher.h"
+
+namespace imageproof::merkle {
+
+namespace {
+
+// Largest power of two strictly less than n (n >= 2).
+size_t SplitPoint(size_t n) {
+  size_t p = 1;
+  while (p * 2 < n) p *= 2;
+  return p;
+}
+
+Digest HashNode(const Digest& left, const Digest& right) {
+  return crypto::DigestBuilder()
+      .AddU8(0x01)
+      .AddDigest(left)
+      .AddDigest(right)
+      .Finalize();
+}
+
+}  // namespace
+
+Digest MerkleTree::HashLeaf(const Bytes& payload) {
+  return crypto::DigestBuilder().AddU8(0x00).AddBytes(payload).Finalize();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaf_payloads)
+    : leaf_count_(leaf_payloads.size()) {
+  leaf_digests_.reserve(leaf_count_);
+  for (const Bytes& p : leaf_payloads) leaf_digests_.push_back(HashLeaf(p));
+  root_ = leaf_count_ == 0 ? Digest::Zero() : SubtreeDigest(0, leaf_count_);
+}
+
+Digest MerkleTree::SubtreeDigest(size_t begin, size_t end) const {
+  if (end - begin == 1) return leaf_digests_[begin];
+  size_t mid = begin + SplitPoint(end - begin);
+  return HashNode(SubtreeDigest(begin, mid), SubtreeDigest(mid, end));
+}
+
+void MerkleTree::ProveRange(size_t begin, size_t end,
+                            const std::vector<uint32_t>& indices,
+                            size_t idx_begin, size_t idx_end,
+                            std::vector<Digest>* out) const {
+  if (idx_begin == idx_end) {
+    // No revealed leaf inside this subtree: emit its digest.
+    out->push_back(SubtreeDigest(begin, end));
+    return;
+  }
+  if (end - begin == 1) return;  // the leaf itself is revealed
+  size_t mid = begin + SplitPoint(end - begin);
+  size_t idx_mid = idx_begin;
+  while (idx_mid < idx_end && indices[idx_mid] < mid) ++idx_mid;
+  ProveRange(begin, mid, indices, idx_begin, idx_mid, out);
+  ProveRange(mid, end, indices, idx_mid, idx_end, out);
+}
+
+std::vector<Digest> MerkleTree::ProveSubset(
+    const std::vector<uint32_t>& indices) const {
+  std::vector<Digest> out;
+  if (leaf_count_ == 0) return out;
+  ProveRange(0, leaf_count_, indices, 0, indices.size(), &out);
+  return out;
+}
+
+namespace {
+
+// Mirrors ProveRange, consuming payloads/proof digests in the same order.
+Status VerifyRange(size_t begin, size_t end,
+                   const std::vector<uint32_t>& indices,
+                   const std::vector<Bytes>& payloads, size_t idx_begin,
+                   size_t idx_end, const std::vector<Digest>& proof,
+                   size_t* proof_pos, Digest* out) {
+  if (idx_begin == idx_end) {
+    if (*proof_pos >= proof.size()) {
+      return Status::Error("merkle: proof too short");
+    }
+    *out = proof[(*proof_pos)++];
+    return Status::Ok();
+  }
+  if (end - begin == 1) {
+    if (indices[idx_begin] != begin || idx_end - idx_begin != 1) {
+      return Status::Error("merkle: indices out of order or duplicated");
+    }
+    *out = MerkleTree::HashLeaf(payloads[idx_begin]);
+    return Status::Ok();
+  }
+  size_t mid = begin + SplitPoint(end - begin);
+  size_t idx_mid = idx_begin;
+  while (idx_mid < idx_end && indices[idx_mid] < mid) ++idx_mid;
+  Digest left, right;
+  Status s = VerifyRange(begin, mid, indices, payloads, idx_begin, idx_mid,
+                         proof, proof_pos, &left);
+  if (!s.ok()) return s;
+  s = VerifyRange(mid, end, indices, payloads, idx_mid, idx_end, proof,
+                  proof_pos, &right);
+  if (!s.ok()) return s;
+  *out = HashNode(left, right);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReconstructSubsetRoot(size_t leaf_count,
+                             const std::vector<uint32_t>& indices,
+                             const std::vector<Bytes>& payloads,
+                             const std::vector<Digest>& proof,
+                             Digest* root_out) {
+  if (indices.size() != payloads.size()) {
+    return Status::Error("merkle: indices/payloads size mismatch");
+  }
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= leaf_count) return Status::Error("merkle: index out of range");
+    if (i > 0 && indices[i] <= indices[i - 1]) {
+      return Status::Error("merkle: indices not strictly increasing");
+    }
+  }
+  if (leaf_count == 0) {
+    if (!indices.empty() || !proof.empty()) {
+      return Status::Error("merkle: nonempty proof for empty tree");
+    }
+    *root_out = Digest::Zero();
+    return Status::Ok();
+  }
+  size_t proof_pos = 0;
+  Status s = VerifyRange(0, leaf_count, indices, payloads, 0, indices.size(),
+                         proof, &proof_pos, root_out);
+  if (!s.ok()) return s;
+  if (proof_pos != proof.size()) return Status::Error("merkle: proof too long");
+  return Status::Ok();
+}
+
+Status MerkleTree::VerifySubset(size_t leaf_count, const Digest& root,
+                                const std::vector<uint32_t>& indices,
+                                const std::vector<Bytes>& payloads,
+                                const std::vector<Digest>& proof) {
+  Digest computed = Digest::Zero();
+  Status s = ReconstructSubsetRoot(leaf_count, indices, payloads, proof,
+                                   &computed);
+  if (!s.ok()) return s;
+  if (leaf_count > 0 && computed != root) {
+    return Status::Error("merkle: root mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace imageproof::merkle

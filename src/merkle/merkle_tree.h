@@ -1,0 +1,72 @@
+// Generic Merkle hash tree with multi-leaf subset proofs (RFC 6962-style
+// unbalanced construction with domain-separated leaf/node hashing).
+//
+// ImageProof uses this for Optimization A (Section VI-A): each codebook
+// cluster's dimensions are committed with an MH-tree so the SP can reveal
+// only the handful of dimensions needed to prove a candidate is not the
+// nearest neighbor.
+
+#ifndef IMAGEPROOF_MERKLE_MERKLE_TREE_H_
+#define IMAGEPROOF_MERKLE_MERKLE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/digest.h"
+
+namespace imageproof::merkle {
+
+using crypto::Digest;
+
+// Commits a sequence of leaf payloads. Leaves are hashed with a 0x00 prefix
+// and internal nodes with a 0x01 prefix (second-preimage domain separation).
+// For n > 1 leaves the split point is the largest power of two < n.
+class MerkleTree {
+ public:
+  explicit MerkleTree(const std::vector<Bytes>& leaf_payloads);
+
+  size_t leaf_count() const { return leaf_count_; }
+  const Digest& root() const { return root_; }
+
+  static Digest HashLeaf(const Bytes& payload);
+
+  // Proof that the leaves at `indices` (sorted, unique, in range) have the
+  // claimed payloads: the digests of the maximal subtrees containing no
+  // revealed leaf, in traversal order.
+  std::vector<Digest> ProveSubset(const std::vector<uint32_t>& indices) const;
+
+  // Recomputes the root from revealed payloads + proof digests. `indices`
+  // must be sorted and unique; `payloads` aligns with `indices`.
+  static Status VerifySubset(size_t leaf_count, const Digest& root,
+                             const std::vector<uint32_t>& indices,
+                             const std::vector<Bytes>& payloads,
+                             const std::vector<Digest>& proof);
+
+ private:
+  // Digest of the subtree covering leaves [begin, end).
+  Digest SubtreeDigest(size_t begin, size_t end) const;
+  void ProveRange(size_t begin, size_t end, const std::vector<uint32_t>& indices,
+                  size_t idx_begin, size_t idx_end,
+                  std::vector<Digest>* out) const;
+
+  size_t leaf_count_ = 0;
+  std::vector<Digest> leaf_digests_;
+  // Memoized digests keyed by (begin, end) are unnecessary: the tree is
+  // small (codebook dimensionality), so digests are recomputed on demand
+  // except for the cached root.
+  Digest root_;
+};
+
+// Recomputes the root implied by a subset proof without comparing it to a
+// known value (the caller embeds the result in a larger digest). Same input
+// contract as MerkleTree::VerifySubset.
+Status ReconstructSubsetRoot(size_t leaf_count,
+                             const std::vector<uint32_t>& indices,
+                             const std::vector<Bytes>& payloads,
+                             const std::vector<Digest>& proof, Digest* root_out);
+
+}  // namespace imageproof::merkle
+
+#endif  // IMAGEPROOF_MERKLE_MERKLE_TREE_H_

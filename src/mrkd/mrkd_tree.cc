@@ -1,0 +1,93 @@
+#include "mrkd/mrkd_tree.h"
+
+#include "common/parallel.h"
+#include "crypto/hasher.h"
+
+namespace imageproof::mrkd {
+
+MrkdTree::MrkdTree(const ann::RkdTree* tree, RevealMode mode,
+                   const std::vector<Digest>& list_digests)
+    : tree_(tree), mode_(mode), list_digests_(&list_digests) {
+  const ann::PointSet& points = tree_->points();
+  cluster_commitments_.resize(points.size());
+  ParallelFor(points.size(), [&](size_t c) {
+    cluster_commitments_[c] = ClusterCommitment(
+        mode_, static_cast<ClusterId>(c), points.row(c), points.dims());
+  });
+  node_digests_.resize(tree_->nodes().size());
+  if (!tree_->nodes().empty()) ComputeNodeDigest(tree_->root());
+  BuildParentsAndLeafMap();
+}
+
+void MrkdTree::BuildParentsAndLeafMap() {
+  const auto& nodes = tree_->nodes();
+  parents_.assign(nodes.size(), -1);
+  leaf_of_.assign(tree_->points().size(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const ann::RkdNode& n = nodes[i];
+    if (n.IsLeaf()) {
+      for (int32_t j = n.begin; j < n.end; ++j) {
+        leaf_of_[tree_->point_indices()[j]] = static_cast<int32_t>(i);
+      }
+    } else {
+      parents_[n.left] = static_cast<int32_t>(i);
+      parents_[n.right] = static_cast<int32_t>(i);
+    }
+  }
+}
+
+Digest MrkdTree::RecomputeLocalDigest(int node) {
+  const ann::RkdNode& n = tree_->nodes()[node];
+  crypto::DigestBuilder b;
+  if (n.IsLeaf()) {
+    for (int32_t i = n.begin; i < n.end; ++i) {
+      ClusterId c = static_cast<ClusterId>(tree_->point_indices()[i]);
+      b.AddDigest(cluster_commitments_[c]);
+      b.AddDigest((*list_digests_)[c]);
+    }
+  } else {
+    HashInternal(b, static_cast<uint32_t>(n.split_dim), n.split_value,
+                 node_digests_[n.left], node_digests_[n.right]);
+  }
+  return b.Finalize();
+}
+
+size_t MrkdTree::RefreshListDigest(ClusterId c) {
+  if (c >= leaf_of_.size() || leaf_of_[c] < 0) return 0;
+  size_t rehashed = 0;
+  for (int32_t node = leaf_of_[c]; node >= 0; node = parents_[node]) {
+    node_digests_[node] = RecomputeLocalDigest(node);
+    ++rehashed;
+  }
+  return rehashed;
+}
+
+void MrkdTree::HashInternal(crypto::DigestBuilder& b, uint32_t split_dim,
+                            float split_value, const Digest& left,
+                            const Digest& right) {
+  b.AddU32(split_dim);
+  b.AddF32(split_value);
+  b.AddDigest(left);
+  b.AddDigest(right);
+}
+
+Digest MrkdTree::ComputeNodeDigest(int node) {
+  const ann::RkdNode& n = tree_->nodes()[node];
+  crypto::DigestBuilder b;
+  if (n.IsLeaf()) {
+    for (int32_t i = n.begin; i < n.end; ++i) {
+      ClusterId c = static_cast<ClusterId>(tree_->point_indices()[i]);
+      b.AddDigest(cluster_commitments_[c]);
+      b.AddDigest((*list_digests_)[c]);
+    }
+  } else {
+    Digest left = ComputeNodeDigest(n.left);
+    Digest right = ComputeNodeDigest(n.right);
+    HashInternal(b, static_cast<uint32_t>(n.split_dim), n.split_value, left,
+                 right);
+  }
+  node_digests_[node] = b.Finalize();
+  return node_digests_[node];
+}
+
+}  // namespace imageproof::mrkd

@@ -1,0 +1,158 @@
+#include "mrkd/search.h"
+
+#include <cmath>
+
+namespace imageproof::mrkd {
+
+namespace {
+
+// Recursion state shared across the traversal. Offsets are maintained
+// mutate-and-restore so no per-branch copies are made.
+struct SearchContext {
+  const MrkdTree* mrkd;
+  const std::vector<const float*>* queries;
+  const std::vector<double>* thresholds_sq;
+  std::vector<std::vector<double>> offsets;  // [query][dim]
+  ByteWriter* writer;
+  TreeSearchOutput* out;
+};
+
+// `active` holds query indices; `mindist` the exact squared min distance of
+// each active query to the current node's region.
+void SearchRec(SearchContext& ctx, int node_index,
+               const std::vector<uint32_t>& active,
+               const std::vector<double>& mindist) {
+  const ann::RkdTree& tree = ctx.mrkd->tree();
+  const ann::RkdNode& node = tree.nodes()[node_index];
+
+  if (active.empty()) {
+    ctx.writer->PutU8(kTokenPruned);
+    crypto::PutDigest(*ctx.writer, ctx.mrkd->node_digest(node_index));
+    ++ctx.out->stats.pruned_subtrees;
+    return;
+  }
+  ++ctx.out->stats.traversed_nodes;
+  if (active.size() >= 2) ++ctx.out->stats.shared_nodes;
+
+  if (node.IsLeaf()) {
+    ctx.writer->PutU8(kTokenLeaf);
+    ctx.writer->PutVarint(static_cast<uint64_t>(node.end - node.begin));
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      ClusterId c = static_cast<ClusterId>(tree.point_indices()[i]);
+      ctx.writer->PutVarint(c);
+      crypto::PutDigest(*ctx.writer, ctx.mrkd->list_digest(c));
+      for (uint32_t q : active) ctx.out->candidates[q].push_back(c);
+    }
+    return;
+  }
+
+  ctx.writer->PutU8(kTokenInternal);
+  ctx.writer->PutVarint(static_cast<uint64_t>(node.split_dim));
+  ctx.writer->PutF32(node.split_value);
+
+  const int d = node.split_dim;
+  std::vector<uint32_t> left_active, right_active;
+  std::vector<double> left_mindist, right_mindist;
+  // (query, saved offset) pairs to restore after each child.
+  std::vector<std::pair<uint32_t, double>> left_saved, right_saved;
+
+  for (size_t k = 0; k < active.size(); ++k) {
+    uint32_t q = active[k];
+    double diff = static_cast<double>((*ctx.queries)[q][d]) - node.split_value;
+    bool near_is_left = diff < 0;
+    double old_off = ctx.offsets[q][d];
+    double far_dist = mindist[k] - old_off * old_off + diff * diff;
+
+    double near_dist = mindist[k];
+    double t = (*ctx.thresholds_sq)[q];
+    // Near child: offset unchanged.
+    if (near_is_left) {
+      left_active.push_back(q);
+      left_mindist.push_back(near_dist);
+    } else {
+      right_active.push_back(q);
+      right_mindist.push_back(near_dist);
+    }
+    // Far child: offset along d tightens to |diff|.
+    if (far_dist <= t) {
+      if (near_is_left) {
+        right_active.push_back(q);
+        right_mindist.push_back(far_dist);
+        right_saved.emplace_back(q, old_off);
+      } else {
+        left_active.push_back(q);
+        left_mindist.push_back(far_dist);
+        left_saved.emplace_back(q, old_off);
+      }
+    }
+  }
+
+  auto descend = [&](int child, const std::vector<uint32_t>& child_active,
+                     const std::vector<double>& child_mindist,
+                     const std::vector<std::pair<uint32_t, double>>& saved) {
+    for (const auto& [q, old_off] : saved) {
+      double diff =
+          static_cast<double>((*ctx.queries)[q][d]) - node.split_value;
+      ctx.offsets[q][d] = std::abs(diff);
+      (void)old_off;
+    }
+    SearchRec(ctx, child, child_active, child_mindist);
+    for (const auto& [q, old_off] : saved) ctx.offsets[q][d] = old_off;
+  };
+
+  descend(node.left, left_active, left_mindist, left_saved);
+  descend(node.right, right_active, right_mindist, right_saved);
+}
+
+TreeSearchOutput RunSearch(const MrkdTree& tree,
+                           const std::vector<const float*>& queries,
+                           const std::vector<double>& thresholds_sq,
+                           const std::vector<uint32_t>& initial_active,
+                           TreeSearchOutput* accumulate) {
+  TreeSearchOutput local;
+  TreeSearchOutput& out = accumulate ? *accumulate : local;
+  if (out.candidates.size() != queries.size()) {
+    out.candidates.resize(queries.size());
+  }
+
+  SearchContext ctx;
+  ctx.mrkd = &tree;
+  ctx.queries = &queries;
+  ctx.thresholds_sq = &thresholds_sq;
+  ctx.offsets.assign(queries.size(),
+                     std::vector<double>(tree.tree().points().dims(), 0.0));
+  ByteWriter writer;
+  ctx.writer = &writer;
+  ctx.out = &out;
+
+  std::vector<double> mindist(initial_active.size(), 0.0);
+  if (!tree.tree().nodes().empty()) {
+    SearchRec(ctx, tree.tree().root(), initial_active, mindist);
+  }
+  Bytes vo = writer.Take();
+  out.vo.insert(out.vo.end(), vo.begin(), vo.end());
+  return out;
+}
+
+}  // namespace
+
+TreeSearchOutput MrkdSearchShared(const MrkdTree& tree,
+                                  const std::vector<const float*>& queries,
+                                  const std::vector<double>& thresholds_sq) {
+  std::vector<uint32_t> all(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  return RunSearch(tree, queries, thresholds_sq, all, nullptr);
+}
+
+TreeSearchOutput MrkdSearchUnshared(const MrkdTree& tree,
+                                    const std::vector<const float*>& queries,
+                                    const std::vector<double>& thresholds_sq) {
+  TreeSearchOutput out;
+  out.candidates.resize(queries.size());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    RunSearch(tree, queries, thresholds_sq, {q}, &out);
+  }
+  return out;
+}
+
+}  // namespace imageproof::mrkd

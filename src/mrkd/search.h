@@ -1,0 +1,70 @@
+// MRKDSearch (Algorithm 1): authenticated range search over the MRKD-tree
+// for all query feature vectors in one traversal, sharing tree nodes.
+//
+// SP-side semantics: a query q_i is "active" at a node when the exact
+// minimum distance from q_i to the node's region is <= its threshold t_i.
+// A subtree with no active query is pruned and only its digest enters the
+// VO; a reached leaf contributes every cluster it stores to the candidate
+// set of each active query. The client replays the identical recursion
+// (mrkd/verify.h), so activity decisions are bit-reproducible.
+//
+// The VO is a preorder token stream:
+//   kPruned   digest(32B)
+//   kLeaf     varint count, then per entry: varint cluster_id, digest(32B)
+//             of the cluster's Merkle inverted list
+//   kInternal varint split_dim, f32 split_value, then left and right
+//             token streams
+//
+// Cluster coordinates are *not* in the stream; they travel once, globally,
+// in the candidate-reveal section (mrkd/commit.h) — the paper's shared
+// candidate strategy.
+
+#ifndef IMAGEPROOF_MRKD_SEARCH_H_
+#define IMAGEPROOF_MRKD_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "mrkd/mrkd_tree.h"
+
+namespace imageproof::mrkd {
+
+inline constexpr uint8_t kTokenPruned = 0;
+inline constexpr uint8_t kTokenLeaf = 1;
+inline constexpr uint8_t kTokenInternal = 2;
+
+struct MrkdSearchStats {
+  size_t traversed_nodes = 0;  // nodes with at least one active query
+  size_t shared_nodes = 0;     // nodes with two or more active queries
+  size_t pruned_subtrees = 0;
+
+  double ShareRatio() const {
+    return traversed_nodes == 0
+               ? 0.0
+               : static_cast<double>(shared_nodes) / traversed_nodes;
+  }
+};
+
+struct TreeSearchOutput {
+  Bytes vo;
+  // candidates[i] = clusters of every leaf where query i was active.
+  std::vector<std::vector<ClusterId>> candidates;
+  MrkdSearchStats stats;
+};
+
+// Shared-node MRKDSearch (the paper's scheme). `thresholds_sq` are squared
+// distances, one per query.
+TreeSearchOutput MrkdSearchShared(const MrkdTree& tree,
+                                  const std::vector<const float*>& queries,
+                                  const std::vector<double>& thresholds_sq);
+
+// Baseline variant without node sharing: one independent traversal (and VO
+// stream) per query, concatenated. Candidate semantics are identical.
+TreeSearchOutput MrkdSearchUnshared(const MrkdTree& tree,
+                                    const std::vector<const float*>& queries,
+                                    const std::vector<double>& thresholds_sq);
+
+}  // namespace imageproof::mrkd
+
+#endif  // IMAGEPROOF_MRKD_SEARCH_H_

@@ -1,0 +1,190 @@
+#include "mrkd/verify.h"
+
+#include <cmath>
+
+#include "crypto/hasher.h"
+#include "mrkd/mrkd_tree.h"
+#include "mrkd/search.h"
+
+namespace imageproof::mrkd {
+
+namespace {
+
+struct VerifyContext {
+  ByteReader* reader;
+  size_t dims;
+  const std::map<ClusterId, Digest>* commitments;
+  const std::vector<const float*>* queries;
+  const std::vector<double>* thresholds_sq;
+  std::vector<std::vector<double>> offsets;  // [query][dim]
+  TreeVerifyOutput* out;
+};
+
+Status ReplayRec(VerifyContext& ctx, const std::vector<uint32_t>& active,
+                 const std::vector<double>& mindist, Digest* digest_out) {
+  uint8_t kind = 0;
+  Status s = ctx.reader->GetU8(&kind);
+  if (!s.ok()) return s;
+
+  if (active.empty()) {
+    if (kind != kTokenPruned) {
+      return Status::Error("mrkd: subtree revealed where no query is active");
+    }
+    return crypto::GetDigest(*ctx.reader, digest_out);
+  }
+  if (kind == kTokenPruned) {
+    return Status::Error("mrkd: subtree pruned while a query is active");
+  }
+
+  if (kind == kTokenLeaf) {
+    uint64_t count;
+    if (!(s = ctx.reader->GetVarint(&count)).ok()) return s;
+    if (count == 0 || count > 4096) {
+      return Status::Error("mrkd: implausible leaf size");
+    }
+    crypto::DigestBuilder b;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t cid;
+      if (!(s = ctx.reader->GetVarint(&cid)).ok()) return s;
+      ClusterId c = static_cast<ClusterId>(cid);
+      auto it = ctx.commitments->find(c);
+      if (it == ctx.commitments->end()) {
+        return Status::Error("mrkd: leaf cluster missing from reveal section");
+      }
+      Digest list_digest;
+      if (!(s = crypto::GetDigest(*ctx.reader, &list_digest)).ok()) return s;
+      b.AddDigest(it->second);
+      b.AddDigest(list_digest);
+      auto [pos, inserted] = ctx.out->list_digests.emplace(c, list_digest);
+      if (!inserted && pos->second != list_digest) {
+        return Status::Error("mrkd: conflicting inverted-list digests");
+      }
+      for (uint32_t q : active) ctx.out->candidates[q].push_back(c);
+    }
+    *digest_out = b.Finalize();
+    return Status::Ok();
+  }
+
+  if (kind != kTokenInternal) {
+    return Status::Error("mrkd: unknown VO token");
+  }
+  uint64_t split_dim;
+  float split_value;
+  if (!(s = ctx.reader->GetVarint(&split_dim)).ok()) return s;
+  if (split_dim >= ctx.dims) {
+    return Status::Error("mrkd: split dimension out of range");
+  }
+  if (!(s = ctx.reader->GetF32(&split_value)).ok()) return s;
+
+  const int d = static_cast<int>(split_dim);
+  std::vector<uint32_t> left_active, right_active;
+  std::vector<double> left_mindist, right_mindist;
+  std::vector<std::pair<uint32_t, double>> left_saved, right_saved;
+  for (size_t k = 0; k < active.size(); ++k) {
+    uint32_t q = active[k];
+    double diff = static_cast<double>((*ctx.queries)[q][d]) - split_value;
+    bool near_is_left = diff < 0;
+    double old_off = ctx.offsets[q][d];
+    double far_dist = mindist[k] - old_off * old_off + diff * diff;
+    double t = (*ctx.thresholds_sq)[q];
+    if (near_is_left) {
+      left_active.push_back(q);
+      left_mindist.push_back(mindist[k]);
+    } else {
+      right_active.push_back(q);
+      right_mindist.push_back(mindist[k]);
+    }
+    if (far_dist <= t) {
+      if (near_is_left) {
+        right_active.push_back(q);
+        right_mindist.push_back(far_dist);
+        right_saved.emplace_back(q, old_off);
+      } else {
+        left_active.push_back(q);
+        left_mindist.push_back(far_dist);
+        left_saved.emplace_back(q, old_off);
+      }
+    }
+  }
+
+  Digest left_digest, right_digest;
+  auto descend = [&](const std::vector<uint32_t>& child_active,
+                     const std::vector<double>& child_mindist,
+                     const std::vector<std::pair<uint32_t, double>>& saved,
+                     Digest* dig) -> Status {
+    for (const auto& [q, old_off] : saved) {
+      double diff = static_cast<double>((*ctx.queries)[q][d]) - split_value;
+      ctx.offsets[q][d] = std::abs(diff);
+      (void)old_off;
+    }
+    Status st = ReplayRec(ctx, child_active, child_mindist, dig);
+    for (const auto& [q, old_off] : saved) ctx.offsets[q][d] = old_off;
+    return st;
+  };
+
+  if (!(s = descend(left_active, left_mindist, left_saved, &left_digest)).ok()) {
+    return s;
+  }
+  if (!(s = descend(right_active, right_mindist, right_saved, &right_digest))
+           .ok()) {
+    return s;
+  }
+
+  crypto::DigestBuilder b;
+  MrkdTree::HashInternal(b, static_cast<uint32_t>(split_dim), split_value,
+                         left_digest, right_digest);
+  *digest_out = b.Finalize();
+  return Status::Ok();
+}
+
+Status ReplayOne(ByteReader& r, size_t dims,
+                 const std::map<ClusterId, Digest>& commitments,
+                 const std::vector<const float*>& queries,
+                 const std::vector<double>& thresholds_sq,
+                 const std::vector<uint32_t>& initial_active,
+                 TreeVerifyOutput* out, Digest* root) {
+  VerifyContext ctx;
+  ctx.reader = &r;
+  ctx.dims = dims;
+  ctx.commitments = &commitments;
+  ctx.queries = &queries;
+  ctx.thresholds_sq = &thresholds_sq;
+  ctx.offsets.assign(queries.size(), std::vector<double>(dims, 0.0));
+  ctx.out = out;
+  std::vector<double> mindist(initial_active.size(), 0.0);
+  return ReplayRec(ctx, initial_active, mindist, root);
+}
+
+}  // namespace
+
+Status VerifyTreeVo(ByteReader& r, size_t dims,
+                    const std::map<ClusterId, Digest>& commitments,
+                    const std::vector<const float*>& queries,
+                    const std::vector<double>& thresholds_sq, bool shared,
+                    TreeVerifyOutput* out) {
+  out->candidates.assign(queries.size(), {});
+  if (shared) {
+    std::vector<uint32_t> all(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      all[i] = static_cast<uint32_t>(i);
+    }
+    return ReplayOne(r, dims, commitments, queries, thresholds_sq, all, out,
+                     &out->root);
+  }
+  // Baseline layout: one stream per query; every stream must reconstruct
+  // the same root.
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    Digest root;
+    Status s = ReplayOne(r, dims, commitments, queries, thresholds_sq, {q},
+                         out, &root);
+    if (!s.ok()) return s;
+    if (q == 0) {
+      out->root = root;
+    } else if (root != out->root) {
+      return Status::Error("mrkd: per-query streams reconstruct different roots");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace imageproof::mrkd

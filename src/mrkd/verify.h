@@ -1,0 +1,45 @@
+// Client-side verification of an MRKDSearch VO: replays the traversal with
+// the client's own activity decisions, reconstructs the root digest, and
+// extracts the per-query candidate sets.
+//
+// The replay enforces strict agreement: a subtree may be pruned in the VO
+// iff the client computes an empty active set for it. Anything else —
+// missing subtrees, gratuitous reveals, malformed tokens — is rejected, so
+// a VO that verifies pins down exactly the candidate sets an honest SP
+// would produce.
+
+#ifndef IMAGEPROOF_MRKD_VERIFY_H_
+#define IMAGEPROOF_MRKD_VERIFY_H_
+
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "mrkd/commit.h"
+
+namespace imageproof::mrkd {
+
+struct TreeVerifyOutput {
+  Digest root = Digest::Zero();  // reconstructed root digest
+  std::vector<std::vector<ClusterId>> candidates;  // per query
+  // Inverted-list digests observed in leaf tokens; later cross-checked
+  // against the inverted-index VO.
+  std::map<ClusterId, Digest> list_digests;
+};
+
+// Replays one tree's token stream from `r`.
+//   `commitments`   cluster id -> commitment recomputed from the reveal
+//                   section (every leaf entry must be present).
+//   `queries`/`thresholds_sq` define activity exactly as on the SP.
+//   `shared`        false replays one independent stream per query (the
+//                   Baseline layout).
+Status VerifyTreeVo(ByteReader& r, size_t dims,
+                    const std::map<ClusterId, Digest>& commitments,
+                    const std::vector<const float*>& queries,
+                    const std::vector<double>& thresholds_sq, bool shared,
+                    TreeVerifyOutput* out);
+
+}  // namespace imageproof::mrkd
+
+#endif  // IMAGEPROOF_MRKD_VERIFY_H_

@@ -1,0 +1,267 @@
+#include "sift/extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sift/gaussian.h"
+
+namespace imageproof::sift {
+
+namespace {
+
+using image::FloatImage;
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Octave {
+  std::vector<FloatImage> gaussians;  // s + 3 levels
+  std::vector<FloatImage> dogs;       // s + 2 levels
+};
+
+// True if (x, y) at dogs[level] is a strict 26-neighborhood extremum.
+bool IsExtremum(const std::vector<FloatImage>& dogs, int level, int x, int y) {
+  float v = dogs[level].at(x, y);
+  bool is_max = true, is_min = true;
+  for (int dl = -1; dl <= 1; ++dl) {
+    const FloatImage& plane = dogs[level + dl];
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dl == 0 && dx == 0 && dy == 0) continue;
+        float n = plane.at(x + dx, y + dy);
+        if (n >= v) is_max = false;
+        if (n <= v) is_min = false;
+        if (!is_max && !is_min) return false;
+      }
+    }
+  }
+  return is_max || is_min;
+}
+
+// Rejects edge-like responses using the 2x2 spatial Hessian trace/det ratio.
+bool PassesEdgeTest(const FloatImage& dog, int x, int y, double edge_threshold) {
+  float dxx = dog.at(x + 1, y) + dog.at(x - 1, y) - 2 * dog.at(x, y);
+  float dyy = dog.at(x, y + 1) + dog.at(x, y - 1) - 2 * dog.at(x, y);
+  float dxy = 0.25f * (dog.at(x + 1, y + 1) - dog.at(x - 1, y + 1) -
+                       dog.at(x + 1, y - 1) + dog.at(x - 1, y - 1));
+  float tr = dxx + dyy;
+  float det = dxx * dyy - dxy * dxy;
+  if (det <= 0) return false;
+  double r = edge_threshold;
+  return static_cast<double>(tr) * tr / det < (r + 1) * (r + 1) / r;
+}
+
+// Gradient magnitude/orientation at a pixel of a Gaussian level.
+inline void GradientAt(const FloatImage& img, int x, int y, float* mag,
+                       float* ori) {
+  float dx = img.AtClamped(x + 1, y) - img.AtClamped(x - 1, y);
+  float dy = img.AtClamped(x, y + 1) - img.AtClamped(x, y - 1);
+  *mag = std::sqrt(dx * dx + dy * dy);
+  *ori = std::atan2(dy, dx);  // [-pi, pi]
+}
+
+// Dominant gradient orientations around (x, y); returns the peak plus any
+// secondary peaks above 80% of it.
+std::vector<float> DominantOrientations(const FloatImage& img, int x, int y,
+                                        double sigma) {
+  constexpr int kBins = 36;
+  double hist[kBins] = {};
+  int radius = static_cast<int>(std::round(3.0 * 1.5 * sigma));
+  if (radius < 1) radius = 1;
+  double weight_sigma = 1.5 * sigma;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      int px = x + dx, py = y + dy;
+      if (px < 1 || px >= img.width() - 1 || py < 1 || py >= img.height() - 1) {
+        continue;
+      }
+      float mag, ori;
+      GradientAt(img, px, py, &mag, &ori);
+      double w = std::exp(-(dx * dx + dy * dy) / (2 * weight_sigma * weight_sigma));
+      int bin = static_cast<int>(std::floor((ori + kPi) / (2 * kPi) * kBins));
+      if (bin >= kBins) bin = kBins - 1;
+      if (bin < 0) bin = 0;
+      hist[bin] += w * mag;
+    }
+  }
+  // Smooth the histogram (circular box filter, applied twice).
+  for (int pass = 0; pass < 2; ++pass) {
+    double tmp[kBins];
+    for (int i = 0; i < kBins; ++i) {
+      tmp[i] = (hist[(i + kBins - 1) % kBins] + hist[i] + hist[(i + 1) % kBins]) / 3.0;
+    }
+    std::copy(tmp, tmp + kBins, hist);
+  }
+
+  double peak = *std::max_element(hist, hist + kBins);
+  std::vector<float> out;
+  if (peak <= 0) return out;
+  for (int i = 0; i < kBins; ++i) {
+    double prev = hist[(i + kBins - 1) % kBins];
+    double next = hist[(i + 1) % kBins];
+    if (hist[i] > prev && hist[i] > next && hist[i] >= 0.8 * peak) {
+      // Parabolic interpolation of the bin center.
+      double denom = prev - 2 * hist[i] + next;
+      double offset = denom != 0 ? 0.5 * (prev - next) / denom : 0.0;
+      double angle = (i + 0.5 + offset) / kBins * 2 * kPi;  // [0, 2*pi)
+      if (angle < 0) angle += 2 * kPi;
+      if (angle >= 2 * kPi) angle -= 2 * kPi;
+      out.push_back(static_cast<float>(angle));
+      if (out.size() >= 2) break;  // at most two orientations per point
+    }
+  }
+  return out;
+}
+
+// Computes the grid x grid x bins descriptor at a keypoint on one Gaussian
+// level, rotated to the keypoint orientation and trilinearly binned.
+std::vector<float> ComputeDescriptor(const FloatImage& img, float x, float y,
+                                     double sigma, float orientation, int grid,
+                                     int bins) {
+  const int d = grid;
+  const int n = bins;
+  std::vector<float> desc(static_cast<size_t>(d) * d * n, 0.0f);
+
+  double hist_width = 3.0 * sigma;  // pixels per spatial bin
+  int radius = static_cast<int>(std::round(hist_width * std::sqrt(2.0) * (d + 1) * 0.5));
+  double cos_t = std::cos(orientation), sin_t = std::sin(orientation);
+
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      // Rotate the offset into the keypoint frame.
+      double rx = (cos_t * dx + sin_t * dy) / hist_width;
+      double ry = (-sin_t * dx + cos_t * dy) / hist_width;
+      double cbin = rx + d / 2.0 - 0.5;
+      double rbin = ry + d / 2.0 - 0.5;
+      if (cbin <= -1 || cbin >= d || rbin <= -1 || rbin >= d) continue;
+
+      int px = static_cast<int>(std::round(x)) + dx;
+      int py = static_cast<int>(std::round(y)) + dy;
+      if (px < 1 || px >= img.width() - 1 || py < 1 || py >= img.height() - 1) {
+        continue;
+      }
+      float mag, ori;
+      GradientAt(img, px, py, &mag, &ori);
+      double rel_ori = ori - orientation;
+      while (rel_ori < 0) rel_ori += 2 * kPi;
+      while (rel_ori >= 2 * kPi) rel_ori -= 2 * kPi;
+      double obin = rel_ori / (2 * kPi) * n;
+
+      double w = std::exp(-(rx * rx + ry * ry) / (0.5 * d * d)) * mag;
+
+      // Trilinear distribution into (rbin, cbin, obin).
+      int r0 = static_cast<int>(std::floor(rbin));
+      int c0 = static_cast<int>(std::floor(cbin));
+      int o0 = static_cast<int>(std::floor(obin));
+      double fr = rbin - r0, fc = cbin - c0, fo = obin - o0;
+      for (int ir = 0; ir <= 1; ++ir) {
+        int r = r0 + ir;
+        if (r < 0 || r >= d) continue;
+        double wr = w * (ir == 0 ? 1 - fr : fr);
+        for (int ic = 0; ic <= 1; ++ic) {
+          int c = c0 + ic;
+          if (c < 0 || c >= d) continue;
+          double wc = wr * (ic == 0 ? 1 - fc : fc);
+          for (int io = 0; io <= 1; ++io) {
+            int o = (o0 + io) % n;
+            if (o < 0) o += n;
+            double wo = wc * (io == 0 ? 1 - fo : fo);
+            desc[(static_cast<size_t>(r) * d + c) * n + o] += static_cast<float>(wo);
+          }
+        }
+      }
+    }
+  }
+
+  // Normalize, clip at 0.2, renormalize (standard SIFT illumination
+  // robustness step).
+  auto normalize = [&desc]() {
+    double norm = 0;
+    for (float v : desc) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (float& v : desc) v = static_cast<float>(v / norm);
+    }
+  };
+  normalize();
+  for (float& v : desc) v = std::min(v, 0.2f);
+  normalize();
+  return desc;
+}
+
+}  // namespace
+
+std::vector<Feature> SiftExtractor::Extract(const image::Image& img) const {
+  std::vector<Feature> features;
+  if (img.width() < 16 || img.height() < 16) return features;
+
+  const int s = params_.scales_per_octave;
+  const double k = std::pow(2.0, 1.0 / s);
+
+  // Build the Gaussian/DoG pyramid.
+  std::vector<Octave> octaves;
+  FloatImage base = GaussianBlur(image::FloatImage::From(img), params_.initial_sigma);
+  for (int o = 0; o < params_.num_octaves; ++o) {
+    if (base.width() < 16 || base.height() < 16) break;
+    Octave octave;
+    octave.gaussians.push_back(base);
+    double sigma = params_.initial_sigma;
+    for (int i = 1; i < s + 3; ++i) {
+      double next_sigma = params_.initial_sigma * std::pow(k, i);
+      double delta = std::sqrt(next_sigma * next_sigma - sigma * sigma);
+      octave.gaussians.push_back(GaussianBlur(octave.gaussians.back(), delta));
+      sigma = next_sigma;
+    }
+    for (int i = 0; i < s + 2; ++i) {
+      octave.dogs.push_back(Subtract(octave.gaussians[i + 1], octave.gaussians[i]));
+    }
+    base = Downsample2x(octave.gaussians[s]);  // 2x sigma level seeds the next octave
+    octaves.push_back(std::move(octave));
+  }
+
+  // Detect extrema and describe them.
+  for (int o = 0; o < static_cast<int>(octaves.size()); ++o) {
+    const Octave& octave = octaves[o];
+    double octave_scale = std::pow(2.0, o);
+    int w = octave.dogs[0].width(), h = octave.dogs[0].height();
+    for (int level = 1; level <= s; ++level) {
+      const FloatImage& dog = octave.dogs[level];
+      for (int y = 1; y < h - 1; ++y) {
+        for (int x = 1; x < w - 1; ++x) {
+          float v = dog.at(x, y);
+          if (std::abs(v) < params_.contrast_threshold) continue;
+          if (!IsExtremum(octave.dogs, level, x, y)) continue;
+          if (!PassesEdgeTest(dog, x, y, params_.edge_threshold)) continue;
+
+          double sigma = params_.initial_sigma * std::pow(k, level);
+          const FloatImage& gauss = octave.gaussians[level];
+          for (float angle : DominantOrientations(gauss, x, y, sigma)) {
+            Feature f;
+            f.keypoint.x = static_cast<float>(x * octave_scale);
+            f.keypoint.y = static_cast<float>(y * octave_scale);
+            f.keypoint.sigma = static_cast<float>(sigma * octave_scale);
+            f.keypoint.orientation = angle;
+            f.keypoint.response = std::abs(v);
+            f.keypoint.octave = o;
+            f.keypoint.level = level;
+            f.descriptor = ComputeDescriptor(
+                gauss, static_cast<float>(x), static_cast<float>(y), sigma,
+                angle, params_.descriptor_grid, params_.orientation_bins);
+            features.push_back(std::move(f));
+          }
+        }
+      }
+    }
+  }
+
+  if (params_.max_features > 0 &&
+      features.size() > static_cast<size_t>(params_.max_features)) {
+    std::partial_sort(features.begin(), features.begin() + params_.max_features,
+                      features.end(), [](const Feature& a, const Feature& b) {
+                        return a.keypoint.response > b.keypoint.response;
+                      });
+    features.resize(params_.max_features);
+  }
+  return features;
+}
+
+}  // namespace imageproof::sift

@@ -1,0 +1,69 @@
+#include "sift/gaussian.h"
+
+#include <cmath>
+#include <vector>
+
+namespace imageproof::sift {
+
+using image::FloatImage;
+
+FloatImage GaussianBlur(const FloatImage& src, double sigma) {
+  int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  if (radius < 1) radius = 1;
+  std::vector<float> kernel(2 * radius + 1);
+  double sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    kernel[i + radius] = static_cast<float>(v);
+    sum += v;
+  }
+  for (auto& k : kernel) k = static_cast<float>(k / sum);
+
+  int w = src.width(), h = src.height();
+  FloatImage tmp(w, h);
+  // Horizontal pass.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[i + radius] * src.AtClamped(x + i, y);
+      }
+      tmp.set(x, y, acc);
+    }
+  }
+  // Vertical pass.
+  FloatImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[i + radius] * tmp.AtClamped(x, y + i);
+      }
+      out.set(x, y, acc);
+    }
+  }
+  return out;
+}
+
+FloatImage Downsample2x(const FloatImage& src) {
+  int w = src.width() / 2, h = src.height() / 2;
+  if (w < 1) w = 1;
+  if (h < 1) h = 1;
+  FloatImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      out.set(x, y, src.at(2 * x, 2 * y));
+    }
+  }
+  return out;
+}
+
+FloatImage Subtract(const FloatImage& a, const FloatImage& b) {
+  FloatImage out(a.width(), a.height());
+  for (size_t i = 0; i < out.pixels().size(); ++i) {
+    out.pixels()[i] = a.pixels()[i] - b.pixels()[i];
+  }
+  return out;
+}
+
+}  // namespace imageproof::sift

@@ -1,0 +1,22 @@
+// Separable Gaussian filtering and downsampling for scale-space pyramids.
+
+#ifndef IMAGEPROOF_SIFT_GAUSSIAN_H_
+#define IMAGEPROOF_SIFT_GAUSSIAN_H_
+
+#include "image/image.h"
+
+namespace imageproof::sift {
+
+// Convolves with a Gaussian of the given sigma (separable; kernel radius
+// ceil(3*sigma); edge-clamped).
+image::FloatImage GaussianBlur(const image::FloatImage& src, double sigma);
+
+// Keeps every second pixel in both dimensions.
+image::FloatImage Downsample2x(const image::FloatImage& src);
+
+// dst = a - b (same dimensions required).
+image::FloatImage Subtract(const image::FloatImage& a, const image::FloatImage& b);
+
+}  // namespace imageproof::sift
+
+#endif  // IMAGEPROOF_SIFT_GAUSSIAN_H_

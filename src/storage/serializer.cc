@@ -1,0 +1,433 @@
+#include "storage/serializer.h"
+
+#include <cstdio>
+
+namespace imageproof::storage {
+
+namespace {
+
+constexpr uint32_t kPackageMagic = 0x49505031;  // "IPP1"
+constexpr uint32_t kParamsMagic = 0x49505042;   // "IPPB"
+constexpr uint32_t kFormatVersion = 1;
+
+void PutConfig(ByteWriter& w, const core::Config& c) {
+  w.PutU32(static_cast<uint32_t>(c.forest.num_trees));
+  w.PutU32(static_cast<uint32_t>(c.forest.max_leaf_size));
+  w.PutU32(static_cast<uint32_t>(c.forest.max_leaf_checks));
+  w.PutU64(c.forest.seed);
+  w.PutU8(c.share_nodes ? 1 : 0);
+  w.PutU8(static_cast<uint8_t>(c.reveal_mode));
+  w.PutU8(c.with_filters ? 1 : 0);
+  w.PutU8(c.freq_grouped ? 1 : 0);
+  w.PutU32(c.fingerprint_bits);
+  w.PutU64(c.filter_seed);
+  w.PutU64(c.check_batch);
+  w.PutU32(static_cast<uint32_t>(c.rsa_bits));
+  w.PutU8(c.sign_images ? 1 : 0);
+}
+
+Status GetConfig(ByteReader& r, core::Config* c) {
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  uint8_t u8 = 0;
+  Status s;
+  if (!(s = r.GetU32(&u32)).ok()) return s;
+  c->forest.num_trees = static_cast<int>(u32);
+  if (!(s = r.GetU32(&u32)).ok()) return s;
+  c->forest.max_leaf_size = static_cast<int>(u32);
+  if (!(s = r.GetU32(&u32)).ok()) return s;
+  c->forest.max_leaf_checks = static_cast<int>(u32);
+  if (!(s = r.GetU64(&c->forest.seed)).ok()) return s;
+  if (!(s = r.GetU8(&u8)).ok()) return s;
+  c->share_nodes = u8 != 0;
+  if (!(s = r.GetU8(&u8)).ok()) return s;
+  if (u8 > 1) return Status::Error("storage: bad reveal mode");
+  c->reveal_mode = static_cast<mrkd::RevealMode>(u8);
+  if (!(s = r.GetU8(&u8)).ok()) return s;
+  c->with_filters = u8 != 0;
+  if (!(s = r.GetU8(&u8)).ok()) return s;
+  c->freq_grouped = u8 != 0;
+  if (!(s = r.GetU32(&c->fingerprint_bits)).ok()) return s;
+  if (!(s = r.GetU64(&c->filter_seed)).ok()) return s;
+  if (!(s = r.GetU64(&u64)).ok()) return s;
+  c->check_batch = static_cast<size_t>(u64);
+  if (!(s = r.GetU32(&u32)).ok()) return s;
+  c->rsa_bits = static_cast<int>(u32);
+  if (!(s = r.GetU8(&u8)).ok()) return s;
+  c->sign_images = u8 != 0;
+  if (c->forest.num_trees <= 0 || c->forest.num_trees > 256 ||
+      c->forest.max_leaf_size <= 0) {
+    return Status::Error("storage: implausible forest parameters");
+  }
+  return Status::Ok();
+}
+
+void PutPointSet(ByteWriter& w, const ann::PointSet& points) {
+  w.PutVarint(points.dims());
+  w.PutVarint(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const float* row = points.row(i);
+    for (size_t d = 0; d < points.dims(); ++d) w.PutF32(row[d]);
+  }
+}
+
+Status GetPointSet(ByteReader& r, ann::PointSet* out) {
+  uint64_t dims, count;
+  Status s;
+  if (!(s = r.GetVarint(&dims)).ok()) return s;
+  if (!(s = r.GetVarint(&count)).ok()) return s;
+  if (dims == 0 || dims > 4096 || count > (1u << 26)) {
+    return Status::Error("storage: implausible point set shape");
+  }
+  *out = ann::PointSet(dims, count);
+  for (size_t i = 0; i < count; ++i) {
+    float* row = out->row(i);
+    for (size_t d = 0; d < dims; ++d) {
+      if (!(s = r.GetF32(&row[d])).ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void PutBovw(ByteWriter& w, const bovw::BovwVector& v) {
+  w.PutVarint(v.entries.size());
+  for (const auto& [c, f] : v.entries) {
+    w.PutVarint(c);
+    w.PutVarint(f);
+  }
+}
+
+Status GetBovw(ByteReader& r, bovw::BovwVector* out) {
+  uint64_t n;
+  Status s = r.GetVarint(&n);
+  if (!s.ok()) return s;
+  if (n > r.remaining() / 2) {
+    return Status::Error("storage: BoVW size exceeds input");
+  }
+  out->entries.resize(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t c = 0, f = 0;
+    if (!(s = r.GetVarint(&c)).ok()) return s;
+    if (!(s = r.GetVarint(&f)).ok()) return s;
+    if (i > 0 && c <= prev) return Status::Error("storage: BoVW not sorted");
+    if (f == 0) return Status::Error("storage: zero frequency");
+    prev = c;
+    out->entries[i] = {static_cast<bovw::ClusterId>(c),
+                       static_cast<uint32_t>(f)};
+  }
+  return Status::Ok();
+}
+
+void PutTree(ByteWriter& w, const ann::RkdTree& tree) {
+  w.PutVarint(tree.max_leaf_size());
+  w.PutVarint(tree.nodes().size());
+  for (const ann::RkdNode& n : tree.nodes()) {
+    w.PutU32(static_cast<uint32_t>(n.split_dim));
+    w.PutF32(n.split_value);
+    w.PutU32(static_cast<uint32_t>(n.left));
+    w.PutU32(static_cast<uint32_t>(n.right));
+    w.PutU32(static_cast<uint32_t>(n.begin));
+    w.PutU32(static_cast<uint32_t>(n.end));
+  }
+  w.PutVarint(tree.point_indices().size());
+  for (int32_t i : tree.point_indices()) {
+    w.PutU32(static_cast<uint32_t>(i));
+  }
+}
+
+Status GetTree(ByteReader& r, const ann::PointSet& points,
+               std::unique_ptr<ann::RkdTree>* out) {
+  uint64_t max_leaf, num_nodes;
+  Status s;
+  if (!(s = r.GetVarint(&max_leaf)).ok()) return s;
+  if (!(s = r.GetVarint(&num_nodes)).ok()) return s;
+  if (max_leaf == 0 || num_nodes > (1u << 27)) {
+    return Status::Error("storage: implausible tree shape");
+  }
+  std::vector<ann::RkdNode> nodes(num_nodes);
+  for (auto& n : nodes) {
+    uint32_t u = 0;
+    float f = 0;
+    if (!(s = r.GetU32(&u)).ok()) return s;
+    n.split_dim = static_cast<int32_t>(u);
+    if (!(s = r.GetF32(&f)).ok()) return s;
+    n.split_value = f;
+    if (!(s = r.GetU32(&u)).ok()) return s;
+    n.left = static_cast<int32_t>(u);
+    if (!(s = r.GetU32(&u)).ok()) return s;
+    n.right = static_cast<int32_t>(u);
+    if (!(s = r.GetU32(&u)).ok()) return s;
+    n.begin = static_cast<int32_t>(u);
+    if (!(s = r.GetU32(&u)).ok()) return s;
+    n.end = static_cast<int32_t>(u);
+  }
+  uint64_t num_indices;
+  if (!(s = r.GetVarint(&num_indices)).ok()) return s;
+  if (num_indices != points.size()) {
+    return Status::Error("storage: tree index count mismatch");
+  }
+  std::vector<int32_t> indices(num_indices);
+  std::vector<bool> seen(points.size(), false);
+  for (auto& i : indices) {
+    uint32_t u = 0;
+    if (!(s = r.GetU32(&u)).ok()) return s;
+    if (u >= points.size() || seen[u]) {
+      return Status::Error("storage: tree indices not a permutation");
+    }
+    seen[u] = true;
+    i = static_cast<int32_t>(u);
+  }
+  // Structural sanity: children in range, leaves with valid spans.
+  for (const auto& n : nodes) {
+    if (n.IsLeaf()) {
+      if (n.begin < 0 || n.end < n.begin ||
+          static_cast<size_t>(n.end) > points.size()) {
+        return Status::Error("storage: bad leaf span");
+      }
+    } else {
+      if (n.left < 0 || n.right < 0 ||
+          static_cast<size_t>(n.left) >= nodes.size() ||
+          static_cast<size_t>(n.right) >= nodes.size() ||
+          n.split_dim < 0 || static_cast<size_t>(n.split_dim) >= points.dims()) {
+        return Status::Error("storage: bad internal node");
+      }
+    }
+  }
+  *out = std::make_unique<ann::RkdTree>(points, static_cast<int>(max_leaf),
+                                        std::move(nodes), std::move(indices));
+  return Status::Ok();
+}
+
+void PutBigInt(ByteWriter& w, const crypto::BigInt& v) {
+  w.PutBlob(v.ToBytes());
+}
+
+Status GetBigInt(ByteReader& r, crypto::BigInt* out) {
+  Bytes b;
+  Status s = r.GetBlob(&b);
+  if (!s.ok()) return s;
+  if (b.size() > 4096) return Status::Error("storage: absurd bigint");
+  *out = crypto::BigInt::FromBytes(b);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes SerializeSpPackage(const core::SpPackage& package) {
+  ByteWriter w;
+  w.PutU32(kPackageMagic);
+  w.PutU32(kFormatVersion);
+  PutConfig(w, package.config);
+  PutPointSet(w, package.codebook);
+
+  w.PutVarint(package.corpus.size());
+  for (const auto& [id, v] : package.corpus) {
+    w.PutVarint(id);
+    PutBovw(w, v);
+  }
+
+  w.PutVarint(package.image_data.size());
+  for (const auto& [id, data] : package.image_data) {
+    w.PutVarint(id);
+    w.PutBlob(data);
+    auto sig = package.image_signatures.find(id);
+    w.PutBlob(sig == package.image_signatures.end() ? Bytes{} : sig->second);
+  }
+
+  // Cluster weights are part of the committed state (frozen across
+  // incremental updates), so they are stored rather than re-derived.
+  w.PutVarint(package.codebook.size());
+  for (size_t c = 0; c < package.codebook.size(); ++c) {
+    double weight = package.config.freq_grouped
+                        ? package.fg_index->list(static_cast<bovw::ClusterId>(c)).weight
+                        : package.inv_index->list(static_cast<bovw::ClusterId>(c)).weight;
+    w.PutF64(weight);
+  }
+
+  w.PutVarint(package.mrkd_trees.size());
+  for (const auto& tree : package.forest->trees()) {
+    PutTree(w, *tree);
+  }
+  return w.Take();
+}
+
+Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data) {
+  ByteReader r(data);
+  uint32_t magic = 0, version = 0;
+  Status s;
+  if (!(s = r.GetU32(&magic)).ok()) return s;
+  if (magic != kPackageMagic) return Status::Error("storage: bad package magic");
+  if (!(s = r.GetU32(&version)).ok()) return s;
+  if (version != kFormatVersion) return Status::Error("storage: unknown version");
+
+  auto pkg = std::make_unique<core::SpPackage>();
+  if (!(s = GetConfig(r, &pkg->config)).ok()) return s;
+  if (!(s = GetPointSet(r, &pkg->codebook)).ok()) return s;
+
+  uint64_t n;
+  if (!(s = r.GetVarint(&n)).ok()) return s;
+  if (n > r.remaining() / 2) {
+    return Status::Error("storage: corpus size exceeds input");
+  }
+  pkg->corpus.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id;
+    if (!(s = r.GetVarint(&id)).ok()) return s;
+    pkg->corpus[i].first = id;
+    if (!(s = GetBovw(r, &pkg->corpus[i].second)).ok()) return s;
+  }
+
+  if (!(s = r.GetVarint(&n)).ok()) return s;
+  if (n > (1u << 26)) return Status::Error("storage: absurd image count");
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id;
+    Bytes blob, sig;
+    if (!(s = r.GetVarint(&id)).ok()) return s;
+    if (!(s = r.GetBlob(&blob)).ok()) return s;
+    if (!(s = r.GetBlob(&sig)).ok()) return s;
+    pkg->image_data[id] = std::move(blob);
+    if (!sig.empty()) pkg->image_signatures[id] = std::move(sig);
+  }
+
+  // Rebuild the index deterministically from the stored corpus and the
+  // stored (possibly frozen) weights — the digests are pure functions of
+  // that data. Then attach the stored tree shapes.
+  uint64_t num_weights;
+  if (!(s = r.GetVarint(&num_weights)).ok()) return s;
+  if (num_weights != pkg->codebook.size()) {
+    return Status::Error("storage: weight count mismatch");
+  }
+  std::vector<double> raw_weights(num_weights);
+  for (auto& weight : raw_weights) {
+    if (!(s = r.GetF64(&weight)).ok()) return s;
+  }
+  bovw::ClusterWeights weights = bovw::ClusterWeights::FromRaw(std::move(raw_weights));
+  if (pkg->config.freq_grouped) {
+    pkg->fg_index = std::make_unique<freqgroup::FgInvertedIndex>(
+        freqgroup::FgInvertedIndex::Build(
+            pkg->codebook.size(), pkg->corpus, weights,
+            pkg->config.with_filters, pkg->config.fingerprint_bits,
+            pkg->config.filter_seed));
+    pkg->list_digests = pkg->fg_index->ListDigests();
+  } else {
+    pkg->inv_index = std::make_unique<invindex::MerkleInvertedIndex>(
+        invindex::MerkleInvertedIndex::Build(
+            pkg->codebook.size(), pkg->corpus, weights,
+            pkg->config.with_filters, pkg->config.fingerprint_bits,
+            pkg->config.filter_seed));
+    pkg->list_digests = pkg->inv_index->ListDigests();
+  }
+
+  uint64_t num_trees;
+  if (!(s = r.GetVarint(&num_trees)).ok()) return s;
+  if (num_trees != static_cast<uint64_t>(pkg->config.forest.num_trees)) {
+    return Status::Error("storage: tree count does not match config");
+  }
+  // The forest wrapper owns the trees; rebuild it around the stored shapes.
+  pkg->forest = std::make_unique<ann::RkdForest>(pkg->codebook,
+                                                 pkg->config.forest);
+  // Replace the freshly built trees with the persisted structures so node
+  // layouts (and therefore digests) match the owner's signature even if
+  // the standard library's partition order ever changes.
+  std::vector<std::unique_ptr<ann::RkdTree>> trees;
+  for (uint64_t i = 0; i < num_trees; ++i) {
+    std::unique_ptr<ann::RkdTree> tree;
+    if (!(s = GetTree(r, pkg->codebook, &tree)).ok()) return s;
+    trees.push_back(std::move(tree));
+  }
+  pkg->forest->ReplaceTrees(std::move(trees));
+
+  for (const auto& tree : pkg->forest->trees()) {
+    pkg->mrkd_trees.push_back(std::make_unique<mrkd::MrkdTree>(
+        tree.get(), pkg->config.reveal_mode, pkg->list_digests));
+  }
+  if (!r.AtEnd()) return Status::Error("storage: trailing bytes");
+  return pkg;
+}
+
+Bytes SerializePublicParams(const core::PublicParams& params) {
+  ByteWriter w;
+  w.PutU32(kParamsMagic);
+  w.PutU32(kFormatVersion);
+  PutConfig(w, params.config);
+  PutBigInt(w, params.public_key.n);
+  PutBigInt(w, params.public_key.e);
+  w.PutBlob(params.root_signature);
+  w.PutVarint(params.dims);
+  w.PutVarint(params.num_clusters);
+  return w.Take();
+}
+
+Result<core::PublicParams> DeserializePublicParams(const Bytes& data) {
+  ByteReader r(data);
+  uint32_t magic = 0, version = 0;
+  Status s;
+  if (!(s = r.GetU32(&magic)).ok()) return s;
+  if (magic != kParamsMagic) return Status::Error("storage: bad params magic");
+  if (!(s = r.GetU32(&version)).ok()) return s;
+  if (version != kFormatVersion) return Status::Error("storage: unknown version");
+  core::PublicParams params;
+  if (!(s = GetConfig(r, &params.config)).ok()) return s;
+  if (!(s = GetBigInt(r, &params.public_key.n)).ok()) return s;
+  if (!(s = GetBigInt(r, &params.public_key.e)).ok()) return s;
+  if (!(s = r.GetBlob(&params.root_signature)).ok()) return s;
+  uint64_t v;
+  if (!(s = r.GetVarint(&v)).ok()) return s;
+  params.dims = v;
+  if (!(s = r.GetVarint(&v)).ok()) return s;
+  params.num_clusters = v;
+  if (!r.AtEnd()) return Status::Error("storage: trailing bytes");
+  return params;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const Bytes& data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::Error("storage: cannot open for writing: " + path);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) return Status::Error("storage: short write");
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, Bytes* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::Error("storage: cannot open for reading: " + path);
+  out->clear();
+  uint8_t buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveSpPackage(const std::string& path, const core::SpPackage& package) {
+  return WriteFile(path, SerializeSpPackage(package));
+}
+
+Result<std::unique_ptr<core::SpPackage>> LoadSpPackage(const std::string& path) {
+  Bytes data;
+  Status s = ReadFile(path, &data);
+  if (!s.ok()) return s;
+  return DeserializeSpPackage(data);
+}
+
+Status SavePublicParams(const std::string& path,
+                        const core::PublicParams& params) {
+  return WriteFile(path, SerializePublicParams(params));
+}
+
+Result<core::PublicParams> LoadPublicParams(const std::string& path) {
+  Bytes data;
+  Status s = ReadFile(path, &data);
+  if (!s.ok()) return s;
+  return DeserializePublicParams(data);
+}
+
+}  // namespace imageproof::storage

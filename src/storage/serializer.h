@@ -1,0 +1,44 @@
+// Persistence for a deployed ImageProof system.
+//
+// A real owner builds the ADSs once and ships them; the SP must be able to
+// load the exact same structures from disk — *exact* meaning bit-identical
+// digests, because the owner's signature covers the MRKD roots. The format
+// therefore stores the tree shapes and posting orders verbatim (no
+// rebuild-time randomness) and recomputes all digests on load, which doubles
+// as an integrity check of the stored data against the re-derived roots.
+//
+// Layout: versioned magic header, then the Config, codebook, corpus, image
+// payloads + signatures, per-tree structure, and the inverted index (plain
+// or frequency-grouped). All encodings are the canonical ones from
+// common/bytes.h.
+
+#ifndef IMAGEPROOF_STORAGE_SERIALIZER_H_
+#define IMAGEPROOF_STORAGE_SERIALIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/owner.h"
+
+namespace imageproof::storage {
+
+// Serializes the full SP package (everything the service provider hosts).
+Bytes SerializeSpPackage(const core::SpPackage& package);
+
+// Reconstructs a package; fails on malformed input. Digests (posting
+// chains, filters, MRKD roots) are recomputed from the stored raw data.
+Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data);
+
+// Public parameters (what clients persist).
+Bytes SerializePublicParams(const core::PublicParams& params);
+Result<core::PublicParams> DeserializePublicParams(const Bytes& data);
+
+// File convenience wrappers.
+Status SaveSpPackage(const std::string& path, const core::SpPackage& package);
+Result<std::unique_ptr<core::SpPackage>> LoadSpPackage(const std::string& path);
+Status SavePublicParams(const std::string& path, const core::PublicParams& params);
+Result<core::PublicParams> LoadPublicParams(const std::string& path);
+
+}  // namespace imageproof::storage
+
+#endif  // IMAGEPROOF_STORAGE_SERIALIZER_H_

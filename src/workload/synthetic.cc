@@ -1,0 +1,221 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+#include "crypto/hasher.h"
+
+namespace imageproof::workload {
+
+namespace {
+
+// Heavy-tailed per-cluster frequency: most visual words appear once or
+// twice in an image, a few dominate. Flat frequencies would make
+// within-list impacts nearly constant — the degenerate worst case for
+// impact-ordered early termination, which real BoVW data does not exhibit.
+uint32_t SampleFrequency(Rng& rng, uint32_t max_frequency) {
+  return 1 + static_cast<uint32_t>(rng.NextZipf(max_frequency, 1.6));
+}
+
+// Samples `count` words, skewed by Zipf popularity but rejecting words
+// whose posting list (tracked in `list_len`) has hit the popularity cap.
+void AddRandomWords(Rng& rng, const CorpusParams& params, size_t count,
+                    std::vector<uint32_t>& list_len, uint32_t cap,
+                    std::map<bovw::ClusterId, uint32_t>* counts) {
+  for (size_t i = 0; i < count; ++i) {
+    bovw::ClusterId c = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      c = static_cast<bovw::ClusterId>(
+          rng.NextZipf(params.num_clusters, params.zipf_s));
+      if (list_len[c] < cap || counts->contains(c)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      c = static_cast<bovw::ClusterId>(rng.NextBounded(params.num_clusters));
+    }
+    (*counts)[c] += SampleFrequency(rng, params.max_frequency);
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> GenerateCorpus(
+    const CorpusParams& params) {
+  Rng rng(params.seed);
+  std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> corpus;
+  corpus.reserve(params.num_images);
+  size_t group_size = params.group_size == 0 ? 1 : params.group_size;
+  uint32_t cap = static_cast<uint32_t>(
+      std::max(8.0, params.max_list_fraction * params.num_images));
+  std::vector<uint32_t> list_len(params.num_clusters, 0);
+
+  std::map<bovw::ClusterId, uint32_t> base;
+  for (bovw::ImageId id = 0; id < params.num_images; ++id) {
+    size_t distinct =
+        params.min_distinct +
+        rng.NextBounded(params.max_distinct - params.min_distinct + 1);
+    size_t shared = distinct * 7 / 10;
+
+    if (id % group_size == 0) {
+      // Start a new near-duplicate group with a fresh base scene.
+      base.clear();
+      AddRandomWords(rng, params, shared, list_len, cap, &base);
+    }
+    std::map<bovw::ClusterId, uint32_t> counts;
+    for (const auto& [c, f] : base) {
+      // Per-image jitter of the shared words; occasionally drop one.
+      if (rng.NextDouble() < 0.1) continue;
+      uint32_t jitter = f + static_cast<uint32_t>(rng.NextBounded(3));
+      counts[c] += jitter > 0 ? jitter : 1;
+    }
+    AddRandomWords(rng, params, distinct - shared, list_len, cap, &counts);
+    if (counts.empty()) {
+      AddRandomWords(rng, params, 1, list_len, cap, &counts);
+    }
+    for (const auto& [c, f] : counts) ++list_len[c];
+
+    bovw::BovwVector v;
+    v.entries.assign(counts.begin(), counts.end());
+    corpus.emplace_back(id, std::move(v));
+  }
+  return corpus;
+}
+
+bovw::BovwVector GenerateQueryBovw(const CorpusParams& params,
+                                   size_t num_features, uint64_t seed) {
+  Rng rng(seed);
+  std::map<bovw::ClusterId, uint32_t> counts;
+  for (size_t i = 0; i < num_features; ++i) {
+    auto c = static_cast<bovw::ClusterId>(
+        rng.NextZipf(params.num_clusters, params.zipf_s));
+    counts[c] += 1;
+  }
+  bovw::BovwVector v;
+  v.entries.assign(counts.begin(), counts.end());
+  return v;
+}
+
+namespace {
+
+// Draws `n` word samples: source words proportionally to their frequency
+// with probability 1 - noise_fraction, Zipf background otherwise.
+std::map<bovw::ClusterId, uint32_t> SampleQueryWords(
+    const CorpusParams& params, const bovw::BovwVector& source,
+    size_t num_features, double noise_fraction, Rng& rng) {
+  uint64_t total_freq = 0;
+  for (const auto& [c, f] : source.entries) total_freq += f;
+  std::map<bovw::ClusterId, uint32_t> counts;
+  for (size_t i = 0; i < num_features; ++i) {
+    if (total_freq > 0 && rng.NextDouble() >= noise_fraction) {
+      uint64_t target = rng.NextBounded(total_freq);
+      uint64_t acc = 0;
+      for (const auto& [c, f] : source.entries) {
+        acc += f;
+        if (acc > target) {
+          counts[c] += 1;
+          break;
+        }
+      }
+    } else {
+      auto c = static_cast<bovw::ClusterId>(
+          rng.NextZipf(params.num_clusters, params.zipf_s));
+      counts[c] += 1;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+bovw::BovwVector QueryFromImage(const CorpusParams& params,
+                                const bovw::BovwVector& source,
+                                size_t num_features, double noise_fraction,
+                                uint64_t seed) {
+  Rng rng(seed);
+  auto counts =
+      SampleQueryWords(params, source, num_features, noise_fraction, rng);
+  bovw::BovwVector v;
+  v.entries.assign(counts.begin(), counts.end());
+  return v;
+}
+
+std::vector<std::vector<float>> FeaturesFromBovw(
+    const ann::PointSet& codebook, const bovw::BovwVector& source,
+    size_t num_features, double coord_noise, double noise_fraction,
+    uint64_t seed) {
+  Rng rng(seed);
+  CorpusParams params;
+  params.num_clusters = codebook.size();
+  auto counts =
+      SampleQueryWords(params, source, num_features, noise_fraction, rng);
+  std::vector<std::vector<float>> out;
+  out.reserve(num_features);
+  for (const auto& [c, f] : counts) {
+    for (uint32_t i = 0; i < f; ++i) {
+      std::vector<float> q(codebook.row(c), codebook.row(c) + codebook.dims());
+      for (auto& v : q) {
+        v += static_cast<float>(rng.NextGaussian() * coord_noise);
+      }
+      out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+ann::PointSet GenerateCodebook(const CodebookParams& params) {
+  Rng rng(params.seed);
+  size_t latent = std::min(params.intrinsic_dims, params.dims);
+  if (latent == 0) latent = params.dims;
+  // Fixed random embedding latent -> dims, column-normalized so the output
+  // spread matches `scale`.
+  std::vector<double> embed(params.dims * latent);
+  double inv_sqrt = 1.0 / std::sqrt(static_cast<double>(latent));
+  for (auto& v : embed) v = rng.NextGaussian() * inv_sqrt;
+
+  ann::PointSet out(params.dims, 0);
+  out.set_dims(params.dims);
+  std::vector<double> z(latent);
+  std::vector<float> p(params.dims);
+  for (size_t c = 0; c < params.num_clusters; ++c) {
+    for (auto& v : z) v = rng.NextGaussian() * params.scale;
+    for (size_t d = 0; d < params.dims; ++d) {
+      double acc = 0;
+      for (size_t j = 0; j < latent; ++j) acc += embed[d * latent + j] * z[j];
+      p[d] = static_cast<float>(acc);
+    }
+    out.AppendRow(p);
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> GenerateQueryFeatures(
+    const ann::PointSet& codebook, size_t n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = rng.NextBounded(codebook.size());
+    std::vector<float> q(codebook.row(c), codebook.row(c) + codebook.dims());
+    for (auto& v : q) v += static_cast<float>(rng.NextGaussian() * noise);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Bytes GenerateImageBlob(bovw::ImageId id, size_t bytes) {
+  Bytes out;
+  out.reserve(bytes);
+  uint64_t state = crypto::Mix64(id + 0x1234ABCD);
+  for (size_t i = 0; i < bytes; ++i) {
+    state = crypto::Mix64(state + i);
+    out.push_back(static_cast<uint8_t>(state));
+  }
+  return out;
+}
+
+}  // namespace imageproof::workload

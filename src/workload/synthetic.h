@@ -1,0 +1,106 @@
+// Synthetic workload generation — the stand-in for MirFlickr1M (see
+// DESIGN.md §6).
+//
+// Two generators are provided:
+//   * BoVW-space: sparse corpus vectors with Zipf-distributed cluster
+//     popularity (posting-list lengths are heavy-tailed, matching the
+//     "most frequency counts are small" observation the paper leans on) and
+//     correlated query vectors;
+//   * descriptor-space: Gaussian-blob codebooks and query feature vectors
+//     scattered around cluster centers, for exercising the full
+//     AKM / MRKD-tree pipeline at arbitrary dimensionality (128 for SIFT,
+//     64 for the SURF stand-in).
+
+#ifndef IMAGEPROOF_WORKLOAD_SYNTHETIC_H_
+#define IMAGEPROOF_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/points.h"
+#include "bovw/bovw.h"
+#include "common/bytes.h"
+
+namespace imageproof::workload {
+
+struct CorpusParams {
+  size_t num_images = 1000;
+  size_t num_clusters = 1000;
+  double zipf_s = 1.2;          // cluster-popularity skew
+  size_t min_distinct = 10;     // distinct clusters per image
+  size_t max_distinct = 40;
+  uint32_t max_frequency = 24;  // per-cluster frequency cap (Zipf-tailed)
+  // Images come in near-duplicate groups sharing ~70% of their visual
+  // words, modeling the repeated scenes/objects of a photo collection.
+  // Retrieval queries derived from one group member then have strong
+  // matches — the regime CBIR (and the paper's query protocol, which
+  // draws query images from the dataset) operates in. A corpus where no
+  // two images share more than a word or two would make top-k scores
+  // vanishingly small and defeat any early-termination search.
+  size_t group_size = 4;
+  // No visual word may appear in more than this fraction of the images.
+  // Large vocabularies (the paper uses up to 1M words over 1M images) have
+  // no stop words: even the most popular word indexes a small slice of the
+  // corpus. Without this cap, a scaled-down Zipf vocabulary produces words
+  // present in most images, whose giant posting lists any impact-ordered
+  // scheme must drain whenever a result image has a low-impact posting
+  // there.
+  double max_list_fraction = 0.08;
+  uint64_t seed = 1;
+};
+
+// Sparse BoVW corpus with image ids 0..num_images-1.
+std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> GenerateCorpus(
+    const CorpusParams& params);
+
+// Query with `num_features` feature-vector assignments drawn from the same
+// Zipf popularity (uncorrelated with any particular image).
+bovw::BovwVector GenerateQueryBovw(const CorpusParams& params,
+                                   size_t num_features, uint64_t seed);
+
+// Query modeling "a photo of something in the database": `1 - noise_fraction`
+// of its features quantize to the source image's words (proportionally to
+// their frequencies), the rest to Zipf background words.
+bovw::BovwVector QueryFromImage(const CorpusParams& params,
+                                const bovw::BovwVector& source,
+                                size_t num_features, double noise_fraction,
+                                uint64_t seed);
+
+// Feature-space version of QueryFromImage for the end-to-end scheme: emits
+// descriptor vectors near the codebook centers of the chosen words.
+std::vector<std::vector<float>> FeaturesFromBovw(
+    const ann::PointSet& codebook, const bovw::BovwVector& source,
+    size_t num_features, double coord_noise, double noise_fraction,
+    uint64_t seed);
+
+struct CodebookParams {
+  size_t num_clusters = 1024;
+  size_t dims = 128;  // 128 = SIFT, 64 = SURF stand-in
+  double scale = 10.0;  // spread of cluster centers
+  // Real SIFT/SURF descriptors concentrate near a low-dimensional manifold,
+  // which is what makes randomized k-d trees (and AKM's 32-leaf budget)
+  // effective. Cluster centers are therefore sampled in an
+  // `intrinsic_dims`-dimensional latent space and embedded into `dims` via
+  // a fixed random linear map; i.i.d. Gaussian centers at 128-d would have
+  // no such structure and every distance would concentrate to the same
+  // value, defeating any tree index (the curse of dimensionality).
+  size_t intrinsic_dims = 12;
+  uint64_t seed = 2;
+};
+
+// Cluster centers with low intrinsic dimensionality (the trained codebook).
+ann::PointSet GenerateCodebook(const CodebookParams& params);
+
+// `n` query feature vectors, each a codebook center plus Gaussian noise of
+// the given standard deviation — emulating SIFT descriptors of a query
+// image whose words exist in the vocabulary.
+std::vector<std::vector<float>> GenerateQueryFeatures(
+    const ann::PointSet& codebook, size_t n, double noise, uint64_t seed);
+
+// Small opaque per-image payloads standing in for raw image files when
+// benchmarking at scales where real pixel data would not fit in memory.
+Bytes GenerateImageBlob(bovw::ImageId id, size_t bytes = 64);
+
+}  // namespace imageproof::workload
+
+#endif  // IMAGEPROOF_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,257 @@
+// Tests for the randomized k-d tree, forest (AKM search), and the AKM
+// codebook trainer, checked against brute-force references.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "ann/kmeans.h"
+#include "ann/points.h"
+#include "ann/rkd_forest.h"
+#include "ann/rkd_tree.h"
+#include "common/random.h"
+
+namespace imageproof::ann {
+namespace {
+
+PointSet RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  PointSet out(dims, n);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = out.row(i);
+    for (size_t d = 0; d < dims; ++d) {
+      row[d] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return out;
+}
+
+int32_t BruteNearest(const PointSet& points, const float* q, double* best_out) {
+  double best = std::numeric_limits<double>::infinity();
+  int32_t idx = -1;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double d = SquaredL2(q, points.row(i), points.dims());
+    if (d < best || (d == best && static_cast<int32_t>(i) < idx)) {
+      best = d;
+      idx = static_cast<int32_t>(i);
+    }
+  }
+  if (best_out) *best_out = best;
+  return idx;
+}
+
+std::set<int32_t> BruteRange(const PointSet& points, const float* q,
+                             double radius_sq) {
+  std::set<int32_t> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (SquaredL2(q, points.row(i), points.dims()) <= radius_sq) {
+      out.insert(static_cast<int32_t>(i));
+    }
+  }
+  return out;
+}
+
+TEST(PointSetTest, FromRowsAndAccess) {
+  PointSet p = PointSet::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(p.dims(), 3u);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.row(1)[2], 6.0f);
+  EXPECT_EQ(p.RowVec(0), (std::vector<float>{1, 2, 3}));
+}
+
+TEST(SquaredL2Test, KnownValues) {
+  float a[] = {0, 0, 0};
+  float b[] = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b, 3), 9.0);
+  EXPECT_DOUBLE_EQ(SquaredL2(a, a, 3), 0.0);
+}
+
+TEST(RkdTreeTest, EveryPointInExactlyOneLeaf) {
+  PointSet points = RandomPoints(500, 8, 3);
+  RkdTree tree(points, 4, 42);
+  std::vector<int> seen(points.size(), 0);
+  for (const RkdNode& node : tree.nodes()) {
+    if (!node.IsLeaf()) continue;
+    EXPECT_LE(node.end - node.begin, 4);
+    EXPECT_GT(node.end, node.begin);
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      seen[tree.point_indices()[i]]++;
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(RkdTreeTest, DifferentSeedsDifferentTrees) {
+  PointSet points = RandomPoints(200, 16, 4);
+  RkdTree t1(points, 2, 1), t2(points, 2, 2);
+  // The randomized split choice should change at least one node.
+  bool differ = t1.nodes().size() != t2.nodes().size();
+  if (!differ) {
+    for (size_t i = 0; i < t1.nodes().size(); ++i) {
+      if (t1.nodes()[i].split_dim != t2.nodes()[i].split_dim ||
+          t1.nodes()[i].split_value != t2.nodes()[i].split_value) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RkdTreeTest, ExactNearestMatchesBruteForce) {
+  PointSet points = RandomPoints(300, 12, 5);
+  RkdTree tree(points, 3, 7);
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> q(12);
+    for (auto& v : q) v = static_cast<float>(rng.NextGaussian());
+    double tree_dist, brute_dist;
+    int32_t tree_idx = tree.ExactNearest(q.data(), &tree_dist);
+    int32_t brute_idx = BruteNearest(points, q.data(), &brute_dist);
+    EXPECT_EQ(tree_idx, brute_idx);
+    EXPECT_DOUBLE_EQ(tree_dist, brute_dist);
+  }
+}
+
+TEST(RkdTreeTest, RangeSearchMatchesBruteForce) {
+  PointSet points = RandomPoints(400, 6, 11);
+  RkdTree tree(points, 2, 13);
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> q(6);
+    for (auto& v : q) v = static_cast<float>(rng.NextGaussian());
+    double radius_sq = 0.5 + rng.NextDouble() * 3.0;
+    auto got = tree.RangeSearch(q.data(), radius_sq);
+    std::set<int32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set.size(), got.size()) << "duplicates returned";
+    std::set<int32_t> want = BruteRange(points, q.data(), radius_sq);
+    // Range search over the tree returns whole leaves' points only when the
+    // *leaf region* intersects the ball, so it returns a superset of the
+    // exact answer; it must never miss a point.
+    for (int32_t idx : want) {
+      EXPECT_TRUE(got_set.count(idx)) << "missed point " << idx;
+    }
+  }
+}
+
+TEST(RkdTreeTest, EmptyAndSingleton) {
+  PointSet empty;
+  RkdTree t_empty(empty, 2, 1);
+  double d;
+  EXPECT_EQ(t_empty.ExactNearest(nullptr, &d), -1);
+
+  PointSet one = PointSet::FromRows({{1.0f, 2.0f}});
+  RkdTree t_one(one, 2, 1);
+  float q[] = {0.0f, 0.0f};
+  EXPECT_EQ(t_one.ExactNearest(q, &d), 0);
+  EXPECT_DOUBLE_EQ(d, 5.0);
+  // Range search returns whole leaves whose *region* intersects the ball;
+  // the singleton tree's root region is all of space, so the point is
+  // returned as a candidate even for a tiny radius (superset semantics).
+  EXPECT_EQ(t_one.RangeSearch(q, 5.0).size(), 1u);
+  EXPECT_EQ(t_one.RangeSearch(q, 0.01).size(), 1u);
+}
+
+TEST(RkdForestTest, ApproxNearestUsuallyExact) {
+  PointSet points = RandomPoints(1000, 16, 21);
+  ForestParams params;
+  params.num_trees = 8;
+  params.max_leaf_checks = 64;
+  RkdForest forest(points, params);
+  Rng rng(23);
+  int exact = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(16);
+    for (auto& v : q) v = static_cast<float>(rng.NextGaussian());
+    NearestResult r = forest.ApproxNearest(q.data());
+    double brute_dist;
+    int32_t brute_idx = BruteNearest(points, q.data(), &brute_dist);
+    ASSERT_GE(r.index, 0);
+    // The returned distance must be correct for the returned point.
+    EXPECT_DOUBLE_EQ(r.dist_sq,
+                     SquaredL2(q.data(), points.row(r.index), 16));
+    EXPECT_GE(r.dist_sq, brute_dist);
+    if (r.index == brute_idx) ++exact;
+  }
+  // AKM is approximate, but with 8 trees / 64 checks recall should be high.
+  EXPECT_GE(exact, trials * 7 / 10);
+}
+
+TEST(RkdForestTest, QueryOnDatabasePointFindsItself) {
+  PointSet points = RandomPoints(500, 8, 31);
+  RkdForest forest(points, ForestParams{});
+  for (size_t i = 0; i < 20; ++i) {
+    NearestResult r = forest.ApproxNearest(points.row(i * 7));
+    EXPECT_EQ(r.index, static_cast<int32_t>(i * 7));
+    EXPECT_DOUBLE_EQ(r.dist_sq, 0.0);
+  }
+}
+
+TEST(RkdForestTest, EmptySet) {
+  PointSet empty;
+  RkdForest forest(empty, ForestParams{});
+  float q[] = {1.0f};
+  EXPECT_EQ(forest.ApproxNearest(q).index, -1);
+}
+
+TEST(KmeansTest, ClusterCountAndAssignmentRange) {
+  PointSet points = RandomPoints(600, 8, 41);
+  AkmParams params;
+  params.num_clusters = 20;
+  params.iterations = 5;
+  AkmResult result = TrainCodebook(points, params);
+  EXPECT_EQ(result.centers.size(), 20u);
+  EXPECT_EQ(result.assignment.size(), 600u);
+  for (int32_t a : result.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 20);
+  }
+}
+
+TEST(KmeansTest, RecoversWellSeparatedClusters) {
+  // Three tight blobs far apart; AKM must drive quantization error well
+  // below the blob separation.
+  Rng rng(55);
+  PointSet points(4, 0);
+  points.set_dims(4);
+  const float centers[3][4] = {
+      {0, 0, 0, 0}, {50, 50, 0, 0}, {0, 0, 50, 50}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 100; ++i) {
+      std::vector<float> p(4);
+      for (int d = 0; d < 4; ++d) {
+        p[d] = centers[c][d] + static_cast<float>(rng.NextGaussian());
+      }
+      points.AppendRow(p);
+    }
+  }
+  AkmParams params;
+  params.num_clusters = 3;
+  params.iterations = 10;
+  AkmResult result = TrainCodebook(points, params);
+  EXPECT_LT(result.quantization_error, 30.0);
+  // Points from the same blob should mostly share a cluster.
+  int agree = 0;
+  for (int i = 0; i < 99; ++i) {
+    if (result.assignment[i] == result.assignment[i + 1]) ++agree;
+  }
+  EXPECT_GT(agree, 80);
+}
+
+TEST(KmeansTest, QuantizationErrorDecreasesWithMoreClusters) {
+  PointSet points = RandomPoints(500, 6, 61);
+  AkmParams small;
+  small.num_clusters = 4;
+  small.iterations = 6;
+  AkmParams large = small;
+  large.num_clusters = 64;
+  double err_small = TrainCodebook(points, small).quantization_error;
+  double err_large = TrainCodebook(points, large).quantization_error;
+  EXPECT_LT(err_large, err_small);
+}
+
+}  // namespace
+}  // namespace imageproof::ann

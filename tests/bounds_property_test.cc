@@ -1,0 +1,183 @@
+// Property tests for the bounds engine: on randomized corpora and pop
+// sequences, the engine's incremental s_k^L / pi^U / S^U values must match
+// an independent from-scratch evaluation of Eqs. (9), (11), (12) over the
+// current revealed state — and the soundness properties of Lemma 1 must
+// hold against ground truth.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "invindex/bounds.h"
+#include "invindex/merkle_inv_index.h"
+#include "workload/synthetic.h"
+
+namespace imageproof::invindex {
+namespace {
+
+struct RandomState {
+  // Ground-truth lists: (cluster, q_impact, postings sorted by impact desc).
+  struct ListTruth {
+    ClusterId cluster;
+    double q_impact;
+    std::vector<std::pair<ImageId, double>> postings;
+    size_t popped = 0;  // prefix length revealed so far
+  };
+  std::vector<ListTruth> lists;
+
+  static RandomState Make(uint64_t seed, size_t num_lists, size_t num_images) {
+    Rng rng(seed);
+    RandomState st;
+    for (size_t li = 0; li < num_lists; ++li) {
+      ListTruth lt;
+      lt.cluster = static_cast<ClusterId>(li);
+      lt.q_impact = 0.1 + rng.NextDouble();
+      size_t len = 1 + rng.NextBounded(30);
+      std::set<ImageId> used;
+      for (size_t j = 0; j < len; ++j) {
+        ImageId id = rng.NextBounded(num_images);
+        if (!used.insert(id).second) continue;
+        lt.postings.emplace_back(id, 0.01 + rng.NextDouble());
+      }
+      std::sort(lt.postings.begin(), lt.postings.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      st.lists.push_back(std::move(lt));
+    }
+    return st;
+  }
+};
+
+// Builds a filters-enabled engine over the state and replays its pops.
+BoundsEngine BuildEngine(RandomState& st, bool use_filters) {
+  cuckoo::CuckooParams params = cuckoo::CuckooParams::ForMaxItems(64);
+  std::vector<BoundsList> bl;
+  for (const auto& lt : st.lists) {
+    BoundsList b;
+    b.cluster = lt.cluster;
+    b.q_impact = lt.q_impact;
+    if (use_filters && lt.popped < lt.postings.size()) {
+      cuckoo::CuckooFilter filter(params);
+      for (const auto& [id, impact] : lt.postings) {
+        EXPECT_TRUE(filter.Insert(id));
+      }
+      b.filter = std::move(filter);
+    }
+    bl.push_back(std::move(b));
+  }
+  BoundsEngine engine(std::move(bl), use_filters);
+  for (size_t li = 0; li < st.lists.size(); ++li) {
+    const auto& lt = st.lists[li];
+    for (size_t j = 0; j < lt.popped; ++j) {
+      EXPECT_TRUE(
+          engine.AddPopped(li, lt.postings[j].first, lt.postings[j].second)
+              .ok());
+    }
+    if (lt.popped >= lt.postings.size()) engine.MarkExhausted(li);
+  }
+  return engine;
+}
+
+// Reference Eq. (9): S^L from the revealed prefixes only.
+std::map<ImageId, double> ReferenceScores(const RandomState& st) {
+  std::map<ImageId, double> scores;
+  for (const auto& lt : st.lists) {
+    for (size_t j = 0; j < lt.popped; ++j) {
+      scores[lt.postings[j].first] += lt.q_impact * lt.postings[j].second;
+    }
+  }
+  return scores;
+}
+
+// Reference remaining-impact cap of a list.
+double ReferenceCap(const RandomState::ListTruth& lt) {
+  if (lt.popped >= lt.postings.size()) return 0.0;
+  if (lt.popped == 0) return std::numeric_limits<double>::infinity();
+  return lt.postings[lt.popped - 1].second;
+}
+
+// Ground-truth remaining contribution of image `id` (what S^U must bound).
+double TrueRemaining(const RandomState& st, ImageId id) {
+  double acc = 0;
+  for (const auto& lt : st.lists) {
+    for (size_t j = lt.popped; j < lt.postings.size(); ++j) {
+      if (lt.postings[j].first == id) acc += lt.q_impact * lt.postings[j].second;
+    }
+  }
+  return acc;
+}
+
+class BoundsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundsPropertyTest, EngineMatchesReferenceAndIsSound) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 7);
+  RandomState st = RandomState::Make(seed, 3 + rng.NextBounded(10), 60);
+
+  // Random pop schedule: several rounds of popping random prefixes.
+  for (int round = 0; round < 4; ++round) {
+    for (auto& lt : st.lists) {
+      size_t extra = rng.NextBounded(4);
+      lt.popped = std::min(lt.postings.size(), lt.popped + extra);
+    }
+    BoundsEngine engine = BuildEngine(st, /*use_filters=*/true);
+
+    // S^L matches Eq. (9) exactly for every revealed image.
+    auto ref_scores = ReferenceScores(st);
+    EXPECT_EQ(engine.Scores().size(), ref_scores.size());
+    for (const auto& [id, score] : ref_scores) {
+      EXPECT_NEAR(engine.ScoreOf(id), score, 1e-12) << "image " << id;
+    }
+
+    // Caps match.
+    for (size_t li = 0; li < st.lists.size(); ++li) {
+      double ref = ReferenceCap(st.lists[li]);
+      if (std::isinf(ref)) {
+        EXPECT_TRUE(std::isinf(engine.Cap(li)));
+      } else {
+        EXPECT_DOUBLE_EQ(engine.Cap(li), ref);
+      }
+    }
+
+    bool all_capped = true;
+    for (size_t li = 0; li < st.lists.size(); ++li) {
+      if (std::isinf(engine.Cap(li))) all_capped = false;
+    }
+    if (!all_capped) continue;  // bounds are +inf; trivially sound
+
+    // Soundness of S^U (Eq. 11): for every image (revealed or not), true
+    // score <= S^U.
+    std::set<ImageId> all_images;
+    for (const auto& lt : st.lists) {
+      for (const auto& [id, impact] : lt.postings) all_images.insert(id);
+    }
+    double max_unseen_true = 0;
+    for (ImageId id : all_images) {
+      double truth = engine.ScoreOf(id) + TrueRemaining(st, id);
+      EXPECT_LE(truth, engine.SUpper(id) + 1e-12) << "image " << id;
+      if (!ref_scores.contains(id)) {
+        max_unseen_true = std::max(max_unseen_true, truth);
+      }
+    }
+    // Soundness of pi^U (Eq. 12 / Lemma 1): bounds every unseen image.
+    EXPECT_LE(max_unseen_true, engine.PiUpper() + 1e-12);
+
+    // The baseline (loose) bounds dominate the filter-tightened ones.
+    BoundsEngine loose = BuildEngine(st, /*use_filters=*/false);
+    for (ImageId id : all_images) {
+      EXPECT_LE(engine.SUpper(id), loose.SUpper(id) + 1e-12);
+    }
+    EXPECT_LE(engine.PiUpper(), loose.PiUpper() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace imageproof::invindex

@@ -1,0 +1,132 @@
+// Tests for BoVW encoding, the tf-idf impact/similarity math of Section
+// II-A, and the brute-force top-k oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bovw/bovw.h"
+#include "common/random.h"
+
+namespace imageproof::bovw {
+namespace {
+
+TEST(BovwVectorTest, L2NormAndLookup) {
+  BovwVector v;
+  v.entries = {{1, 3}, {4, 4}};
+  EXPECT_DOUBLE_EQ(v.L2Norm(), 5.0);
+  EXPECT_EQ(v.FrequencyOf(1), 3u);
+  EXPECT_EQ(v.FrequencyOf(4), 4u);
+  EXPECT_EQ(v.FrequencyOf(2), 0u);
+  EXPECT_DOUBLE_EQ(BovwVector{}.L2Norm(), 0.0);
+}
+
+TEST(BovwVectorTest, CountAssignments) {
+  BovwVector v = CountAssignments({5, 2, 5, 5, 2, 9});
+  ASSERT_EQ(v.entries.size(), 3u);
+  EXPECT_EQ(v.entries[0], (std::pair<ClusterId, uint32_t>{2, 2}));
+  EXPECT_EQ(v.entries[1], (std::pair<ClusterId, uint32_t>{5, 3}));
+  EXPECT_EQ(v.entries[2], (std::pair<ClusterId, uint32_t>{9, 1}));
+}
+
+TEST(ClusterWeightsTest, IdfFormula) {
+  // w_c = ln(n_D / n_{D,c}).
+  ClusterWeights w(100, {100, 50, 1, 0});
+  EXPECT_DOUBLE_EQ(w.WeightOf(0), 0.0);
+  EXPECT_DOUBLE_EQ(w.WeightOf(1), std::log(2.0));
+  EXPECT_DOUBLE_EQ(w.WeightOf(2), std::log(100.0));
+  EXPECT_DOUBLE_EQ(w.WeightOf(3), 0.0);   // unseen cluster
+  EXPECT_DOUBLE_EQ(w.WeightOf(99), 0.0);  // out of range
+}
+
+TEST(ClusterWeightsTest, FromCorpus) {
+  std::vector<BovwVector> corpus(4);
+  corpus[0].entries = {{0, 2}, {1, 1}};
+  corpus[1].entries = {{0, 5}};
+  corpus[2].entries = {{1, 1}, {2, 3}};
+  corpus[3].entries = {{2, 1}};
+  ClusterWeights w = ClusterWeights::FromCorpus(3, corpus);
+  EXPECT_DOUBLE_EQ(w.WeightOf(0), std::log(4.0 / 2.0));
+  EXPECT_DOUBLE_EQ(w.WeightOf(1), std::log(4.0 / 2.0));
+  EXPECT_DOUBLE_EQ(w.WeightOf(2), std::log(4.0 / 2.0));
+}
+
+TEST(SimilarityTest, PaperExampleStructure) {
+  // Two sparse impact vectors overlapping on one cluster.
+  std::vector<std::pair<ClusterId, double>> a = {{1, 0.5}, {3, 0.2}};
+  std::vector<std::pair<ClusterId, double>> b = {{2, 0.9}, {3, 0.4}};
+  EXPECT_DOUBLE_EQ(Similarity(a, b), 0.2 * 0.4);
+  EXPECT_DOUBLE_EQ(Similarity(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Similarity(a, a), 0.25 + 0.04);
+}
+
+TEST(ImpactTest, MatchesDefinition) {
+  // p_{I,c} = w_c * f / ||B_I||.
+  BovwVector v;
+  v.entries = {{0, 3}, {1, 4}};  // norm 5
+  ClusterWeights w(10, {5, 2});
+  auto impact = ImpactVector(v, w);
+  ASSERT_EQ(impact.size(), 2u);
+  EXPECT_DOUBLE_EQ(impact[0].second, std::log(2.0) * 3 / 5.0);
+  EXPECT_DOUBLE_EQ(impact[1].second, std::log(5.0) * 4 / 5.0);
+}
+
+TEST(ImpactTest, ZeroNormYieldsZeroImpacts) {
+  EXPECT_DOUBLE_EQ(ImpactValue(1.0, 1, 0.0), 0.0);
+}
+
+TEST(BruteForceTest, SelfIsMostSimilar) {
+  Rng rng(3);
+  std::vector<std::pair<ImageId, BovwVector>> corpus;
+  for (ImageId id = 0; id < 50; ++id) {
+    BovwVector v;
+    for (ClusterId c = 0; c < 30; ++c) {
+      if (rng.NextDouble() < 0.2) {
+        v.entries.emplace_back(c, 1 + static_cast<uint32_t>(rng.NextBounded(5)));
+      }
+    }
+    if (v.entries.empty()) v.entries.emplace_back(0, 1);
+    corpus.emplace_back(id, v);
+  }
+  ClusterWeights weights = [&] {
+    std::vector<BovwVector> vecs;
+    for (auto& [id, v] : corpus) vecs.push_back(v);
+    return ClusterWeights::FromCorpus(30, vecs);
+  }();
+  // Querying with an image's own vector should put that image first
+  // (cosine similarity with itself is maximal for normalized vectors).
+  for (ImageId probe : {ImageId{0}, ImageId{17}, ImageId{49}}) {
+    auto top = BruteForceTopK(corpus, corpus[probe].second, weights, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].id, probe);
+  }
+}
+
+TEST(BruteForceTest, ScoresDescendAndTieBreakOnId) {
+  std::vector<std::pair<ImageId, BovwVector>> corpus;
+  BovwVector same;
+  same.entries = {{0, 1}};
+  for (ImageId id = 0; id < 5; ++id) corpus.emplace_back(id, same);
+  ClusterWeights weights(5, {2});
+  BovwVector q;
+  q.entries = {{0, 2}};
+  auto top = BruteForceTopK(corpus, q, weights, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+    EXPECT_LT(top[i - 1].id, top[i].id) << "tie-break by ascending id";
+  }
+}
+
+TEST(BruteForceTest, KLargerThanCorpus) {
+  std::vector<std::pair<ImageId, BovwVector>> corpus;
+  BovwVector v;
+  v.entries = {{0, 1}};
+  corpus.emplace_back(9, v);
+  ClusterWeights weights(1, {1});
+  auto top = BruteForceTopK(corpus, v, weights, 10);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+}  // namespace
+}  // namespace imageproof::bovw

@@ -1,0 +1,122 @@
+// Concurrency tests: ServiceProvider::Query and Client::Verify are const
+// operations over immutable state, so any number of clients may be served
+// in parallel from one package — and ParallelFor must behave exactly like
+// the serial loop.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/parallel.h"
+#include "core/client.h"
+#include "core/owner.h"
+#include "core/server.h"
+#include "workload/synthetic.h"
+
+namespace imageproof {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t n : {0u, 1u, 63u, 64u, 1000u, 4097u}) {
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(n, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ParallelForTest, MatchesSerialResults) {
+  const size_t n = 10000;
+  std::vector<uint64_t> parallel_out(n), serial_out(n);
+  auto work = [](size_t i) {
+    uint64_t x = i * 2654435761u;
+    for (int r = 0; r < 10; ++r) x = x * 6364136223846793005ULL + 1;
+    return x;
+  };
+  ParallelFor(n, [&](size_t i) { parallel_out[i] = work(i); });
+  for (size_t i = 0; i < n; ++i) serial_out[i] = work(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelForTest, ThreadCapRespected) {
+  std::atomic<int> concurrent{0}, peak{0};
+  ParallelFor(
+      1000,
+      [&](size_t) {
+        int now = ++concurrent;
+        int old_peak = peak.load();
+        while (now > old_peak && !peak.compare_exchange_weak(old_peak, now)) {
+        }
+        --concurrent;
+      },
+      /*max_threads=*/2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ParallelBuildTest, DeploymentIdenticalToItself) {
+  // Two builds of the same deployment (each internally parallel) must agree
+  // on every signed digest: the parallel loops are deterministic.
+  auto build = [] {
+    core::Config config = core::Config::ImageProof();
+    config.rsa_bits = 512;
+    workload::CorpusParams cp;
+    cp.num_images = 400;
+    cp.num_clusters = 128;
+    auto corpus = workload::GenerateCorpus(cp);
+    std::unordered_map<bovw::ImageId, Bytes> blobs;
+    for (const auto& [id, v] : corpus) {
+      blobs[id] = workload::GenerateImageBlob(id);
+    }
+    workload::CodebookParams cbp;
+    cbp.num_clusters = 128;
+    cbp.dims = 16;
+    return core::BuildDeployment(config, workload::GenerateCodebook(cbp),
+                                 std::move(corpus), std::move(blobs));
+  };
+  core::OwnerOutput a = build();
+  core::OwnerOutput b = build();
+  EXPECT_EQ(a.package->RootDigest(), b.package->RootDigest());
+  EXPECT_EQ(a.public_params.root_signature, b.public_params.root_signature);
+}
+
+TEST(ConcurrentQueryTest, ManyClientsOneServer) {
+  core::Config config = core::Config::ImageProof();
+  config.rsa_bits = 512;
+  workload::CorpusParams cp;
+  cp.num_images = 500;
+  cp.num_clusters = 128;
+  auto corpus = workload::GenerateCorpus(cp);
+  std::unordered_map<bovw::ImageId, Bytes> blobs;
+  for (const auto& [id, v] : corpus) blobs[id] = workload::GenerateImageBlob(id);
+  workload::CodebookParams cbp;
+  cbp.num_clusters = 128;
+  cbp.dims = 16;
+  core::OwnerOutput owner = core::BuildDeployment(
+      config, workload::GenerateCodebook(cbp), std::move(corpus),
+      std::move(blobs));
+  core::ServiceProvider sp(owner.package.get());
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      core::Client client(owner.public_params);
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto features = workload::GenerateQueryFeatures(
+            owner.package->codebook, 15, 0.3, t * 100 + q);
+        core::QueryResponse resp = sp.Query(features, 5);
+        auto verified = client.Verify(features, 5, resp.vo);
+        if (!verified.ok()) failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace imageproof

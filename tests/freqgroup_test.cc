@@ -1,0 +1,238 @@
+// Tests for the frequency-grouped Merkle inverted index (Optimization B):
+// grouping invariants, digest chains, search-vs-oracle agreement, VO
+// compression behavior, and adversarial rejection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "freqgroup/fg_index.h"
+#include "freqgroup/fg_search.h"
+#include "freqgroup/fg_verify.h"
+#include "invindex/merkle_inv_index.h"
+#include "invindex/search.h"
+
+namespace imageproof::freqgroup {
+namespace {
+
+using bovw::BovwVector;
+using bovw::ClusterWeights;
+
+struct Corpus {
+  size_t num_clusters;
+  std::vector<std::pair<ImageId, BovwVector>> images;
+  std::unique_ptr<ClusterWeights> weights;
+
+  Corpus(size_t num_images, size_t num_clusters_in, uint64_t seed)
+      : num_clusters(num_clusters_in) {
+    Rng rng(seed);
+    for (ImageId id = 0; id < num_images; ++id) {
+      size_t distinct = 3 + rng.NextBounded(8);
+      std::map<bovw::ClusterId, uint32_t> counts;
+      for (size_t i = 0; i < distinct; ++i) {
+        auto c = static_cast<bovw::ClusterId>(rng.NextZipf(num_clusters, 1.15));
+        counts[c] += 1 + static_cast<uint32_t>(rng.NextBounded(3));
+      }
+      BovwVector v;
+      v.entries.assign(counts.begin(), counts.end());
+      images.emplace_back(id, v);
+    }
+    std::vector<BovwVector> vecs;
+    for (auto& [id, v] : images) vecs.push_back(v);
+    weights = std::make_unique<ClusterWeights>(
+        ClusterWeights::FromCorpus(num_clusters, vecs));
+  }
+
+  BovwVector RandomQuery(uint64_t seed) const {
+    Rng rng(seed);
+    std::map<bovw::ClusterId, uint32_t> counts;
+    for (size_t i = 0; i < 6; ++i) {
+      auto c = static_cast<bovw::ClusterId>(rng.NextZipf(num_clusters, 1.1));
+      counts[c] += 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    }
+    BovwVector v;
+    v.entries.assign(counts.begin(), counts.end());
+    return v;
+  }
+};
+
+TEST(FgIndexTest, GroupingInvariants) {
+  Corpus corpus(300, 40, 3);
+  auto index = FgInvertedIndex::Build(40, corpus.images, *corpus.weights, true);
+  for (bovw::ClusterId c = 0; c < 40; ++c) {
+    const FgList& list = index.list(c);
+    std::set<uint32_t> freqs_seen;
+    std::set<ImageId> ids_seen;
+    double prev_impact = 1e300;
+    for (const FgPosting& p : list.postings) {
+      // One group per frequency.
+      EXPECT_TRUE(freqs_seen.insert(p.freq).second);
+      ASSERT_FALSE(p.members.empty());
+      // Members sorted by (norm, id); each image at most once per list.
+      for (size_t m = 0; m < p.members.size(); ++m) {
+        EXPECT_TRUE(ids_seen.insert(p.members[m].id).second);
+        if (m > 0) {
+          EXPECT_TRUE(p.members[m - 1].norm < p.members[m].norm ||
+                      (p.members[m - 1].norm == p.members[m].norm &&
+                       p.members[m - 1].id < p.members[m].id));
+        }
+      }
+      // Group impacts descend along the list.
+      double impact = p.GroupImpact(list.weight);
+      EXPECT_LE(impact, prev_impact);
+      prev_impact = impact;
+    }
+    // Chain digests verify.
+    Digest next = Digest::Zero();
+    for (size_t i = list.postings.size(); i-- > 0;) {
+      next = FgPostingDigest(list.postings[i], next);
+      EXPECT_EQ(next, list.postings[i].digest);
+    }
+    EXPECT_EQ(list.digest,
+              invindex::ListDigest(list.weight, list.theta_digest,
+                                   list.FirstPostingDigest()));
+  }
+}
+
+TEST(FgIndexTest, GroupsEquivalentToPlainPostings) {
+  // The grouped index encodes exactly the same (image, impact) pairs as the
+  // plain index.
+  Corpus corpus(200, 30, 5);
+  auto plain = invindex::MerkleInvertedIndex::Build(30, corpus.images,
+                                                    *corpus.weights, true);
+  auto grouped = FgInvertedIndex::Build(30, corpus.images, *corpus.weights, true);
+  for (bovw::ClusterId c = 0; c < 30; ++c) {
+    std::map<ImageId, double> plain_impacts, grouped_impacts;
+    for (const auto& p : plain.list(c).postings) {
+      plain_impacts[p.id] = p.impact;
+    }
+    const FgList& list = grouped.list(c);
+    for (const auto& g : list.postings) {
+      for (size_t m = 0; m < g.members.size(); ++m) {
+        grouped_impacts[g.members[m].id] = g.MemberImpact(list.weight, m);
+      }
+    }
+    ASSERT_EQ(plain_impacts.size(), grouped_impacts.size()) << "cluster " << c;
+    for (const auto& [id, impact] : plain_impacts) {
+      ASSERT_TRUE(grouped_impacts.count(id));
+      EXPECT_DOUBLE_EQ(grouped_impacts[id], impact);
+    }
+  }
+}
+
+void ExpectFgRoundTrip(const FgInvertedIndex& index, const Corpus& corpus,
+                       const BovwVector& query, size_t k) {
+  invindex::InvSearchParams params;
+  params.k = k;
+  FgSearchResult result = FgSearch(index, query, params);
+
+  auto expected = bovw::BruteForceTopK(corpus.images, query, *corpus.weights, k);
+  while (!expected.empty() && expected.back().score <= 0) expected.pop_back();
+  ASSERT_EQ(result.topk.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.topk[i].id, expected[i].id) << "rank " << i;
+    EXPECT_NEAR(result.topk[i].score, expected[i].score, 1e-9);
+  }
+
+  std::vector<ImageId> claimed;
+  for (const auto& si : result.topk) claimed.push_back(si.id);
+  InvVerifyResult verified;
+  Status s = FgVerifyVo(result.vo, query, claimed, k, index.with_filters(),
+                        &verified);
+  ASSERT_TRUE(s.ok()) << s.message();
+  for (const auto& [c, digest] : verified.list_digests) {
+    EXPECT_EQ(digest, index.list(c).digest) << "cluster " << c;
+  }
+}
+
+TEST(FgSearchTest, MatchesBruteForce) {
+  Corpus corpus(400, 50, 7);
+  auto index = FgInvertedIndex::Build(50, corpus.images, *corpus.weights, true);
+  for (uint64_t qs = 0; qs < 8; ++qs) {
+    SCOPED_TRACE(qs);
+    ExpectFgRoundTrip(index, corpus, corpus.RandomQuery(100 + qs), 10);
+  }
+}
+
+TEST(FgSearchTest, VariousK) {
+  Corpus corpus(250, 40, 9);
+  auto index = FgInvertedIndex::Build(40, corpus.images, *corpus.weights, true);
+  BovwVector q = corpus.RandomQuery(500);
+  for (size_t k : {1u, 3u, 10u, 40u}) {
+    SCOPED_TRACE(k);
+    ExpectFgRoundTrip(index, corpus, q, k);
+  }
+}
+
+TEST(FgSearchTest, PlainFilterlessMode) {
+  Corpus corpus(200, 30, 11);
+  auto index = FgInvertedIndex::Build(30, corpus.images, *corpus.weights, false);
+  for (uint64_t qs = 0; qs < 4; ++qs) {
+    SCOPED_TRACE(qs);
+    ExpectFgRoundTrip(index, corpus, corpus.RandomQuery(600 + qs), 5);
+  }
+}
+
+TEST(FgSearchTest, VoSmallerThanPlainIndexVo) {
+  // The headline claim of Optimization B: grouped VOs carry fewer bytes
+  // than the plain impact-ordered VOs for the same query.
+  Corpus corpus(800, 40, 13);
+  auto plain = invindex::MerkleInvertedIndex::Build(40, corpus.images,
+                                                    *corpus.weights, true);
+  auto grouped = FgInvertedIndex::Build(40, corpus.images, *corpus.weights, true);
+  invindex::InvSearchParams params;
+  params.k = 10;
+  size_t plain_bytes = 0, grouped_bytes = 0;
+  for (uint64_t qs = 0; qs < 5; ++qs) {
+    BovwVector q = corpus.RandomQuery(700 + qs);
+    plain_bytes += invindex::InvSearch(plain, q, params).vo.size();
+    grouped_bytes += FgSearch(grouped, q, params).vo.size();
+  }
+  EXPECT_LT(grouped_bytes, plain_bytes);
+}
+
+TEST(FgAttackTest, TamperingRejected) {
+  Corpus corpus(300, 40, 17);
+  auto index = FgInvertedIndex::Build(40, corpus.images, *corpus.weights, true);
+  BovwVector q = corpus.RandomQuery(900);
+  invindex::InvSearchParams params;
+  params.k = 10;
+  FgSearchResult honest = FgSearch(index, q, params);
+  std::vector<ImageId> claimed;
+  for (const auto& si : honest.topk) claimed.push_back(si.id);
+
+  auto accepts = [&](const Bytes& vo, const std::vector<ImageId>& ids) {
+    InvVerifyResult verified;
+    if (!FgVerifyVo(vo, q, ids, 10, true, &verified).ok()) return false;
+    for (const auto& [c, digest] : verified.list_digests) {
+      if (digest != index.list(c).digest) return false;
+    }
+    return true;
+  };
+  ASSERT_TRUE(accepts(honest.vo, claimed));
+
+  // Bit flips.
+  Rng rng(19);
+  for (int t = 0; t < 40; ++t) {
+    Bytes tampered = honest.vo;
+    tampered[rng.NextBounded(tampered.size())] ^=
+        static_cast<uint8_t>(1 + rng.NextBounded(255));
+    EXPECT_FALSE(accepts(tampered, claimed)) << t;
+  }
+  // Result swap.
+  if (!claimed.empty()) {
+    auto swapped = claimed;
+    swapped[0] += 1000000;
+    EXPECT_FALSE(accepts(honest.vo, swapped));
+  }
+  // Dropped result.
+  if (claimed.size() > 1) {
+    auto dropped = std::vector<ImageId>(claimed.begin() + 1, claimed.end());
+    EXPECT_FALSE(accepts(honest.vo, dropped));
+  }
+}
+
+}  // namespace
+}  // namespace imageproof::freqgroup

@@ -1,0 +1,77 @@
+// Golden-digest regression tests: the ADS digest formats are a wire
+// protocol — the owner's signatures, every persisted deployment, and every
+// VO depend on them byte-for-byte. These constants pin the current formats
+// so an accidental change to any canonical encoding (field order, float
+// representation, domain separators) fails loudly instead of silently
+// invalidating all previously signed state.
+//
+// If a test here fails because you *intentionally* changed a format, bump
+// the storage format version (storage/serializer.cc) and update the
+// constants — that is a breaking protocol change.
+
+#include <gtest/gtest.h>
+
+#include "crypto/hasher.h"
+#include "freqgroup/fg_index.h"
+#include "invindex/merkle_inv_index.h"
+#include "merkle/merkle_tree.h"
+#include "mrkd/commit.h"
+#include "mrkd/mrkd_tree.h"
+
+namespace imageproof {
+namespace {
+
+using crypto::Digest;
+
+TEST(GoldenDigestTest, PostingChain) {
+  // h(u64 7 | f64 0.25 | 0^256), per Definition 4.
+  Digest p = invindex::PostingDigest(7, 0.25, Digest::Zero());
+  EXPECT_EQ(p.ToHex(),
+            "2f2d9f080a239a2c5447268d6051537f00fb6d07e49bcb3760cda8ab0e687646");
+}
+
+TEST(GoldenDigestTest, ListDigest) {
+  Digest p = invindex::PostingDigest(7, 0.25, Digest::Zero());
+  Digest l = invindex::ListDigest(1.5, Digest::Zero(), p);
+  EXPECT_EQ(l.ToHex(),
+            "8b37f05bb928021e4f028cc4859f9d2cfe7c1303629671fa22bfecb4318d15e4");
+}
+
+TEST(GoldenDigestTest, FrequencyGroupDigest) {
+  freqgroup::FgPosting g;
+  g.freq = 3;
+  g.members = {{2, 4.0}, {9, 5.0}};
+  Digest gd = freqgroup::FgPostingDigest(g, Digest::Zero());
+  EXPECT_EQ(gd.ToHex(),
+            "36c3373ad9964d17f0bffccc750da6783aba7a21bb140e9bb506ae1f5d3f60ba");
+}
+
+TEST(GoldenDigestTest, ClusterCommitments) {
+  float coords[16];
+  for (int i = 0; i < 16; ++i) coords[i] = static_cast<float>(i) * 0.5f;
+  EXPECT_EQ(
+      mrkd::ClusterCommitment(mrkd::RevealMode::kFullVector, 5, coords, 16)
+          .ToHex(),
+      "63a45624a2630c90a6939558965aff84b5205831da1277140549f39f9dc2349f");
+  EXPECT_EQ(
+      mrkd::ClusterCommitment(mrkd::RevealMode::kDimMerkle, 5, coords, 16)
+          .ToHex(),
+      "a3135a97f95c238baf1c575431cd074468a732d87d0ee1463ddf81f9c903d9fb");
+}
+
+TEST(GoldenDigestTest, GenericMerkleTree) {
+  merkle::MerkleTree t({{0x01}, {0x02}, {0x03}});
+  EXPECT_EQ(t.root().ToHex(),
+            "4f554b3aea550c2f7a86917c8c02a0ee842a813fadec1f4c87569cff27bccd14");
+}
+
+TEST(GoldenDigestTest, MrkdInternalNode) {
+  Digest p = invindex::PostingDigest(7, 0.25, Digest::Zero());
+  crypto::DigestBuilder b;
+  mrkd::MrkdTree::HashInternal(b, 3, 1.25f, Digest::Zero(), p);
+  EXPECT_EQ(b.Finalize().ToHex(),
+            "45eff8a4353ec3cf7b04669c667306c1b9094ca4f89089999430db6d855e16e0");
+}
+
+}  // namespace
+}  // namespace imageproof

@@ -1,0 +1,247 @@
+// Cross-module integration tests: the full pixels -> SIFT -> AKM -> BoVW ->
+// ImageProof pipeline, plus parameterized property sweeps of the end-to-end
+// scheme over corpus shapes.
+
+#include <gtest/gtest.h>
+
+#include "ann/kmeans.h"
+#include "core/client.h"
+#include "core/owner.h"
+#include "core/server.h"
+#include "image/synth.h"
+#include "sift/extractor.h"
+#include "workload/synthetic.h"
+
+namespace imageproof {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Real image pipeline
+// ---------------------------------------------------------------------------
+
+class ImagePipelineTest : public ::testing::Test {
+ protected:
+  static constexpr int kNumImages = 40;
+  static constexpr int kCodebook = 200;
+
+  static void SetUpTestSuite() {
+    sift::SiftParams sift_params;
+    sift_params.max_features = 60;
+    sift::SiftExtractor extractor(sift_params);
+
+    std::vector<image::Image> images;
+    std::vector<std::vector<std::vector<float>>> features;
+    ann::PointSet pool(sift_params.DescriptorDims(), 0);
+    pool.set_dims(sift_params.DescriptorDims());
+    for (int i = 0; i < kNumImages; ++i) {
+      images.push_back(image::SynthesizeImage(500 + i, 96, 96));
+      std::vector<std::vector<float>> f;
+      for (auto& feat : extractor.Extract(images.back())) {
+        f.push_back(std::move(feat.descriptor));
+      }
+      for (const auto& d : f) pool.AppendRow(d);
+      features.push_back(std::move(f));
+    }
+
+    ann::AkmParams akm;
+    akm.num_clusters = kCodebook;
+    akm.iterations = 4;
+    ann::AkmResult trained = TrainCodebook(pool, akm);
+
+    ann::RkdForest forest(trained.centers, ann::ForestParams{});
+    std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> corpus;
+    std::unordered_map<bovw::ImageId, Bytes> payloads;
+    for (int i = 0; i < kNumImages; ++i) {
+      corpus.emplace_back(i, bovw::EncodeWithForest(forest, features[i]));
+      payloads[i] = images[i].Serialize();
+    }
+    core::Config config = core::Config::ImageProof();
+    config.rsa_bits = 512;
+    owner_ = new core::OwnerOutput(core::BuildDeployment(
+        config, trained.centers, std::move(corpus), std::move(payloads)));
+    extractor_ = new sift::SiftExtractor(sift_params);
+    images_ = new std::vector<image::Image>(std::move(images));
+  }
+
+  static void TearDownTestSuite() {
+    delete owner_;
+    delete extractor_;
+    delete images_;
+    owner_ = nullptr;
+    extractor_ = nullptr;
+    images_ = nullptr;
+  }
+
+  static std::vector<std::vector<float>> Features(const image::Image& img) {
+    std::vector<std::vector<float>> out;
+    for (auto& f : extractor_->Extract(img)) out.push_back(std::move(f.descriptor));
+    return out;
+  }
+
+  static core::OwnerOutput* owner_;
+  static sift::SiftExtractor* extractor_;
+  static std::vector<image::Image>* images_;
+};
+
+core::OwnerOutput* ImagePipelineTest::owner_ = nullptr;
+sift::SiftExtractor* ImagePipelineTest::extractor_ = nullptr;
+std::vector<image::Image>* ImagePipelineTest::images_ = nullptr;
+
+TEST_F(ImagePipelineTest, ExactDuplicateQueryRetrievesItself) {
+  core::ServiceProvider sp(owner_->package.get());
+  core::Client client(owner_->public_params);
+  for (int target : {0, 13, 39}) {
+    auto features = Features((*images_)[target]);
+    ASSERT_FALSE(features.empty());
+    core::QueryResponse resp = sp.Query(features, 3);
+    auto verified = client.Verify(features, 3, resp.vo);
+    ASSERT_TRUE(verified.ok()) << verified.status().message();
+    ASSERT_FALSE(verified->topk.empty());
+    EXPECT_EQ(verified->topk[0].id, static_cast<bovw::ImageId>(target));
+  }
+}
+
+TEST_F(ImagePipelineTest, NoisyVariantRanksSourceHighly) {
+  core::ServiceProvider sp(owner_->package.get());
+  core::Client client(owner_->public_params);
+  const int target = 7;
+  image::Image variant = image::AddNoise((*images_)[target], 3.0, 77);
+  auto features = Features(variant);
+  ASSERT_FALSE(features.empty());
+  core::QueryResponse resp = sp.Query(features, 5);
+  auto verified = client.Verify(features, 5, resp.vo);
+  ASSERT_TRUE(verified.ok()) << verified.status().message();
+  bool found = false;
+  for (const auto& si : verified->topk) {
+    if (si.id == target) found = true;
+  }
+  EXPECT_TRUE(found) << "source image not in verified top-5";
+}
+
+TEST_F(ImagePipelineTest, VerifiedPayloadsDecodeToImages) {
+  core::ServiceProvider sp(owner_->package.get());
+  core::Client client(owner_->public_params);
+  auto features = Features((*images_)[3]);
+  core::QueryResponse resp = sp.Query(features, 4);
+  auto verified = client.Verify(features, 4, resp.vo);
+  ASSERT_TRUE(verified.ok()) << verified.status().message();
+  for (size_t i = 0; i < verified->topk.size(); ++i) {
+    image::Image decoded;
+    ASSERT_TRUE(image::Image::Deserialize(verified->images[i], &decoded));
+    EXPECT_EQ(decoded.pixels(),
+              (*images_)[verified->topk[i].id].pixels());
+  }
+}
+
+TEST_F(ImagePipelineTest, TamperedPayloadRejected) {
+  core::ServiceProvider sp(owner_->package.get());
+  core::Client client(owner_->public_params);
+  auto features = Features((*images_)[21]);
+  core::QueryResponse resp = sp.Query(features, 3);
+  ASSERT_FALSE(resp.vo.results.empty());
+  resp.vo.results[0].data[10] ^= 0x80;  // flip one pixel bit
+  auto verified = client.Verify(features, 3, resp.vo);
+  EXPECT_FALSE(verified.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the scheme holds across corpus/codebook shapes
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  const char* scheme;
+  size_t images;
+  size_t clusters;
+  size_t dims;
+  size_t features;
+  size_t k;
+};
+
+class EndToEndSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EndToEndSweep, HonestVerifiesAndMatchesOracle) {
+  const SweepCase& sc = GetParam();
+  core::Config config =
+      std::string(sc.scheme) == "Baseline"     ? core::Config::Baseline()
+      : std::string(sc.scheme) == "ImageProof" ? core::Config::ImageProof()
+      : std::string(sc.scheme) == "OptA"       ? core::Config::OptimizedBovw()
+                                               : core::Config::OptimizedBoth();
+  config.rsa_bits = 512;
+
+  workload::CorpusParams cp;
+  cp.num_images = sc.images;
+  cp.num_clusters = sc.clusters;
+  cp.min_distinct = 4;
+  cp.max_distinct = 16;
+  cp.seed = sc.images + sc.clusters;
+  auto corpus = workload::GenerateCorpus(cp);
+  auto corpus_copy = corpus;
+  std::unordered_map<bovw::ImageId, Bytes> blobs;
+  for (const auto& [id, v] : corpus) blobs[id] = workload::GenerateImageBlob(id, 16);
+
+  workload::CodebookParams cbp;
+  cbp.num_clusters = sc.clusters;
+  cbp.dims = sc.dims;
+  cbp.seed = cp.seed + 1;
+  core::OwnerOutput owner = core::BuildDeployment(
+      config, workload::GenerateCodebook(cbp), std::move(corpus),
+      std::move(blobs), cp.seed + 2);
+  core::ServiceProvider sp(owner.package.get());
+  core::Client client(owner.public_params);
+
+  auto features = workload::GenerateQueryFeatures(owner.package->codebook,
+                                                  sc.features, 0.3, cp.seed + 3);
+  core::QueryResponse resp = sp.Query(features, sc.k);
+  auto verified = client.Verify(features, sc.k, resp.vo);
+  ASSERT_TRUE(verified.ok()) << sc.scheme << ": " << verified.status().message();
+
+  // Oracle: exact NN assignment + brute-force scoring.
+  std::vector<bovw::ClusterId> assignment;
+  const auto& cb = owner.package->codebook;
+  for (const auto& f : features) {
+    double best = 0;
+    int32_t best_c = -1;
+    for (size_t c = 0; c < cb.size(); ++c) {
+      double d = ann::SquaredL2(f.data(), cb.row(c), cb.dims());
+      if (best_c < 0 || d < best) {
+        best = d;
+        best_c = static_cast<int32_t>(c);
+      }
+    }
+    assignment.push_back(static_cast<bovw::ClusterId>(best_c));
+  }
+  std::vector<bovw::BovwVector> vecs;
+  for (const auto& [id, v] : corpus_copy) vecs.push_back(v);
+  auto weights = bovw::ClusterWeights::FromCorpus(sc.clusters, vecs);
+  auto expected = bovw::BruteForceTopK(
+      corpus_copy, bovw::CountAssignments(assignment), weights, sc.k);
+  while (!expected.empty() && expected.back().score <= 0) expected.pop_back();
+  ASSERT_EQ(resp.topk.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(resp.topk[i].id, expected[i].id) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EndToEndSweep,
+    ::testing::Values(
+        SweepCase{"ImageProof", 100, 64, 8, 10, 3},
+        SweepCase{"ImageProof", 500, 64, 8, 20, 10},
+        SweepCase{"ImageProof", 200, 512, 24, 30, 5},
+        SweepCase{"ImageProof", 50, 32, 8, 5, 60},   // k > corpus
+        SweepCase{"Baseline", 200, 128, 12, 15, 5},
+        SweepCase{"Baseline", 100, 512, 16, 25, 8},
+        SweepCase{"OptA", 200, 128, 32, 15, 5},
+        SweepCase{"OptA", 300, 256, 64, 20, 10},
+        SweepCase{"OptBoth", 200, 128, 16, 15, 5},
+        SweepCase{"OptBoth", 400, 256, 32, 25, 10}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.scheme) + "_" +
+             std::to_string(info.param.images) + "i_" +
+             std::to_string(info.param.clusters) + "c_" +
+             std::to_string(info.param.dims) + "d_" +
+             std::to_string(info.param.k) + "k";
+    });
+
+}  // namespace
+}  // namespace imageproof

@@ -1,0 +1,446 @@
+// Tests for the Merkle inverted index ADS, PostingSearch/InvSearch, the
+// bounds engine, and client verification — including adversarial cases.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "bovw/bovw.h"
+#include "common/random.h"
+#include "invindex/bounds.h"
+#include "invindex/merkle_inv_index.h"
+#include "invindex/search.h"
+#include "invindex/verify.h"
+
+namespace imageproof::invindex {
+namespace {
+
+using bovw::BovwVector;
+using bovw::ClusterWeights;
+
+struct Corpus {
+  size_t num_clusters;
+  std::vector<std::pair<ImageId, BovwVector>> images;
+  std::unique_ptr<ClusterWeights> weights;
+
+  Corpus(size_t num_images, size_t num_clusters_in, double zipf_s,
+         uint64_t seed)
+      : num_clusters(num_clusters_in) {
+    Rng rng(seed);
+    for (ImageId id = 0; id < num_images; ++id) {
+      size_t distinct = 3 + rng.NextBounded(8);
+      std::map<bovw::ClusterId, uint32_t> counts;
+      for (size_t i = 0; i < distinct; ++i) {
+        bovw::ClusterId c =
+            static_cast<bovw::ClusterId>(rng.NextZipf(num_clusters, zipf_s));
+        counts[c] += 1 + static_cast<uint32_t>(rng.NextBounded(4));
+      }
+      BovwVector v;
+      v.entries.assign(counts.begin(), counts.end());
+      images.emplace_back(id, v);
+    }
+    std::vector<BovwVector> vecs;
+    for (auto& [id, v] : images) vecs.push_back(v);
+    weights = std::make_unique<ClusterWeights>(
+        ClusterWeights::FromCorpus(num_clusters, vecs));
+  }
+
+  BovwVector RandomQuery(uint64_t seed) const {
+    Rng rng(seed);
+    std::map<bovw::ClusterId, uint32_t> counts;
+    size_t distinct = 4 + rng.NextBounded(6);
+    for (size_t i = 0; i < distinct; ++i) {
+      bovw::ClusterId c =
+          static_cast<bovw::ClusterId>(rng.NextZipf(num_clusters, 1.1));
+      counts[c] += 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    }
+    BovwVector v;
+    v.entries.assign(counts.begin(), counts.end());
+    return v;
+  }
+};
+
+// Checks an InvSearch round trip end to end, including digest matching
+// against the authenticated per-list digests (which in the full scheme come
+// from the MRKD-tree).
+void ExpectRoundTrip(const MerkleInvertedIndex& index, const Corpus& corpus,
+                     const BovwVector& query, size_t k) {
+  InvSearchParams params;
+  params.k = k;
+  InvSearchResult result = InvSearch(index, query, params);
+
+  // Exact against brute force.
+  auto expected = bovw::BruteForceTopK(corpus.images, query, *corpus.weights, k);
+  // Drop zero-score tail entries from the oracle: images sharing no
+  // relevant cluster are not retrievable results.
+  while (!expected.empty() && expected.back().score <= 0) expected.pop_back();
+  ASSERT_EQ(result.topk.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.topk[i].id, expected[i].id) << "rank " << i;
+    EXPECT_NEAR(result.topk[i].score, expected[i].score, 1e-9);
+  }
+
+  // Client verification.
+  std::vector<ImageId> claimed;
+  for (const auto& si : result.topk) claimed.push_back(si.id);
+  InvVerifyResult verified;
+  Status s = VerifyInvVo(result.vo, query, claimed, k, index.with_filters(),
+                         &verified);
+  ASSERT_TRUE(s.ok()) << s.message();
+
+  // Reconstructed digests must equal the authenticated ones.
+  for (const auto& [c, digest] : verified.list_digests) {
+    EXPECT_EQ(digest, index.list(c).digest) << "cluster " << c;
+  }
+  // Verified scores are true lower bounds and rank the same set.
+  ASSERT_EQ(verified.topk.size(), claimed.size());
+  for (const auto& si : verified.topk) {
+    EXPECT_LE(si.score,
+              bovw::BruteForceTopK(corpus.images, query, *corpus.weights,
+                                   corpus.images.size())
+                      .empty()
+                  ? 0.0
+                  : 1e18);  // sanity only; exactness checked elsewhere
+  }
+}
+
+TEST(MerkleInvIndexTest, BuildInvariants) {
+  Corpus corpus(200, 50, 1.1, 7);
+  auto index = MerkleInvertedIndex::Build(corpus.num_clusters, corpus.images,
+                                          *corpus.weights, true);
+  EXPECT_EQ(index.num_clusters(), 50u);
+  size_t nonempty = 0;
+  for (bovw::ClusterId c = 0; c < 50; ++c) {
+    const auto& list = index.list(c);
+    if (!list.postings.empty()) ++nonempty;
+    // Impact-descending order with ascending-id ties.
+    for (size_t i = 1; i < list.postings.size(); ++i) {
+      const auto& prev = list.postings[i - 1];
+      const auto& cur = list.postings[i];
+      EXPECT_TRUE(prev.impact > cur.impact ||
+                  (prev.impact == cur.impact && prev.id < cur.id));
+    }
+    // Chain digests verify backwards.
+    Digest next = Digest::Zero();
+    for (size_t i = list.postings.size(); i-- > 0;) {
+      next = PostingDigest(list.postings[i].id, list.postings[i].impact, next);
+      EXPECT_EQ(next, list.postings[i].digest);
+    }
+    EXPECT_EQ(list.digest, ListDigest(list.weight, list.theta_digest,
+                                      list.FirstPostingDigest()));
+    // Filter contains every posting id.
+    if (!list.postings.empty()) {
+      ASSERT_TRUE(list.filter.has_value());
+      for (const auto& p : list.postings) {
+        EXPECT_TRUE(list.filter->Contains(p.id));
+      }
+    }
+  }
+  EXPECT_GT(nonempty, 20u);
+}
+
+TEST(MerkleInvIndexTest, PlainModeDiffersFromFilterMode) {
+  Corpus corpus(100, 30, 1.1, 9);
+  auto with = MerkleInvertedIndex::Build(30, corpus.images, *corpus.weights, true);
+  auto without =
+      MerkleInvertedIndex::Build(30, corpus.images, *corpus.weights, false);
+  EXPECT_FALSE(without.with_filters());
+  EXPECT_FALSE(without.list(0).filter.has_value());
+  bool any_diff = false;
+  for (bovw::ClusterId c = 0; c < 30; ++c) {
+    if (!with.list(c).postings.empty() &&
+        with.list(c).digest != without.list(c).digest) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(InvSearchTest, MatchesBruteForceWithFilters) {
+  Corpus corpus(400, 60, 1.15, 11);
+  auto index = MerkleInvertedIndex::Build(60, corpus.images, *corpus.weights, true);
+  for (uint64_t qs = 0; qs < 8; ++qs) {
+    SCOPED_TRACE(qs);
+    ExpectRoundTrip(index, corpus, corpus.RandomQuery(100 + qs), 10);
+  }
+}
+
+TEST(InvSearchTest, MatchesBruteForceBaseline) {
+  Corpus corpus(300, 40, 1.15, 13);
+  auto index = MerkleInvertedIndex::Build(40, corpus.images, *corpus.weights, false);
+  for (uint64_t qs = 0; qs < 5; ++qs) {
+    SCOPED_TRACE(qs);
+    ExpectRoundTrip(index, corpus, corpus.RandomQuery(200 + qs), 5);
+  }
+}
+
+TEST(InvSearchTest, FiltersPopFewerPostingsThanBaseline) {
+  Corpus corpus(800, 50, 1.2, 17);
+  auto filtered = MerkleInvertedIndex::Build(50, corpus.images, *corpus.weights, true);
+  auto plain = MerkleInvertedIndex::Build(50, corpus.images, *corpus.weights, false);
+  size_t popped_filtered = 0, popped_plain = 0;
+  InvSearchParams params;
+  params.k = 10;
+  for (uint64_t qs = 0; qs < 5; ++qs) {
+    BovwVector q = corpus.RandomQuery(300 + qs);
+    popped_filtered += InvSearch(filtered, q, params).stats.popped_postings;
+    popped_plain += InvSearch(plain, q, params).stats.popped_postings;
+  }
+  EXPECT_LT(popped_filtered, popped_plain);
+}
+
+TEST(InvSearchTest, VariousK) {
+  Corpus corpus(250, 40, 1.1, 19);
+  auto index = MerkleInvertedIndex::Build(40, corpus.images, *corpus.weights, true);
+  BovwVector q = corpus.RandomQuery(400);
+  for (size_t k : {1u, 2u, 5u, 20u, 50u}) {
+    SCOPED_TRACE(k);
+    ExpectRoundTrip(index, corpus, q, k);
+  }
+}
+
+TEST(InvSearchTest, LazyTopkPopsMatchesEagerAndVerifies) {
+  Corpus corpus(600, 60, 1.15, 21);
+  auto index = MerkleInvertedIndex::Build(60, corpus.images, *corpus.weights, true);
+  size_t eager_total = 0, lazy_total = 0;
+  for (uint64_t qs = 0; qs < 6; ++qs) {
+    BovwVector q = corpus.RandomQuery(800 + qs);
+    InvSearchParams eager;
+    eager.k = 10;
+    InvSearchParams lazy = eager;
+    lazy.lazy_topk_pops = true;
+    auto re = InvSearch(index, q, eager);
+    auto rl = InvSearch(index, q, lazy);
+    // Same result set (ordering within may differ when lazy scores are
+    // partial, so compare as sets).
+    std::set<ImageId> se, sl;
+    for (auto& si : re.topk) se.insert(si.id);
+    for (auto& si : rl.topk) sl.insert(si.id);
+    EXPECT_EQ(se, sl) << "query " << qs;
+    eager_total += re.stats.popped_postings;
+    lazy_total += rl.stats.popped_postings;
+    // The lazy VO verifies like any other.
+    std::vector<ImageId> claimed;
+    for (auto& si : rl.topk) claimed.push_back(si.id);
+    InvVerifyResult verified;
+    Status s = VerifyInvVo(rl.vo, q, claimed, 10, true, &verified);
+    ASSERT_TRUE(s.ok()) << s.message();
+    for (const auto& [c, digest] : verified.list_digests) {
+      EXPECT_EQ(digest, index.list(c).digest);
+    }
+  }
+  EXPECT_LE(lazy_total, eager_total);
+}
+
+TEST(InvSearchTest, QueryWithNoRelevantLists) {
+  Corpus corpus(100, 30, 1.1, 23);
+  auto index = MerkleInvertedIndex::Build(30, corpus.images, *corpus.weights, true);
+  // A query over a cluster no image contains (weight 0).
+  BovwVector q;
+  // Find an unused cluster if any; otherwise skip.
+  std::set<bovw::ClusterId> used;
+  for (const auto& [id, v] : corpus.images) {
+    for (auto& [c, f] : v.entries) used.insert(c);
+  }
+  bovw::ClusterId unused = 30;
+  for (bovw::ClusterId c = 0; c < 30; ++c) {
+    if (!used.count(c)) {
+      unused = c;
+      break;
+    }
+  }
+  if (unused == 30) GTEST_SKIP() << "all clusters used";
+  q.entries = {{unused, 3}};
+  InvSearchParams params;
+  params.k = 5;
+  auto result = InvSearch(index, q, params);
+  EXPECT_TRUE(result.topk.empty());
+  InvVerifyResult verified;
+  Status s = VerifyInvVo(result.vo, q, {}, 5, true, &verified);
+  EXPECT_TRUE(s.ok()) << s.message();
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial server behaviors
+// ---------------------------------------------------------------------------
+
+class InvAttackTest : public ::testing::Test {
+ protected:
+  InvAttackTest()
+      : corpus_(500, 50, 1.15, 29),
+        index_(MerkleInvertedIndex::Build(50, corpus_.images, *corpus_.weights,
+                                          true)),
+        query_(corpus_.RandomQuery(999)) {
+    InvSearchParams params;
+    params.k = 10;
+    honest_ = InvSearch(index_, query_, params);
+    for (const auto& si : honest_.topk) claimed_.push_back(si.id);
+  }
+
+  // Returns true if verification accepts AND the reconstructed digests all
+  // match the authenticated ones (the full client-side acceptance test).
+  bool Accepts(const Bytes& vo, const std::vector<ImageId>& claimed) {
+    InvVerifyResult verified;
+    Status s = VerifyInvVo(vo, query_, claimed, 10, true, &verified);
+    if (!s.ok()) return false;
+    for (const auto& [c, digest] : verified.list_digests) {
+      if (digest != index_.list(c).digest) return false;
+    }
+    return true;
+  }
+
+  Corpus corpus_;
+  MerkleInvertedIndex index_;
+  BovwVector query_;
+  InvSearchResult honest_;
+  std::vector<ImageId> claimed_;
+};
+
+TEST_F(InvAttackTest, HonestAccepted) {
+  EXPECT_TRUE(Accepts(honest_.vo, claimed_));
+}
+
+TEST_F(InvAttackTest, SwapResultForLowRankedImageRejected) {
+  // Replace the best result with some popped image outside the top-k.
+  InvVerifyResult verified;
+  ASSERT_TRUE(VerifyInvVo(honest_.vo, query_, claimed_, 10, true, &verified).ok());
+  auto tampered = claimed_;
+  tampered[0] = claimed_.back() + 1000000;  // an id that never appears
+  EXPECT_FALSE(Accepts(honest_.vo, tampered));
+}
+
+TEST_F(InvAttackTest, DropBestResultRejected) {
+  auto tampered = claimed_;
+  tampered.erase(tampered.begin());
+  EXPECT_FALSE(Accepts(honest_.vo, tampered));
+}
+
+TEST_F(InvAttackTest, DuplicateResultRejected) {
+  auto tampered = claimed_;
+  if (tampered.size() >= 2) tampered[1] = tampered[0];
+  EXPECT_FALSE(Accepts(honest_.vo, tampered));
+}
+
+TEST_F(InvAttackTest, RandomBitFlipsRejected) {
+  Rng rng(31);
+  int accepted = 0;
+  for (int t = 0; t < 50; ++t) {
+    Bytes tampered = honest_.vo;
+    size_t pos = rng.NextBounded(tampered.size());
+    tampered[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    if (Accepts(tampered, claimed_)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST_F(InvAttackTest, TruncatedVoRejected) {
+  Bytes truncated(honest_.vo.begin(), honest_.vo.end() - 5);
+  EXPECT_FALSE(Accepts(truncated, claimed_));
+}
+
+// ---------------------------------------------------------------------------
+// BoundsEngine unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(BoundsEngineTest, OrderingViolationsRejected) {
+  std::vector<BoundsList> lists(1);
+  lists[0].cluster = 0;
+  lists[0].q_impact = 1.0;
+  BoundsEngine engine(std::move(lists), /*use_filters=*/false);
+  EXPECT_TRUE(engine.AddPopped(0, 5, 0.9).ok());
+  EXPECT_FALSE(engine.AddPopped(0, 6, 0.95).ok()) << "impact increased";
+  EXPECT_TRUE(engine.AddPopped(0, 7, 0.9).ok()) << "tie ok";
+  EXPECT_FALSE(engine.AddPopped(0, 5, 0.5).ok()) << "duplicate image";
+  EXPECT_FALSE(engine.AddPopped(0, 9, -0.1).ok()) << "negative impact";
+  EXPECT_FALSE(engine.AddPopped(0, 10, 0.5, 0.4).ok()) << "impact above cap";
+  EXPECT_TRUE(engine.AddPopped(0, 11, 0.2, 0.6).ok()) << "grouped-style cap";
+  EXPECT_FALSE(engine.AddPopped(0, 12, 0.2, 0.7).ok()) << "cap increased";
+}
+
+TEST(BoundsEngineTest, CapsAndScores) {
+  std::vector<BoundsList> lists(2);
+  lists[0] = {0, 2.0, std::nullopt};
+  lists[1] = {1, 1.0, std::nullopt};
+  BoundsEngine engine(std::move(lists), false);
+  EXPECT_TRUE(std::isinf(engine.Cap(0)));
+  ASSERT_TRUE(engine.AddPopped(0, 1, 0.5).ok());
+  ASSERT_TRUE(engine.AddPopped(1, 1, 0.4).ok());
+  ASSERT_TRUE(engine.AddPopped(1, 2, 0.3).ok());
+  EXPECT_DOUBLE_EQ(engine.Cap(0), 0.5);
+  EXPECT_DOUBLE_EQ(engine.Cap(1), 0.3);
+  EXPECT_DOUBLE_EQ(engine.ScoreOf(1), 2.0 * 0.5 + 1.0 * 0.4);
+  EXPECT_DOUBLE_EQ(engine.ScoreOf(2), 0.3);
+  EXPECT_DOUBLE_EQ(engine.ScoreOf(42), 0.0);
+  // Baseline S^U: score + remaining caps of lists where the image is not
+  // popped.
+  EXPECT_DOUBLE_EQ(engine.SUpper(1), engine.ScoreOf(1));
+  EXPECT_DOUBLE_EQ(engine.SUpper(2), 0.3 + 2.0 * 0.5);
+  engine.MarkExhausted(0);
+  EXPECT_DOUBLE_EQ(engine.Cap(0), 0.0);
+  EXPECT_DOUBLE_EQ(engine.SUpper(2), 0.3);
+  // pi^U over the single remaining list.
+  EXPECT_DOUBLE_EQ(engine.PiUpper(), 1.0 * 0.3);
+}
+
+TEST(BoundsEngineTest, FiltersTightenSUpper) {
+  cuckoo::CuckooParams params = cuckoo::CuckooParams::ForMaxItems(100);
+  cuckoo::CuckooFilter f0(params), f1(params);
+  ASSERT_TRUE(f0.Insert(1));
+  ASSERT_TRUE(f0.Insert(2));
+  ASSERT_TRUE(f1.Insert(1));  // image 2 NOT in list 1
+
+  std::vector<BoundsList> lists(2);
+  lists[0] = {0, 1.0, f0};
+  lists[1] = {1, 1.0, f1};
+  BoundsEngine engine(std::move(lists), true);
+  ASSERT_TRUE(engine.AddPopped(0, 1, 0.9).ok());
+  ASSERT_TRUE(engine.AddPopped(1, 1, 0.8).ok());
+  // Image 2 remains only in list 0 per its filter.
+  EXPECT_DOUBLE_EQ(engine.SUpper(2), 1.0 * 0.9);
+  auto possible = engine.PossibleLists(2);
+  ASSERT_EQ(possible.size(), 1u);
+  EXPECT_EQ(possible[0], 0u);
+}
+
+TEST(BoundsEngineTest, GammaShrinksAsImagesPop) {
+  cuckoo::CuckooParams params = cuckoo::CuckooParams::ForMaxItems(50);
+  std::vector<BoundsList> lists;
+  for (int i = 0; i < 5; ++i) {
+    cuckoo::CuckooFilter f(params);
+    ASSERT_TRUE(f.Insert(7));  // image 7 in all five lists
+    BoundsList bl;
+    bl.cluster = i;
+    bl.q_impact = 1.0;
+    bl.filter = std::move(f);
+    lists.push_back(std::move(bl));
+  }
+  BoundsEngine engine(std::move(lists), true);
+  uint32_t before = engine.Gamma();
+  EXPECT_GE(before, 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.AddPopped(i, 7, 0.5).ok());
+  }
+  EXPECT_EQ(engine.Gamma(), 0u);
+  EXPECT_DOUBLE_EQ(engine.PiUpper(), 0.0);
+}
+
+TEST(VerifyClaimedTopKTest, Basics) {
+  std::vector<BoundsList> lists(1);
+  lists[0] = {0, 1.0, std::nullopt};
+  BoundsEngine engine(std::move(lists), false);
+  ASSERT_TRUE(engine.AddPopped(0, 10, 0.9).ok());
+  ASSERT_TRUE(engine.AddPopped(0, 20, 0.8).ok());
+  ASSERT_TRUE(engine.AddPopped(0, 30, 0.7).ok());
+  double skl;
+  EXPECT_TRUE(VerifyClaimedTopK(engine, {10, 20}, &skl));
+  EXPECT_DOUBLE_EQ(skl, 0.8);
+  EXPECT_FALSE(VerifyClaimedTopK(engine, {10, 30}, &skl)) << "not the best 2";
+  EXPECT_FALSE(VerifyClaimedTopK(engine, {10, 99}, &skl)) << "unknown id";
+  EXPECT_FALSE(VerifyClaimedTopK(engine, {10, 20, 30, 40}, &skl))
+      << "more than popped";
+  EXPECT_TRUE(VerifyClaimedTopK(engine, {}, &skl));
+}
+
+}  // namespace
+}  // namespace imageproof::invindex

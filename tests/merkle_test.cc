@@ -1,0 +1,179 @@
+// Tests for the generic Merkle hash tree and its multi-leaf subset proofs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "merkle/merkle_tree.h"
+
+namespace imageproof::merkle {
+namespace {
+
+std::vector<Bytes> MakeLeaves(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<Bytes> leaves(n);
+  for (auto& leaf : leaves) {
+    size_t len = 1 + rng.NextBounded(16);
+    for (size_t i = 0; i < len; ++i) {
+      leaf.push_back(static_cast<uint8_t>(rng.NextU64()));
+    }
+  }
+  return leaves;
+}
+
+TEST(MerkleTreeTest, RootDeterministicAndSensitive) {
+  auto leaves = MakeLeaves(9);
+  MerkleTree t1(leaves), t2(leaves);
+  EXPECT_EQ(t1.root(), t2.root());
+  leaves[4][0] ^= 1;
+  MerkleTree t3(leaves);
+  EXPECT_NE(t1.root(), t3.root());
+}
+
+TEST(MerkleTreeTest, LeafOrderMatters) {
+  auto leaves = MakeLeaves(4);
+  MerkleTree t1(leaves);
+  std::swap(leaves[0], leaves[1]);
+  MerkleTree t2(leaves);
+  EXPECT_NE(t1.root(), t2.root());
+}
+
+TEST(MerkleTreeTest, SingleLeafProof) {
+  auto leaves = MakeLeaves(1);
+  MerkleTree tree(leaves);
+  auto proof = tree.ProveSubset({0});
+  EXPECT_TRUE(proof.empty());
+  EXPECT_TRUE(
+      MerkleTree::VerifySubset(1, tree.root(), {0}, {leaves[0]}, proof).ok());
+}
+
+TEST(MerkleTreeTest, EmptySubsetProofIsJustTheRoot) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  auto proof = tree.ProveSubset({});
+  ASSERT_EQ(proof.size(), 1u);
+  EXPECT_EQ(proof[0], tree.root());
+  EXPECT_TRUE(MerkleTree::VerifySubset(8, tree.root(), {}, {}, proof).ok());
+}
+
+class MerkleSubsetTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleSubsetTest, AllSingletonProofsVerify) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n, n);
+  MerkleTree tree(leaves);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto proof = tree.ProveSubset({i});
+    EXPECT_TRUE(
+        MerkleTree::VerifySubset(n, tree.root(), {i}, {leaves[i]}, proof).ok())
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleSubsetTest, RandomSubsetsVerify) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n, n * 31);
+  MerkleTree tree(leaves);
+  Rng rng(n * 7 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint32_t> indices;
+    std::vector<Bytes> payloads;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (rng.NextDouble() < 0.3) {
+        indices.push_back(i);
+        payloads.push_back(leaves[i]);
+      }
+    }
+    auto proof = tree.ProveSubset(indices);
+    EXPECT_TRUE(
+        MerkleTree::VerifySubset(n, tree.root(), indices, payloads, proof).ok());
+  }
+}
+
+TEST_P(MerkleSubsetTest, TamperedPayloadRejected) {
+  size_t n = GetParam();
+  if (n < 2) return;
+  auto leaves = MakeLeaves(n, n * 13);
+  MerkleTree tree(leaves);
+  std::vector<uint32_t> indices = {0, static_cast<uint32_t>(n - 1)};
+  std::vector<Bytes> payloads = {leaves[0], leaves[n - 1]};
+  auto proof = tree.ProveSubset(indices);
+  payloads[1][0] ^= 0xFF;
+  EXPECT_FALSE(
+      MerkleTree::VerifySubset(n, tree.root(), indices, payloads, proof).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSubsetTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 33, 128));
+
+TEST(MerkleTreeTest, TamperedProofRejected) {
+  auto leaves = MakeLeaves(10);
+  MerkleTree tree(leaves);
+  std::vector<uint32_t> indices = {2, 5};
+  std::vector<Bytes> payloads = {leaves[2], leaves[5]};
+  auto proof = tree.ProveSubset(indices);
+  ASSERT_FALSE(proof.empty());
+  proof[0].bytes[0] ^= 1;
+  EXPECT_FALSE(
+      MerkleTree::VerifySubset(10, tree.root(), indices, payloads, proof).ok());
+}
+
+TEST(MerkleTreeTest, WrongIndexRejected) {
+  auto leaves = MakeLeaves(10);
+  MerkleTree tree(leaves);
+  auto proof = tree.ProveSubset({3});
+  // Claiming the same payload belongs to a different index must fail.
+  EXPECT_FALSE(
+      MerkleTree::VerifySubset(10, tree.root(), {4}, {leaves[3]}, proof).ok());
+}
+
+TEST(MerkleTreeTest, MalformedProofsRejectedCleanly) {
+  auto leaves = MakeLeaves(10);
+  MerkleTree tree(leaves);
+  std::vector<uint32_t> indices = {1};
+  std::vector<Bytes> payloads = {leaves[1]};
+  auto proof = tree.ProveSubset(indices);
+
+  auto too_short = proof;
+  too_short.pop_back();
+  EXPECT_FALSE(MerkleTree::VerifySubset(10, tree.root(), indices, payloads,
+                                        too_short)
+                   .ok());
+
+  auto too_long = proof;
+  too_long.push_back(Digest::Zero());
+  EXPECT_FALSE(
+      MerkleTree::VerifySubset(10, tree.root(), indices, payloads, too_long)
+          .ok());
+
+  EXPECT_FALSE(MerkleTree::VerifySubset(10, tree.root(), {5, 5},
+                                        {leaves[5], leaves[5]}, proof)
+                   .ok())
+      << "duplicate indices";
+  EXPECT_FALSE(MerkleTree::VerifySubset(10, tree.root(), {99}, {leaves[1]},
+                                        proof)
+                   .ok())
+      << "out of range";
+  EXPECT_FALSE(MerkleTree::VerifySubset(10, tree.root(), {5, 2},
+                                        {leaves[5], leaves[2]}, proof)
+                   .ok())
+      << "unsorted";
+}
+
+TEST(MerkleTreeTest, LeafNodeDomainSeparation) {
+  // A leaf whose payload equals the concatenation of two digests must not
+  // collide with the internal node over those digests.
+  auto leaves = MakeLeaves(2);
+  MerkleTree tree(leaves);
+  Bytes fake_leaf;
+  Digest l0 = MerkleTree::HashLeaf(leaves[0]);
+  Digest l1 = MerkleTree::HashLeaf(leaves[1]);
+  fake_leaf.insert(fake_leaf.end(), l0.bytes.begin(), l0.bytes.end());
+  fake_leaf.insert(fake_leaf.end(), l1.bytes.begin(), l1.bytes.end());
+  MerkleTree fake({fake_leaf});
+  EXPECT_NE(fake.root(), tree.root());
+}
+
+}  // namespace
+}  // namespace imageproof::merkle

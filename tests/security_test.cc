@@ -1,0 +1,356 @@
+// Security-focused tests beyond random bit flips: semantically coherent VO
+// mutations (a rational cheating SP edits *fields*, not random bytes) and
+// parser-robustness fuzzing of every untrusted-input surface.
+
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/owner.h"
+#include "core/server.h"
+#include "cuckoo/cuckoo_filter.h"
+#include "freqgroup/fg_index.h"
+#include "freqgroup/fg_search.h"
+#include "freqgroup/fg_verify.h"
+#include "invindex/search.h"
+#include "invindex/verify.h"
+#include "mrkd/commit.h"
+#include "workload/synthetic.h"
+
+namespace imageproof {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Semantic attacks on the inverted-index VO
+// ---------------------------------------------------------------------------
+
+class SemanticAttackTest : public ::testing::Test {
+ public:
+  SemanticAttackTest() {
+    workload::CorpusParams cp;
+    cp.num_images = 600;
+    cp.num_clusters = 128;
+    cp.seed = 77;
+    corpus_ = workload::GenerateCorpus(cp);
+    std::vector<bovw::BovwVector> vecs;
+    for (auto& [id, v] : corpus_) vecs.push_back(v);
+    auto weights = bovw::ClusterWeights::FromCorpus(128, vecs);
+    index_ = std::make_unique<invindex::MerkleInvertedIndex>(
+        invindex::MerkleInvertedIndex::Build(128, corpus_, weights, true));
+    query_ = workload::QueryFromImage(cp, corpus_[33].second, 60, 0.2, 5);
+    invindex::InvSearchParams params;
+    params.k = 5;
+    honest_ = invindex::InvSearch(*index_, query_, params);
+    for (const auto& si : honest_.topk) claimed_.push_back(si.id);
+  }
+
+  bool Accepts(const Bytes& vo, const std::vector<bovw::ImageId>& claimed) {
+    invindex::InvVerifyResult verified;
+    if (!invindex::VerifyInvVo(vo, query_, claimed, 5, true, &verified).ok()) {
+      return false;
+    }
+    for (const auto& [c, digest] : verified.list_digests) {
+      if (digest != index_->list(c).digest) return false;
+    }
+    return true;
+  }
+
+  // Re-serializes the honest VO with a field-level mutation applied by
+  // `mutate(list_index, writer_state...)`. The VO layout is re-emitted
+  // faithfully except for the requested change.
+  struct Posting {
+    uint64_t id;
+    double impact;
+  };
+  struct List {
+    uint64_t cluster;
+    double weight;
+    std::vector<Posting> popped;
+    uint8_t flags;
+    crypto::Digest first_remaining;
+    Bytes filter;
+    crypto::Digest theta;
+  };
+
+  Bytes Reserialize(const std::vector<List>& lists) {
+    ByteWriter w;
+    w.PutU8(1);
+    w.PutVarint(lists.size());
+    for (const List& l : lists) {
+      w.PutVarint(l.cluster);
+      w.PutF64(l.weight);
+      w.PutVarint(l.popped.size());
+      for (const Posting& p : l.popped) {
+        w.PutVarint(p.id);
+        w.PutF64(p.impact);
+      }
+      w.PutU8(l.flags);
+      if (l.flags & 1) crypto::PutDigest(w, l.first_remaining);
+      if (l.flags & 2) {
+        w.PutBlob(l.filter);
+      } else {
+        crypto::PutDigest(w, l.theta);
+      }
+    }
+    return w.Take();
+  }
+
+  std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> corpus_;
+  std::unique_ptr<invindex::MerkleInvertedIndex> index_;
+  bovw::BovwVector query_;
+  invindex::InvSearchResult honest_;
+  std::vector<bovw::ImageId> claimed_;
+};
+
+// Field-level parse of an InvSearch VO (mirrors the documented layout).
+std::vector<SemanticAttackTest::List> ParseVo(const Bytes& vo) {
+  std::vector<SemanticAttackTest::List> lists;
+  ByteReader r(vo);
+  uint8_t use_filters;
+  if (!r.GetU8(&use_filters).ok()) return lists;
+  uint64_t n;
+  if (!r.GetVarint(&n).ok()) return lists;
+  for (uint64_t i = 0; i < n; ++i) {
+    SemanticAttackTest::List l;
+    if (!r.GetVarint(&l.cluster).ok()) return {};
+    if (!r.GetF64(&l.weight).ok()) return {};
+    uint64_t popped;
+    if (!r.GetVarint(&popped).ok()) return {};
+    for (uint64_t j = 0; j < popped; ++j) {
+      SemanticAttackTest::Posting p;
+      if (!r.GetVarint(&p.id).ok()) return {};
+      if (!r.GetF64(&p.impact).ok()) return {};
+      l.popped.push_back(p);
+    }
+    if (!r.GetU8(&l.flags).ok()) return {};
+    if (l.flags & 1) {
+      if (!crypto::GetDigest(r, &l.first_remaining).ok()) return {};
+    }
+    if (l.flags & 2) {
+      if (!r.GetBlob(&l.filter).ok()) return {};
+    } else {
+      if (!crypto::GetDigest(r, &l.theta).ok()) return {};
+    }
+    lists.push_back(std::move(l));
+  }
+  return lists;
+}
+
+TEST_F(SemanticAttackTest, HonestReserializationAccepted) {
+  auto lists = ParseVo(honest_.vo);
+  ASSERT_FALSE(lists.empty());
+  EXPECT_EQ(Reserialize(lists), honest_.vo) << "parser/serializer mismatch";
+  EXPECT_TRUE(Accepts(honest_.vo, claimed_));
+}
+
+TEST_F(SemanticAttackTest, InflatedImpactRejected) {
+  // Inflate a popped competitor's impact so it *looks* consistent; the
+  // digest chain must expose it.
+  auto lists = ParseVo(honest_.vo);
+  for (auto& l : lists) {
+    if (l.popped.size() >= 2) {
+      l.popped[1].impact *= 2.0;
+      break;
+    }
+  }
+  EXPECT_FALSE(Accepts(Reserialize(lists), claimed_));
+}
+
+TEST_F(SemanticAttackTest, HiddenPostingRejected) {
+  // Drop the deepest popped posting of some list (hide a competitor).
+  auto lists = ParseVo(honest_.vo);
+  for (auto& l : lists) {
+    if (l.popped.size() >= 2) {
+      l.popped.pop_back();
+      break;
+    }
+  }
+  EXPECT_FALSE(Accepts(Reserialize(lists), claimed_));
+}
+
+TEST_F(SemanticAttackTest, ReducedWeightRejected) {
+  // Shrink a list's weight to depress a competitor's score.
+  auto lists = ParseVo(honest_.vo);
+  lists[0].weight *= 0.5;
+  EXPECT_FALSE(Accepts(Reserialize(lists), claimed_));
+}
+
+TEST_F(SemanticAttackTest, SubstitutedFilterRejected) {
+  // Replace a shipped filter with an emptier one (making competitors look
+  // absent from remaining lists).
+  auto lists = ParseVo(honest_.vo);
+  for (auto& l : lists) {
+    if (l.flags & 2) {
+      cuckoo::CuckooFilter empty(
+          cuckoo::CuckooParams::ForMaxItems(64));
+      l.filter = empty.Serialize();
+      break;
+    }
+  }
+  EXPECT_FALSE(Accepts(Reserialize(lists), claimed_));
+}
+
+TEST_F(SemanticAttackTest, ForgedRemainingDigestRejected) {
+  // Pretend a list is exhausted (hide all remaining postings) by flipping
+  // has_remaining and providing h(Theta) instead.
+  auto lists = ParseVo(honest_.vo);
+  for (auto& l : lists) {
+    if ((l.flags & 1) && (l.flags & 2)) {
+      l.flags = 0;  // exhausted, no filter
+      auto restored = cuckoo::CuckooFilter::Deserialize(l.filter);
+      ASSERT_TRUE(restored.ok());
+      l.theta = restored->StateDigest();
+      break;
+    }
+  }
+  EXPECT_FALSE(Accepts(Reserialize(lists), claimed_));
+}
+
+TEST_F(SemanticAttackTest, ReorderedPostingsRejected) {
+  // Swap two adjacent popped postings (breaks either the chain digest or
+  // the impact-order invariant).
+  auto lists = ParseVo(honest_.vo);
+  for (auto& l : lists) {
+    if (l.popped.size() >= 2) {
+      std::swap(l.popped[0], l.popped[1]);
+      break;
+    }
+  }
+  EXPECT_FALSE(Accepts(Reserialize(lists), claimed_));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic attacks on the frequency-grouped VO
+// ---------------------------------------------------------------------------
+
+class FgSemanticAttackTest : public ::testing::Test {
+ public:
+  FgSemanticAttackTest() {
+    workload::CorpusParams cp;
+    cp.num_images = 400;
+    cp.num_clusters = 96;
+    cp.seed = 99;
+    corpus_ = workload::GenerateCorpus(cp);
+    std::vector<bovw::BovwVector> vecs;
+    for (auto& [id, v] : corpus_) vecs.push_back(v);
+    auto weights = bovw::ClusterWeights::FromCorpus(96, vecs);
+    index_ = std::make_unique<freqgroup::FgInvertedIndex>(
+        freqgroup::FgInvertedIndex::Build(96, corpus_, weights, true));
+    query_ = workload::QueryFromImage(cp, corpus_[21].second, 50, 0.2, 3);
+    invindex::InvSearchParams params;
+    params.k = 5;
+    honest_ = freqgroup::FgSearch(*index_, query_, params);
+    for (const auto& si : honest_.topk) claimed_.push_back(si.id);
+  }
+
+  bool Accepts(const Bytes& vo) {
+    invindex::InvVerifyResult verified;
+    if (!freqgroup::FgVerifyVo(vo, query_, claimed_, 5, true, &verified).ok()) {
+      return false;
+    }
+    for (const auto& [c, digest] : verified.list_digests) {
+      if (digest != index_->list(c).digest) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> corpus_;
+  std::unique_ptr<freqgroup::FgInvertedIndex> index_;
+  bovw::BovwVector query_;
+  freqgroup::FgSearchResult honest_;
+  std::vector<bovw::ImageId> claimed_;
+};
+
+TEST_F(FgSemanticAttackTest, HonestAccepted) { EXPECT_TRUE(Accepts(honest_.vo)); }
+
+TEST_F(FgSemanticAttackTest, NormAndFreqBitsAreCovered) {
+  // Flip bits across the whole VO; every accepted variant must be byte-
+  // identical in effect (none is, since every field is committed).
+  Rng rng(7);
+  for (int t = 0; t < 60; ++t) {
+    Bytes tampered = honest_.vo;
+    tampered[rng.NextBounded(tampered.size())] ^=
+        static_cast<uint8_t>(1 + rng.NextBounded(255));
+    EXPECT_FALSE(Accepts(tampered)) << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser fuzzing: untrusted bytes must never crash, only fail.
+// ---------------------------------------------------------------------------
+
+Bytes RandomBytes(Rng& rng, size_t max_len) {
+  Bytes out(rng.NextBounded(max_len + 1));
+  for (auto& b : out) b = static_cast<uint8_t>(rng.NextU64());
+  return out;
+}
+
+TEST(ParserFuzzTest, QueryVoDeserializeNeverCrashes) {
+  Rng rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    Bytes data = RandomBytes(rng, 512);
+    core::QueryVO vo;
+    (void)core::QueryVO::Deserialize(data, &vo);
+  }
+}
+
+TEST(ParserFuzzTest, InvVoVerifyNeverCrashes) {
+  Rng rng(2);
+  bovw::BovwVector query;
+  query.entries = {{1, 2}, {5, 1}};
+  for (int t = 0; t < 2000; ++t) {
+    Bytes data = RandomBytes(rng, 512);
+    invindex::InvVerifyResult out;
+    (void)invindex::VerifyInvVo(data, query, {1, 2}, 2, true, &out);
+    (void)invindex::VerifyInvVo(data, query, {}, 2, false, &out);
+  }
+}
+
+TEST(ParserFuzzTest, CuckooDeserializeNeverCrashes) {
+  Rng rng(3);
+  for (int t = 0; t < 2000; ++t) {
+    Bytes data = RandomBytes(rng, 256);
+    (void)cuckoo::CuckooFilter::Deserialize(data);
+  }
+}
+
+TEST(ParserFuzzTest, RevealDeserializeNeverCrashes) {
+  Rng rng(4);
+  for (int t = 0; t < 2000; ++t) {
+    Bytes data = RandomBytes(rng, 512);
+    ByteReader r(data);
+    std::vector<mrkd::ClusterReveal> out;
+    (void)mrkd::DeserializeReveals(r, 64, &out);
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsOfValidVoNeverCrash) {
+  // Every prefix of a real VO must fail cleanly, not crash.
+  workload::CorpusParams cp;
+  cp.num_images = 100;
+  cp.num_clusters = 64;
+  auto corpus = workload::GenerateCorpus(cp);
+  std::vector<bovw::BovwVector> vecs;
+  for (auto& [id, v] : corpus) vecs.push_back(v);
+  auto weights = bovw::ClusterWeights::FromCorpus(64, vecs);
+  auto index = invindex::MerkleInvertedIndex::Build(64, corpus, weights, true);
+  auto query = workload::QueryFromImage(cp, corpus[7].second, 30, 0.2, 9);
+  invindex::InvSearchParams params;
+  params.k = 3;
+  auto honest = invindex::InvSearch(index, query, params);
+  std::vector<bovw::ImageId> claimed;
+  for (auto& si : honest.topk) claimed.push_back(si.id);
+
+  size_t step = std::max<size_t>(1, honest.vo.size() / 200);
+  int accepted = 0;
+  for (size_t len = 0; len < honest.vo.size(); len += step) {
+    Bytes prefix(honest.vo.begin(), honest.vo.begin() + len);
+    invindex::InvVerifyResult out;
+    if (invindex::VerifyInvVo(prefix, query, claimed, 3, true, &out).ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 0) << "no strict prefix may verify";
+}
+
+}  // namespace
+}  // namespace imageproof

@@ -1,0 +1,169 @@
+// Tests for the from-scratch SIFT-style extractor: detector fires on real
+// structure, descriptors are normalized, and matching survives the
+// transforms the paper's retrieval scenario depends on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/synth.h"
+#include "sift/extractor.h"
+#include "sift/gaussian.h"
+
+namespace imageproof::sift {
+namespace {
+
+using image::FloatImage;
+using image::Image;
+
+TEST(GaussianTest, PreservesConstantImage) {
+  FloatImage img(16, 16, 0.5f);
+  FloatImage out = GaussianBlur(img, 2.0);
+  for (float v : out.pixels()) EXPECT_NEAR(v, 0.5f, 1e-4);
+}
+
+TEST(GaussianTest, SmoothsAnImpulse) {
+  FloatImage img(21, 21, 0.0f);
+  img.set(10, 10, 1.0f);
+  FloatImage out = GaussianBlur(img, 1.5);
+  EXPECT_LT(out.at(10, 10), 1.0f);
+  EXPECT_GT(out.at(10, 10), out.at(13, 10));
+  EXPECT_GT(out.at(13, 10), 0.0f);
+  // Mass is approximately conserved.
+  double sum = 0;
+  for (float v : out.pixels()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 0.02);
+}
+
+TEST(GaussianTest, DownsampleHalves) {
+  FloatImage img(10, 8, 1.0f);
+  FloatImage d = Downsample2x(img);
+  EXPECT_EQ(d.width(), 5);
+  EXPECT_EQ(d.height(), 4);
+}
+
+TEST(SiftTest, FindsKeypointsOnSyntheticTexture) {
+  Image img = image::SynthesizeImage(1, 128, 128);
+  SiftExtractor extractor;
+  auto features = extractor.Extract(img);
+  EXPECT_GT(features.size(), 10u);
+}
+
+TEST(SiftTest, FlatImageYieldsNoKeypoints) {
+  Image img(64, 64, 128);
+  SiftExtractor extractor;
+  EXPECT_TRUE(extractor.Extract(img).empty());
+}
+
+TEST(SiftTest, TinyImageYieldsNoKeypoints) {
+  Image img(8, 8, 0);
+  SiftExtractor extractor;
+  EXPECT_TRUE(extractor.Extract(img).empty());
+}
+
+TEST(SiftTest, DescriptorDimensionality) {
+  Image img = image::SynthesizeImage(2, 96, 96);
+  SiftParams p128;
+  EXPECT_EQ(p128.DescriptorDims(), 128);
+  for (const auto& f : SiftExtractor(p128).Extract(img)) {
+    EXPECT_EQ(f.descriptor.size(), 128u);
+  }
+  SiftParams p64;
+  p64.orientation_bins = 4;
+  EXPECT_EQ(p64.DescriptorDims(), 64);
+  for (const auto& f : SiftExtractor(p64).Extract(img)) {
+    EXPECT_EQ(f.descriptor.size(), 64u);
+  }
+}
+
+TEST(SiftTest, DescriptorsAreUnitNorm) {
+  Image img = image::SynthesizeImage(3, 96, 96);
+  auto features = SiftExtractor().Extract(img);
+  ASSERT_FALSE(features.empty());
+  for (const auto& f : features) {
+    double norm = 0;
+    for (float v : f.descriptor) {
+      norm += static_cast<double>(v) * v;
+      EXPECT_GE(v, 0.0f);
+      // Values are clipped at 0.2 *before* the final renormalization, so
+      // they stay well below 1 but may exceed 0.2 afterwards.
+      EXPECT_LE(v, 1.0f);
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+  }
+}
+
+TEST(SiftTest, MaxFeaturesKeepsStrongest) {
+  Image img = image::SynthesizeImage(4, 128, 128);
+  SiftParams unlimited;
+  auto all = SiftExtractor(unlimited).Extract(img);
+  ASSERT_GT(all.size(), 5u);
+  SiftParams capped;
+  capped.max_features = 5;
+  auto top = SiftExtractor(capped).Extract(img);
+  EXPECT_EQ(top.size(), 5u);
+  float weakest_kept = top.back().keypoint.response;
+  for (const auto& f : top) {
+    weakest_kept = std::min(weakest_kept, f.keypoint.response);
+  }
+  // Every kept response is >= the median response of the full set.
+  std::vector<float> responses;
+  for (const auto& f : all) responses.push_back(f.keypoint.response);
+  std::sort(responses.begin(), responses.end());
+  EXPECT_GE(weakest_kept, responses[responses.size() / 2] * 0.99f);
+}
+
+TEST(SiftTest, Deterministic) {
+  Image img = image::SynthesizeImage(5, 96, 96);
+  auto a = SiftExtractor().Extract(img);
+  auto b = SiftExtractor().Extract(img);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].descriptor, b[i].descriptor);
+  }
+}
+
+// Nearest-descriptor matching between an image and its transformed variant
+// should beat matching against an unrelated image.
+double MeanNearestDistance(const std::vector<Feature>& a,
+                           const std::vector<Feature>& b) {
+  double total = 0;
+  int count = 0;
+  for (const auto& fa : a) {
+    double best = 1e30;
+    for (const auto& fb : b) {
+      double d = 0;
+      for (size_t i = 0; i < fa.descriptor.size(); ++i) {
+        double diff = fa.descriptor[i] - fb.descriptor[i];
+        d += diff * diff;
+      }
+      best = std::min(best, d);
+    }
+    total += best;
+    ++count;
+  }
+  return count ? total / count : 1e30;
+}
+
+TEST(SiftTest, TransformedVariantMatchesBetterThanUnrelated) {
+  Image original = image::SynthesizeImage(10, 128, 128);
+  Image variant = image::AddNoise(original, 4.0, 99);
+  Image unrelated = image::SynthesizeImage(20, 128, 128);
+
+  SiftParams params;
+  params.max_features = 60;
+  SiftExtractor extractor(params);
+  auto f_orig = extractor.Extract(original);
+  auto f_var = extractor.Extract(variant);
+  auto f_unrel = extractor.Extract(unrelated);
+  ASSERT_GT(f_orig.size(), 10u);
+  ASSERT_GT(f_var.size(), 10u);
+  ASSERT_GT(f_unrel.size(), 10u);
+
+  double d_variant = MeanNearestDistance(f_orig, f_var);
+  double d_unrelated = MeanNearestDistance(f_orig, f_unrel);
+  EXPECT_LT(d_variant, d_unrelated);
+}
+
+}  // namespace
+}  // namespace imageproof::sift

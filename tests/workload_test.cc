@@ -1,0 +1,183 @@
+// Tests for the synthetic workload generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/synthetic.h"
+
+namespace imageproof::workload {
+namespace {
+
+TEST(CorpusTest, ShapeAndDeterminism) {
+  CorpusParams params;
+  params.num_images = 100;
+  params.num_clusters = 50;
+  params.min_distinct = 5;
+  params.max_distinct = 15;
+  auto a = GenerateCorpus(params);
+  auto b = GenerateCorpus(params);
+  ASSERT_EQ(a.size(), 100u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, i);
+    EXPECT_EQ(a[i].second.entries, b[i].second.entries);
+    EXPECT_FALSE(a[i].second.entries.empty());
+    // Sorted by cluster, within range, frequencies positive & capped.
+    for (size_t j = 0; j < a[i].second.entries.size(); ++j) {
+      auto [c, f] = a[i].second.entries[j];
+      EXPECT_LT(c, 50u);
+      EXPECT_GE(f, 1u);
+      if (j > 0) {
+        EXPECT_GT(c, a[i].second.entries[j - 1].first);
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, SkewedButCappedPopularity) {
+  CorpusParams params;
+  params.num_images = 2000;
+  params.num_clusters = 800;
+  params.zipf_s = 1.3;
+  params.max_list_fraction = 0.08;
+  auto corpus = GenerateCorpus(params);
+  std::vector<size_t> list_len(800, 0);
+  for (const auto& [id, v] : corpus) {
+    for (auto& [c, f] : v.entries) ++list_len[c];
+  }
+  size_t max_len = *std::max_element(list_len.begin(), list_len.end());
+  size_t nonzero = 0;
+  double avg = 0;
+  for (size_t l : list_len) {
+    nonzero += (l > 0);
+    avg += l;
+  }
+  avg /= nonzero;
+  // Skewed (hot lists well above average) ...
+  EXPECT_GT(max_len, avg * 2);
+  // ... but no stop words: the popularity cap holds (small slack for the
+  // base-scene words added before per-image accounting).
+  EXPECT_LE(max_len, static_cast<size_t>(0.08 * 2000 * 1.3));
+}
+
+TEST(CorpusTest, GroupMatesShareWords) {
+  CorpusParams params;
+  params.num_images = 100;
+  params.num_clusters = 400;
+  params.group_size = 4;
+  auto corpus = GenerateCorpus(params);
+  // Images 0..3 form a group; 0 and 4 do not.
+  auto overlap = [&](int a, int b) {
+    std::set<bovw::ClusterId> wa, shared;
+    for (auto& [c, f] : corpus[a].second.entries) wa.insert(c);
+    for (auto& [c, f] : corpus[b].second.entries) {
+      if (wa.count(c)) shared.insert(c);
+    }
+    return shared.size();
+  };
+  size_t in_group = overlap(0, 1) + overlap(0, 2) + overlap(1, 2);
+  size_t cross_group = overlap(0, 4) + overlap(1, 5) + overlap(2, 6);
+  EXPECT_GT(in_group, cross_group + 6);
+}
+
+TEST(QueryFromImageTest, CorrelatedWithSource) {
+  CorpusParams params;
+  params.num_images = 50;
+  params.num_clusters = 500;
+  auto corpus = GenerateCorpus(params);
+  const auto& source = corpus[10].second;
+  bovw::BovwVector q = QueryFromImage(params, source, 100, 0.2, 77);
+  uint32_t total = 0, on_source = 0;
+  for (auto& [c, f] : q.entries) {
+    total += f;
+    if (source.FrequencyOf(c) > 0) on_source += f;
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_GT(on_source, 60u) << "most features quantize to source words";
+}
+
+TEST(FeaturesFromBovwTest, EncodesBackToSourceWords) {
+  CodebookParams cbp;
+  cbp.num_clusters = 100;
+  cbp.dims = 16;
+  auto codebook = GenerateCodebook(cbp);
+  bovw::BovwVector source;
+  source.entries = {{3, 5}, {17, 2}, {40, 1}};
+  auto features = FeaturesFromBovw(codebook, source, 60, 0.1, 0.0, 5);
+  EXPECT_EQ(features.size(), 60u);
+  // Every feature should be nearest to one of the source clusters.
+  size_t on_source = 0;
+  for (const auto& f : features) {
+    double best = 1e30;
+    size_t best_c = 0;
+    for (size_t c = 0; c < codebook.size(); ++c) {
+      double d = ann::SquaredL2(f.data(), codebook.row(c), 16);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    if (best_c == 3 || best_c == 17 || best_c == 40) ++on_source;
+  }
+  EXPECT_GT(on_source, 55u);
+}
+
+TEST(QueryTest, OverlapsCorpusClusters) {
+  CorpusParams params;
+  params.num_images = 200;
+  params.num_clusters = 100;
+  auto corpus = GenerateCorpus(params);
+  std::set<bovw::ClusterId> corpus_clusters;
+  for (const auto& [id, v] : corpus) {
+    for (auto& [c, f] : v.entries) corpus_clusters.insert(c);
+  }
+  bovw::BovwVector q = GenerateQueryBovw(params, 50, 9);
+  EXPECT_FALSE(q.entries.empty());
+  size_t overlapping = 0;
+  uint32_t total_features = 0;
+  for (auto& [c, f] : q.entries) {
+    if (corpus_clusters.count(c)) ++overlapping;
+    total_features += f;
+  }
+  EXPECT_EQ(total_features, 50u) << "query feature count preserved";
+  EXPECT_GT(overlapping, q.entries.size() / 2);
+}
+
+TEST(CodebookTest, ShapeAndDeterminism) {
+  CodebookParams params;
+  params.num_clusters = 64;
+  params.dims = 32;
+  auto a = GenerateCodebook(params);
+  auto b = GenerateCodebook(params);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(a.dims(), 32u);
+  EXPECT_EQ(a.RowVec(7), b.RowVec(7));
+}
+
+TEST(QueryFeaturesTest, NearCodebookCenters) {
+  CodebookParams params;
+  params.num_clusters = 32;
+  params.dims = 16;
+  params.scale = 20.0;
+  auto codebook = GenerateCodebook(params);
+  auto features = GenerateQueryFeatures(codebook, 40, /*noise=*/0.5, 11);
+  ASSERT_EQ(features.size(), 40u);
+  for (const auto& f : features) {
+    ASSERT_EQ(f.size(), 16u);
+    // Within a few noise-sigmas of SOME center.
+    double best = 1e30;
+    for (size_t c = 0; c < codebook.size(); ++c) {
+      best = std::min(best, ann::SquaredL2(f.data(), codebook.row(c), 16));
+    }
+    EXPECT_LT(best, 16 * 0.5 * 0.5 * 9);
+  }
+}
+
+TEST(ImageBlobTest, DeterministicPerId) {
+  EXPECT_EQ(GenerateImageBlob(7), GenerateImageBlob(7));
+  EXPECT_NE(GenerateImageBlob(7), GenerateImageBlob(8));
+  EXPECT_EQ(GenerateImageBlob(3, 128).size(), 128u);
+}
+
+}  // namespace
+}  // namespace imageproof::workload
