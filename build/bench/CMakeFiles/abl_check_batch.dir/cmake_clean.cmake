@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_check_batch.dir/abl_check_batch.cc.o"
+  "CMakeFiles/abl_check_batch.dir/abl_check_batch.cc.o.d"
+  "abl_check_batch"
+  "abl_check_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_check_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

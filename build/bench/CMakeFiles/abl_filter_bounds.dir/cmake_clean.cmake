@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_filter_bounds.dir/abl_filter_bounds.cc.o"
+  "CMakeFiles/abl_filter_bounds.dir/abl_filter_bounds.cc.o.d"
+  "abl_filter_bounds"
+  "abl_filter_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_filter_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lazy_topk.dir/abl_lazy_topk.cc.o"
+  "CMakeFiles/abl_lazy_topk.dir/abl_lazy_topk.cc.o.d"
+  "abl_lazy_topk"
+  "abl_lazy_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lazy_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

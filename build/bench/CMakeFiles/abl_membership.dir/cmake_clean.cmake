@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_membership.dir/abl_membership.cc.o"
+  "CMakeFiles/abl_membership.dir/abl_membership.cc.o.d"
+  "abl_membership"
+  "abl_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

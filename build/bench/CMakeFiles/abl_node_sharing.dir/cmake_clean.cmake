@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_node_sharing.dir/abl_node_sharing.cc.o"
+  "CMakeFiles/abl_node_sharing.dir/abl_node_sharing.cc.o.d"
+  "abl_node_sharing"
+  "abl_node_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_node_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_updates.dir/abl_updates.cc.o"
+  "CMakeFiles/abl_updates.dir/abl_updates.cc.o.d"
+  "abl_updates"
+  "abl_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bovw_sift.dir/fig06_bovw_sift.cc.o"
+  "CMakeFiles/fig06_bovw_sift.dir/fig06_bovw_sift.cc.o.d"
+  "fig06_bovw_sift"
+  "fig06_bovw_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bovw_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

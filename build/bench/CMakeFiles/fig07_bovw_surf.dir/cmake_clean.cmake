@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bovw_surf.dir/fig07_bovw_surf.cc.o"
+  "CMakeFiles/fig07_bovw_surf.dir/fig07_bovw_surf.cc.o.d"
+  "fig07_bovw_surf"
+  "fig07_bovw_surf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bovw_surf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_bovw_surf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_bovw_codebook.dir/fig08_bovw_codebook.cc.o"
+  "CMakeFiles/fig08_bovw_codebook.dir/fig08_bovw_codebook.cc.o.d"
+  "fig08_bovw_codebook"
+  "fig08_bovw_codebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_bovw_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

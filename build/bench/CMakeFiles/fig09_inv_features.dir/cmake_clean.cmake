@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_inv_features.dir/fig09_inv_features.cc.o"
+  "CMakeFiles/fig09_inv_features.dir/fig09_inv_features.cc.o.d"
+  "fig09_inv_features"
+  "fig09_inv_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_inv_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_inv_codebook.dir/fig10_inv_codebook.cc.o"
+  "CMakeFiles/fig10_inv_codebook.dir/fig10_inv_codebook.cc.o.d"
+  "fig10_inv_codebook"
+  "fig10_inv_codebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_inv_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

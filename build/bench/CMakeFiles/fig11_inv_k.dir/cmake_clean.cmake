@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_inv_k.dir/fig11_inv_k.cc.o"
+  "CMakeFiles/fig11_inv_k.dir/fig11_inv_k.cc.o.d"
+  "fig11_inv_k"
+  "fig11_inv_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_inv_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_overall_features.dir/fig12_overall_features.cc.o"
+  "CMakeFiles/fig12_overall_features.dir/fig12_overall_features.cc.o.d"
+  "fig12_overall_features"
+  "fig12_overall_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overall_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

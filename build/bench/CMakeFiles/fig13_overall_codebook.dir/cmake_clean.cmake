@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overall_codebook.dir/fig13_overall_codebook.cc.o"
+  "CMakeFiles/fig13_overall_codebook.dir/fig13_overall_codebook.cc.o.d"
+  "fig13_overall_codebook"
+  "fig13_overall_codebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overall_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_overall_dataset.dir/fig14_overall_dataset.cc.o"
+  "CMakeFiles/fig14_overall_dataset.dir/fig14_overall_dataset.cc.o.d"
+  "fig14_overall_dataset"
+  "fig14_overall_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overall_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

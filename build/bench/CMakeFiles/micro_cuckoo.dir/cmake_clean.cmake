@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cuckoo.dir/micro_cuckoo.cc.o"
+  "CMakeFiles/micro_cuckoo.dir/micro_cuckoo.cc.o.d"
+  "micro_cuckoo"
+  "micro_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kdtree.dir/micro_kdtree.cc.o"
+  "CMakeFiles/micro_kdtree.dir/micro_kdtree.cc.o.d"
+  "micro_kdtree"
+  "micro_kdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_merkle.dir/micro_merkle.cc.o"
+  "CMakeFiles/micro_merkle.dir/micro_merkle.cc.o.d"
+  "micro_merkle"
+  "micro_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

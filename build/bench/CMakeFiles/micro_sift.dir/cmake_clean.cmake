@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sift.dir/micro_sift.cc.o"
+  "CMakeFiles/micro_sift.dir/micro_sift.cc.o.d"
+  "micro_sift"
+  "micro_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

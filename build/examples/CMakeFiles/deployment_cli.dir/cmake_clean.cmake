@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_cli.dir/deployment_cli.cpp.o"
+  "CMakeFiles/deployment_cli.dir/deployment_cli.cpp.o.d"
+  "deployment_cli"
+  "deployment_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

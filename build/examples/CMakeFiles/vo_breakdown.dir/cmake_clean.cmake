@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vo_breakdown.dir/vo_breakdown.cpp.o"
+  "CMakeFiles/vo_breakdown.dir/vo_breakdown.cpp.o.d"
+  "vo_breakdown"
+  "vo_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vo_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("image")
+subdirs("sift")
+subdirs("ann")
+subdirs("merkle")
+subdirs("cuckoo")
+subdirs("bovw")
+subdirs("mrkd")
+subdirs("invindex")
+subdirs("freqgroup")
+subdirs("core")
+subdirs("workload")
+subdirs("storage")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/kmeans.cc" "src/ann/CMakeFiles/ip_ann.dir/kmeans.cc.o" "gcc" "src/ann/CMakeFiles/ip_ann.dir/kmeans.cc.o.d"
+  "/root/repo/src/ann/rkd_forest.cc" "src/ann/CMakeFiles/ip_ann.dir/rkd_forest.cc.o" "gcc" "src/ann/CMakeFiles/ip_ann.dir/rkd_forest.cc.o.d"
+  "/root/repo/src/ann/rkd_tree.cc" "src/ann/CMakeFiles/ip_ann.dir/rkd_tree.cc.o" "gcc" "src/ann/CMakeFiles/ip_ann.dir/rkd_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_ann.dir/kmeans.cc.o"
+  "CMakeFiles/ip_ann.dir/kmeans.cc.o.d"
+  "CMakeFiles/ip_ann.dir/rkd_forest.cc.o"
+  "CMakeFiles/ip_ann.dir/rkd_forest.cc.o.d"
+  "CMakeFiles/ip_ann.dir/rkd_tree.cc.o"
+  "CMakeFiles/ip_ann.dir/rkd_tree.cc.o.d"
+  "libip_ann.a"
+  "libip_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_bovw.dir/bovw.cc.o"
+  "CMakeFiles/ip_bovw.dir/bovw.cc.o.d"
+  "libip_bovw.a"
+  "libip_bovw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_bovw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cc" "src/core/CMakeFiles/ip_core.dir/adversary.cc.o" "gcc" "src/core/CMakeFiles/ip_core.dir/adversary.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/ip_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/ip_core.dir/client.cc.o.d"
+  "/root/repo/src/core/owner.cc" "src/core/CMakeFiles/ip_core.dir/owner.cc.o" "gcc" "src/core/CMakeFiles/ip_core.dir/owner.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/ip_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/ip_core.dir/server.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/core/CMakeFiles/ip_core.dir/update.cc.o" "gcc" "src/core/CMakeFiles/ip_core.dir/update.cc.o.d"
+  "/root/repo/src/core/vo.cc" "src/core/CMakeFiles/ip_core.dir/vo.cc.o" "gcc" "src/core/CMakeFiles/ip_core.dir/vo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mrkd/CMakeFiles/ip_mrkd.dir/DependInfo.cmake"
+  "/root/repo/build/src/invindex/CMakeFiles/ip_invindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/freqgroup/CMakeFiles/ip_freqgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ip_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/ip_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/bovw/CMakeFiles/ip_bovw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/ip_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuckoo/CMakeFiles/ip_cuckoo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_core.dir/adversary.cc.o"
+  "CMakeFiles/ip_core.dir/adversary.cc.o.d"
+  "CMakeFiles/ip_core.dir/client.cc.o"
+  "CMakeFiles/ip_core.dir/client.cc.o.d"
+  "CMakeFiles/ip_core.dir/owner.cc.o"
+  "CMakeFiles/ip_core.dir/owner.cc.o.d"
+  "CMakeFiles/ip_core.dir/server.cc.o"
+  "CMakeFiles/ip_core.dir/server.cc.o.d"
+  "CMakeFiles/ip_core.dir/update.cc.o"
+  "CMakeFiles/ip_core.dir/update.cc.o.d"
+  "CMakeFiles/ip_core.dir/vo.cc.o"
+  "CMakeFiles/ip_core.dir/vo.cc.o.d"
+  "libip_core.a"
+  "libip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_crypto.dir/bignum.cc.o"
+  "CMakeFiles/ip_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/ip_crypto.dir/rsa.cc.o"
+  "CMakeFiles/ip_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/ip_crypto.dir/sha256.cc.o"
+  "CMakeFiles/ip_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/ip_crypto.dir/sha3.cc.o"
+  "CMakeFiles/ip_crypto.dir/sha3.cc.o.d"
+  "libip_crypto.a"
+  "libip_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_cuckoo.dir/counting_bloom.cc.o"
+  "CMakeFiles/ip_cuckoo.dir/counting_bloom.cc.o.d"
+  "CMakeFiles/ip_cuckoo.dir/cuckoo_filter.cc.o"
+  "CMakeFiles/ip_cuckoo.dir/cuckoo_filter.cc.o.d"
+  "libip_cuckoo.a"
+  "libip_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_freqgroup.dir/fg_index.cc.o"
+  "CMakeFiles/ip_freqgroup.dir/fg_index.cc.o.d"
+  "CMakeFiles/ip_freqgroup.dir/fg_search.cc.o"
+  "CMakeFiles/ip_freqgroup.dir/fg_search.cc.o.d"
+  "CMakeFiles/ip_freqgroup.dir/fg_verify.cc.o"
+  "CMakeFiles/ip_freqgroup.dir/fg_verify.cc.o.d"
+  "libip_freqgroup.a"
+  "libip_freqgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_freqgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_image.dir/image.cc.o"
+  "CMakeFiles/ip_image.dir/image.cc.o.d"
+  "CMakeFiles/ip_image.dir/pgm_io.cc.o"
+  "CMakeFiles/ip_image.dir/pgm_io.cc.o.d"
+  "CMakeFiles/ip_image.dir/synth.cc.o"
+  "CMakeFiles/ip_image.dir/synth.cc.o.d"
+  "libip_image.a"
+  "libip_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_invindex.dir/bounds.cc.o"
+  "CMakeFiles/ip_invindex.dir/bounds.cc.o.d"
+  "CMakeFiles/ip_invindex.dir/merkle_inv_index.cc.o"
+  "CMakeFiles/ip_invindex.dir/merkle_inv_index.cc.o.d"
+  "CMakeFiles/ip_invindex.dir/search.cc.o"
+  "CMakeFiles/ip_invindex.dir/search.cc.o.d"
+  "CMakeFiles/ip_invindex.dir/verify.cc.o"
+  "CMakeFiles/ip_invindex.dir/verify.cc.o.d"
+  "libip_invindex.a"
+  "libip_invindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_invindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libip_invindex.a"
+)

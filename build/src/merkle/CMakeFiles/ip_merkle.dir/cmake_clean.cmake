@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_merkle.dir/merkle_tree.cc.o"
+  "CMakeFiles/ip_merkle.dir/merkle_tree.cc.o.d"
+  "libip_merkle.a"
+  "libip_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrkd/commit.cc" "src/mrkd/CMakeFiles/ip_mrkd.dir/commit.cc.o" "gcc" "src/mrkd/CMakeFiles/ip_mrkd.dir/commit.cc.o.d"
+  "/root/repo/src/mrkd/mrkd_tree.cc" "src/mrkd/CMakeFiles/ip_mrkd.dir/mrkd_tree.cc.o" "gcc" "src/mrkd/CMakeFiles/ip_mrkd.dir/mrkd_tree.cc.o.d"
+  "/root/repo/src/mrkd/search.cc" "src/mrkd/CMakeFiles/ip_mrkd.dir/search.cc.o" "gcc" "src/mrkd/CMakeFiles/ip_mrkd.dir/search.cc.o.d"
+  "/root/repo/src/mrkd/verify.cc" "src/mrkd/CMakeFiles/ip_mrkd.dir/verify.cc.o" "gcc" "src/mrkd/CMakeFiles/ip_mrkd.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ann/CMakeFiles/ip_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/ip_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ip_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

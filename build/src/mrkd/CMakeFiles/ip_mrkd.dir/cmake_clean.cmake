@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_mrkd.dir/commit.cc.o"
+  "CMakeFiles/ip_mrkd.dir/commit.cc.o.d"
+  "CMakeFiles/ip_mrkd.dir/mrkd_tree.cc.o"
+  "CMakeFiles/ip_mrkd.dir/mrkd_tree.cc.o.d"
+  "CMakeFiles/ip_mrkd.dir/search.cc.o"
+  "CMakeFiles/ip_mrkd.dir/search.cc.o.d"
+  "CMakeFiles/ip_mrkd.dir/verify.cc.o"
+  "CMakeFiles/ip_mrkd.dir/verify.cc.o.d"
+  "libip_mrkd.a"
+  "libip_mrkd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_mrkd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sift/extractor.cc" "src/sift/CMakeFiles/ip_sift.dir/extractor.cc.o" "gcc" "src/sift/CMakeFiles/ip_sift.dir/extractor.cc.o.d"
+  "/root/repo/src/sift/gaussian.cc" "src/sift/CMakeFiles/ip_sift.dir/gaussian.cc.o" "gcc" "src/sift/CMakeFiles/ip_sift.dir/gaussian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/ip_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ip_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

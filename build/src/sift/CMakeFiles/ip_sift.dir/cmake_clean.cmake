@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_sift.dir/extractor.cc.o"
+  "CMakeFiles/ip_sift.dir/extractor.cc.o.d"
+  "CMakeFiles/ip_sift.dir/gaussian.cc.o"
+  "CMakeFiles/ip_sift.dir/gaussian.cc.o.d"
+  "libip_sift.a"
+  "libip_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_storage.dir/serializer.cc.o"
+  "CMakeFiles/ip_storage.dir/serializer.cc.o.d"
+  "libip_storage.a"
+  "libip_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_workload.dir/synthetic.cc.o"
+  "CMakeFiles/ip_workload.dir/synthetic.cc.o.d"
+  "libip_workload.a"
+  "libip_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

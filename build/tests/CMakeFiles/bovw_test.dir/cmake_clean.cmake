@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bovw_test.dir/bovw_test.cc.o"
+  "CMakeFiles/bovw_test.dir/bovw_test.cc.o.d"
+  "bovw_test"
+  "bovw_test.pdb"
+  "bovw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bovw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freqgroup_test.dir/freqgroup_test.cc.o"
+  "CMakeFiles/freqgroup_test.dir/freqgroup_test.cc.o.d"
+  "freqgroup_test"
+  "freqgroup_test.pdb"
+  "freqgroup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freqgroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/invindex_test.cc" "tests/CMakeFiles/invindex_test.dir/invindex_test.cc.o" "gcc" "tests/CMakeFiles/invindex_test.dir/invindex_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/invindex/CMakeFiles/ip_invindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/bovw/CMakeFiles/ip_bovw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/ip_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuckoo/CMakeFiles/ip_cuckoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ip_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invindex_test.dir/invindex_test.cc.o"
+  "CMakeFiles/invindex_test.dir/invindex_test.cc.o.d"
+  "invindex_test"
+  "invindex_test.pdb"
+  "invindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

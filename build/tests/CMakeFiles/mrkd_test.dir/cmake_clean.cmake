@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrkd_test.dir/mrkd_test.cc.o"
+  "CMakeFiles/mrkd_test.dir/mrkd_test.cc.o.d"
+  "mrkd_test"
+  "mrkd_test.pdb"
+  "mrkd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrkd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

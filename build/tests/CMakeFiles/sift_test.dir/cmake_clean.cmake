@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sift_test.dir/sift_test.cc.o"
+  "CMakeFiles/sift_test.dir/sift_test.cc.o.d"
+  "sift_test"
+  "sift_test.pdb"
+  "sift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

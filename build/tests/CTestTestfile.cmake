@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")
+include("/root/repo/build/tests/sift_test[1]_include.cmake")
+include("/root/repo/build/tests/ann_test[1]_include.cmake")
+include("/root/repo/build/tests/merkle_test[1]_include.cmake")
+include("/root/repo/build/tests/cuckoo_test[1]_include.cmake")
+include("/root/repo/build/tests/bovw_test[1]_include.cmake")
+include("/root/repo/build/tests/mrkd_test[1]_include.cmake")
+include("/root/repo/build/tests/invindex_test[1]_include.cmake")
+include("/root/repo/build/tests/freqgroup_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/update_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_property_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
