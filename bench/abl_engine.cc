@@ -1,0 +1,90 @@
+// Ablation/extension bench — concurrent query-serving engine.
+//
+// Measures end-to-end serving throughput and latency of core::QueryEngine
+// across worker-pool sizes, against the serial ServiceProvider loop as the
+// 1-worker baseline, plus the cost of a snapshot-swapped update while the
+// pool is busy. Every response is verified against the snapshot it was
+// served under, so the numbers are for *authenticated* serving.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/query_engine.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+
+int main() {
+  DeploymentSpec spec;
+  spec.num_images = 10000;
+  spec.num_clusters = 4096;
+  spec.dims = 64;
+  Deployment d(core::Config::ImageProof(), spec);
+  auto package =
+      std::shared_ptr<const core::SpPackage>(std::move(d.owner.package));
+
+  const size_t kNumQueries = 32;
+  const size_t kFeatures = 30;
+  const size_t kTopK = 10;
+  std::vector<std::vector<std::vector<float>>> queries;
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    const auto& corpus = package->corpus;
+    const auto& source = corpus[(q * 2654435761u) % corpus.size()].second;
+    queries.push_back(workload::FeaturesFromBovw(
+        package->codebook, source, kFeatures, 0.25, 0.2, 1000 + q));
+  }
+
+  std::printf("Extension — concurrent query engine (%zu queries, %zu features, "
+              "k=%zu)\n", kNumQueries, kFeatures, kTopK);
+  std::printf("%8s %6s | %12s %10s %10s %10s\n", "workers", "intra",
+              "total_ms", "qps", "p50_ms", "p99_ms");
+  std::printf("---------------------------------------------------------------\n");
+
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    core::EngineOptions opts;
+    opts.num_workers = workers;
+    opts.queue_capacity = 64;
+    opts.intra_query_threads = workers > 1 ? 2 : 1;
+    core::QueryEngine engine(package, d.owner.public_params, opts);
+    Stopwatch timer;
+    auto responses = engine.QueryBatch(queries, kTopK);
+    double total_ms = timer.ElapsedMillis();
+    int verify_failures = 0;
+    for (const auto& r : responses) {
+      core::Client client(r.snapshot->params);
+      auto features_index = &r - responses.data();
+      if (!client.Verify(queries[features_index], kTopK, r.response.vo).ok()) {
+        ++verify_failures;
+      }
+    }
+    core::EngineStats stats = engine.Stats();
+    std::printf("%8u %6u | %12.1f %10.1f %10.2f %10.2f%s\n", workers,
+                opts.intra_query_threads, total_ms,
+                kNumQueries / (total_ms / 1000.0), stats.p50_latency_ms,
+                stats.p99_latency_ms,
+                verify_failures ? "   [VERIFY FAILED]" : "");
+  }
+
+  // Update cost while serving: one snapshot swap (clone + apply + re-sign)
+  // overlapped with a busy pool.
+  core::EngineOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 64;
+  core::QueryEngine engine(package, d.owner.public_params, opts);
+  std::vector<std::future<core::EngineResponse>> in_flight;
+  for (const auto& q : queries) in_flight.push_back(engine.Submit(q, kTopK));
+  workload::CorpusParams qp;
+  qp.num_clusters = spec.num_clusters;
+  Stopwatch update_timer;
+  auto ins = engine.InsertImage(d.owner.private_key, 9000001,
+                                workload::GenerateQueryBovw(qp, 20, 77),
+                                workload::GenerateImageBlob(9000001));
+  double update_ms = update_timer.ElapsedMillis();
+  for (auto& f : in_flight) (void)f.get();
+  std::printf("\nsnapshot-swapped InsertImage while pool busy: %.1f ms (%s), "
+              "final snapshot v%llu\n", update_ms,
+              ins.ok() ? "ok" : ins.status().message().c_str(),
+              static_cast<unsigned long long>(engine.Stats().snapshot_version));
+  return ins.ok() ? 0 : 1;
+}

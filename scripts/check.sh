@@ -1,26 +1,58 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, run the test suite, smoke-run every
-# example, and run the figure/ablation/micro benchmarks.
+# Full local check: configure, build, run the test suite with
+# --output-on-failure, smoke-run every example, and optionally run the
+# figure/ablation/micro benchmarks or a sanitizer pass.
 #
-#   scripts/check.sh          # build + tests + examples
-#   scripts/check.sh --bench  # additionally run every benchmark binary
+#   scripts/check.sh            # build + ctest + examples (build/)
+#   scripts/check.sh --bench    # additionally run every benchmark binary
+#   scripts/check.sh --asan     # AddressSanitizer+UBSan build (build-asan/)
+#   scripts/check.sh --tsan     # ThreadSanitizer build (build-tsan/), runs
+#                               # the concurrency suite under TSan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+MODE="${1:-}"
+BUILD_DIR=build
+CMAKE_ARGS=()
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
 
-echo "--- examples ---"
-./build/examples/quickstart
-./build/examples/tamper_detection
-./build/examples/vo_breakdown
-./build/examples/image_pipeline
-./build/examples/deployment_cli
+case "$MODE" in
+  --asan)
+    BUILD_DIR=build-asan
+    CMAKE_ARGS+=(-DIMAGEPROOF_ASAN=ON)
+    ;;
+  --tsan)
+    BUILD_DIR=build-tsan
+    CMAKE_ARGS+=(-DIMAGEPROOF_TSAN=ON)
+    ;;
+esac
 
-if [[ "${1:-}" == "--bench" ]]; then
+cmake -B "$BUILD_DIR" "${GENERATOR[@]}" "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+if [[ "$MODE" == "--tsan" ]]; then
+  # The concurrency, determinism, and adversary suites are the ones that
+  # exercise threads; running the whole suite under TSan adds time but no
+  # extra thread coverage.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'concurrency_test|golden_test|security_test'
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+fi
+
+if [[ "$MODE" == "" || "$MODE" == "--bench" ]]; then
+  echo "--- examples ---"
+  "./$BUILD_DIR/examples/quickstart"
+  "./$BUILD_DIR/examples/tamper_detection"
+  "./$BUILD_DIR/examples/vo_breakdown"
+  "./$BUILD_DIR/examples/image_pipeline"
+  "./$BUILD_DIR/examples/deployment_cli"
+fi
+
+if [[ "$MODE" == "--bench" ]]; then
   echo "--- benchmarks ---"
-  for b in build/bench/*; do
+  for b in "$BUILD_DIR"/bench/*; do
     [[ -f "$b" && -x "$b" ]] || continue
     echo "===== $b ====="
     "$b"

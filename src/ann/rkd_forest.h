@@ -6,6 +6,11 @@
 // search stops after `max_leaf_checks` leaves have been examined and returns
 // the best cluster found so far, exactly as in Philbin et al. (CVPR'07) and
 // Muja & Lowe (VISSAPP'09).
+//
+// Thread safety: ApproxNearest is const and allocates its priority queue on
+// the stack, so concurrent searches over one forest are safe. ReplaceTrees
+// mutates and requires external exclusion (it only runs on freshly
+// deserialized, not-yet-shared packages).
 
 #ifndef IMAGEPROOF_ANN_RKD_FOREST_H_
 #define IMAGEPROOF_ANN_RKD_FOREST_H_

@@ -1,11 +1,13 @@
-// Minimal deterministic data-parallelism helper for the owner's ADS
+// Minimal deterministic data-parallelism helper, used for the owner's ADS
 // construction (per-list digest chains, cluster commitments, tree builds
-// are all independent).
+// are all independent) and for the intra-query loops of the serving path
+// (per-tree MRKD searches, per-feature AKM and exact-nearest scans).
 //
 // ParallelFor partitions [0, n) into contiguous chunks, one per worker.
 // Each index is processed exactly once and the result arrays the callers
 // write into are disjoint per index, so the outcome is bit-identical to the
-// serial loop regardless of thread count.
+// serial loop regardless of thread count — the determinism invariant the
+// query engine's golden tests lock in.
 
 #ifndef IMAGEPROOF_COMMON_PARALLEL_H_
 #define IMAGEPROOF_COMMON_PARALLEL_H_
@@ -17,14 +19,29 @@
 
 namespace imageproof {
 
-// Invokes fn(i) for every i in [0, n), using up to `max_threads` workers
-// (0 = hardware concurrency). Falls back to the plain loop for small n.
+// Invokes fn(i) for every i in [0, n), using up to `max_threads` workers.
+// `max_threads` of 0 means hardware concurrency; an explicit count is
+// honored as given (even above the core count — oversubscription is how
+// the determinism tests exercise real interleavings on small machines).
+// `grain` is the minimum number of indices worth giving one worker: the
+// loop runs serially unless at least two workers get >= `grain` indices
+// each. The owner-side default (64) keeps tiny loops serial; the query
+// engine passes grain=1 to split even an 8-tree loop across workers.
 template <typename Fn>
-void ParallelFor(size_t n, Fn&& fn, unsigned max_threads = 0) {
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  unsigned workers = max_threads == 0 ? hw : std::min(max_threads, hw);
-  if (workers <= 1 || n < 2 * workers || n < 64) {
+void ParallelFor(size_t n, Fn&& fn, unsigned max_threads = 0,
+                 size_t grain = 64) {
+  unsigned workers;
+  if (max_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : hw;
+  } else {
+    workers = max_threads;
+  }
+  if (grain == 0) grain = 1;
+  size_t max_useful = n / grain;  // workers that can each get >= grain
+  workers = static_cast<unsigned>(
+      std::min<size_t>(workers, std::max<size_t>(max_useful, 1)));
+  if (workers <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

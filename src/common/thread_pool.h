@@ -1,0 +1,117 @@
+// Fixed-size worker pool with a bounded submission queue — the execution
+// substrate of the concurrent query-serving engine (core/query_engine.h)
+// and reusable by any component that wants queued task parallelism rather
+// than the fork-join style of common/parallel.h.
+//
+// Semantics:
+//   * `num_threads` workers are spawned eagerly and live until destruction.
+//   * Submit() enqueues a task and returns a std::future for its result.
+//     When a `queue_capacity` was given and the queue is full, Submit()
+//     BLOCKS until a worker drains an entry — natural backpressure, so an
+//     overloaded server sheds load onto its callers instead of growing an
+//     unbounded backlog.
+//   * The destructor drains every already-submitted task, then joins.
+//
+// Thread safety: all public members may be called from any thread. Tasks
+// may not Submit() to the pool they run on while the queue is full (the
+// classic self-deadlock); the query engine therefore keeps intra-query
+// parallelism on ParallelFor's fork-join threads, never on its own pool.
+
+#ifndef IMAGEPROOF_COMMON_THREAD_POOL_H_
+#define IMAGEPROOF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace imageproof {
+
+class ThreadPool {
+ public:
+  // `queue_capacity` of 0 means unbounded (Submit never blocks).
+  explicit ThreadPool(unsigned num_threads, size_t queue_capacity = 0)
+      : capacity_(queue_capacity) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    not_empty_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` and returns a future for its result. Blocks while the
+  // bounded queue is full.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [this] {
+        return stopping_ || capacity_ == 0 || queue_.size() < capacity_;
+      });
+      // Tasks submitted during shutdown still run: the workers drain the
+      // queue before exiting, so the returned future is always satisfied.
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    not_empty_.notify_one();
+    return result;
+  }
+
+  size_t QueueDepth() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and fully drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      not_full_.notify_one();
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  size_t capacity_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace imageproof
+
+#endif  // IMAGEPROOF_COMMON_THREAD_POOL_H_

@@ -1,0 +1,159 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "storage/serializer.h"
+
+namespace imageproof::core {
+
+QueryEngine::QueryEngine(std::shared_ptr<const SpPackage> package,
+                         PublicParams params, EngineOptions options)
+    : options_(options),
+      pool_(options.num_workers == 0 ? 1 : options.num_workers,
+            options.queue_capacity) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->package = std::move(package);
+  snap->params = std::move(params);
+  snap->version = 0;
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const Snapshot> QueryEngine::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+EngineResponse QueryEngine::Serve(
+    const std::shared_ptr<const Snapshot>& snap,
+    const std::vector<std::vector<float>>& features, size_t k) {
+  ++in_flight_;
+  Stopwatch timer;
+  ServiceProvider sp(snap->package.get());
+  QueryParallelism par;
+  par.threads = options_.intra_query_threads;
+  EngineResponse out;
+  out.response = sp.Query(features, k, par);
+  out.snapshot = snap;
+  RecordLatencyMs(timer.ElapsedMillis());
+  ++queries_served_;
+  --in_flight_;
+  return out;
+}
+
+std::future<EngineResponse> QueryEngine::Submit(
+    std::vector<std::vector<float>> features, size_t k) {
+  // The snapshot is pinned at submission time, not at execution time: a
+  // query admitted before an update is answered from the state the caller
+  // observed, even if it sits in the queue across the swap.
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  return pool_.Submit(
+      [this, snap = std::move(snap), features = std::move(features), k] {
+        return Serve(snap, features, k);
+      });
+}
+
+std::vector<EngineResponse> QueryEngine::QueryBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k) {
+  std::vector<std::future<EngineResponse>> futures;
+  futures.reserve(queries.size());
+  for (const auto& q : queries) futures.push_back(Submit(q, k));
+  std::vector<EngineResponse> out;
+  out.reserve(queries.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+template <typename Apply>
+Result<UpdateStats> QueryEngine::ApplyUpdate(Apply&& apply) {
+  std::lock_guard<std::mutex> writer_lock(update_mu_);
+  std::shared_ptr<const Snapshot> base = CurrentSnapshot();
+
+  // Deep-clone via the canonical serializer: the load path re-derives every
+  // digest from raw data, so a corrupted in-memory package fails here
+  // instead of being silently republished under a fresh signature.
+  Result<std::unique_ptr<SpPackage>> clone =
+      storage::DeserializeSpPackage(storage::SerializeSpPackage(*base->package));
+  if (!clone.ok()) {
+    ++update_failures_;
+    return Result<UpdateStats>::Error("engine update: clone failed: " +
+                                      clone.status().message());
+  }
+  auto next = std::make_shared<Snapshot>();
+  next->params = base->params;
+  Result<UpdateStats> result = apply(clone->get(), &next->params);
+  if (!result.ok()) {
+    ++update_failures_;
+    return result;  // nothing published; readers keep the old snapshot
+  }
+  next->package = std::shared_ptr<const SpPackage>(std::move(*clone));
+  next->version = base->version + 1;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
+  ++updates_applied_;
+  return result;
+}
+
+Result<UpdateStats> QueryEngine::InsertImage(
+    const crypto::RsaPrivateKey& owner_key, ImageId id, bovw::BovwVector bovw,
+    Bytes image_data) {
+  return ApplyUpdate([&](SpPackage* pkg, PublicParams* params) {
+    return core::InsertImage(pkg, owner_key, params, id, std::move(bovw),
+                             std::move(image_data));
+  });
+}
+
+Result<UpdateStats> QueryEngine::DeleteImage(
+    const crypto::RsaPrivateKey& owner_key, ImageId id) {
+  return ApplyUpdate([&](SpPackage* pkg, PublicParams* params) {
+    return core::DeleteImage(pkg, owner_key, params, id);
+  });
+}
+
+void QueryEngine::RecordLatencyMs(double ms) {
+  double us = std::max(ms * 1000.0, 1.0);
+  // Bucket b covers [2^(b/4), 2^((b+1)/4)) microseconds.
+  double b = std::floor(std::log2(us) * 4.0);
+  size_t bucket = static_cast<size_t>(std::max(b, 0.0));
+  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  ++latency_buckets_[bucket];
+}
+
+EngineStats QueryEngine::Stats() const {
+  EngineStats s;
+  s.queries_served = queries_served_.load();
+  s.updates_applied = updates_applied_.load();
+  s.update_failures = update_failures_.load();
+  s.in_flight = in_flight_.load();
+  s.queue_depth = pool_.QueueDepth();
+  s.snapshot_version = CurrentSnapshot()->version;
+
+  std::array<uint64_t, kLatencyBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    counts[i] = latency_buckets_[i].load();
+    total += counts[i];
+  }
+  if (total == 0) return s;
+  auto percentile = [&](double p) {
+    uint64_t rank = static_cast<uint64_t>(std::ceil(p * total));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kLatencyBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        // Upper edge of bucket i, converted back to ms.
+        return std::pow(2.0, (i + 1) / 4.0) / 1000.0;
+      }
+    }
+    return std::pow(2.0, kLatencyBuckets / 4.0) / 1000.0;
+  };
+  s.p50_latency_ms = percentile(0.50);
+  s.p99_latency_ms = percentile(0.99);
+  return s;
+}
+
+}  // namespace imageproof::core

@@ -1,0 +1,156 @@
+// Concurrent query-serving engine with snapshot isolation.
+//
+// The paper's SP is a single verifier-facing endpoint, but the workload it
+// targets — large-scale image retrieval — is many clients hitting one
+// authenticated index at once, with the owner occasionally pushing
+// incremental updates (core/update.h). QueryEngine turns the serial
+// ServiceProvider::Query path into a serving layer:
+//
+//   * Inter-query parallelism: a fixed-size worker pool (common/
+//     thread_pool.h) with a bounded submission queue. Submit() returns a
+//     future; QueryBatch() is the blocking convenience. When the queue is
+//     full, Submit() blocks — backpressure instead of unbounded backlog.
+//   * Intra-query parallelism: each worker runs Query with
+//     QueryParallelism{intra_query_threads}, splitting the per-feature AKM
+//     loop, the per-tree MRKD searches, and the exact-nearest scan across
+//     ParallelFor workers. Single-query latency drops without changing a
+//     single VO byte (see below).
+//   * Snapshot isolation for updates: the engine serves from an immutable
+//     `shared_ptr<const Snapshot>` (package + the PublicParams whose root
+//     signature covers it). InsertImage/DeleteImage clone the current
+//     package (a serializer round-trip, which re-derives and thereby
+//     integrity-checks every digest), apply the update to the clone,
+//     re-sign, and atomically swap the pointer. In-flight queries keep
+//     verifying against the root they started under; their responses carry
+//     that snapshot so clients check the matching signature. Writers are
+//     serialized; readers never block writers or each other.
+//
+// Determinism invariant: for a fixed snapshot, the engine's response —
+// VO bytes and top-k — is byte-identical to the serial
+// ServiceProvider::Query at ANY worker count and ANY intra-query thread
+// count. Every parallel loop writes disjoint per-index slots and merges in
+// index order; there are no cross-thread floating-point reductions. The
+// golden determinism tests (tests/golden_test.cc) lock this in.
+
+#ifndef IMAGEPROOF_CORE_QUERY_ENGINE_H_
+#define IMAGEPROOF_CORE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <array>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/server.h"
+#include "core/update.h"
+
+namespace imageproof::core {
+
+struct EngineOptions {
+  unsigned num_workers = 4;          // pool size (inter-query parallelism)
+  size_t queue_capacity = 128;       // bounded submission queue, 0 = unbounded
+  unsigned intra_query_threads = 1;  // ParallelFor width inside one query
+};
+
+// One immutable published state of the deployment. `params.root_signature`
+// signs exactly `package->RootDigest()`; both are replaced together on
+// update, never mutated.
+struct Snapshot {
+  std::shared_ptr<const SpPackage> package;
+  PublicParams params;
+  uint64_t version = 0;  // 0 = the snapshot the engine was constructed with
+};
+
+// A query response plus the snapshot it was served under. Verification must
+// use `snapshot->params` — a response served before an update is only valid
+// against the root signature of its own snapshot.
+struct EngineResponse {
+  QueryResponse response;
+  std::shared_ptr<const Snapshot> snapshot;
+};
+
+// Point-in-time engine counters (Stats()). Latency percentiles come from a
+// fixed log-scale histogram and are upper-bound bucket estimates.
+struct EngineStats {
+  uint64_t queries_served = 0;
+  uint64_t updates_applied = 0;
+  uint64_t update_failures = 0;
+  uint64_t in_flight = 0;      // queries currently executing
+  uint64_t queue_depth = 0;    // submitted, not yet picked up by a worker
+  uint64_t snapshot_version = 0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+class QueryEngine {
+ public:
+  // Takes shared ownership of the package. `params` must be the public
+  // parameters published for exactly this package state.
+  QueryEngine(std::shared_ptr<const SpPackage> package, PublicParams params,
+              EngineOptions options = {});
+  ~QueryEngine() = default;  // pool drains all submitted queries
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Enqueues one query; blocks only when the submission queue is full.
+  std::future<EngineResponse> Submit(std::vector<std::vector<float>> features,
+                                     size_t k);
+
+  // Submits every query, then blocks until all are served. Results are in
+  // input order.
+  std::vector<EngineResponse> QueryBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k);
+
+  // Owner-side updates. Each clones the current package, applies the
+  // update, re-signs, and publishes a new snapshot; concurrent queries are
+  // unaffected (they finish on the snapshot they started with). On failure
+  // nothing is published. Writers are serialized with each other.
+  Result<UpdateStats> InsertImage(const crypto::RsaPrivateKey& owner_key,
+                                  ImageId id, bovw::BovwVector bovw,
+                                  Bytes image_data);
+  Result<UpdateStats> DeleteImage(const crypto::RsaPrivateKey& owner_key,
+                                  ImageId id);
+
+  // The snapshot new queries will be served under.
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const;
+
+  EngineStats Stats() const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  // Executes one query on a worker thread against `snap`.
+  EngineResponse Serve(const std::shared_ptr<const Snapshot>& snap,
+                       const std::vector<std::vector<float>>& features,
+                       size_t k);
+
+  // Clone-apply-swap core of both update entry points. `apply` receives the
+  // cloned package and the params copy to update in place.
+  template <typename Apply>
+  Result<UpdateStats> ApplyUpdate(Apply&& apply);
+
+  void RecordLatencyMs(double ms);
+
+  EngineOptions options_;
+  mutable std::mutex snapshot_mu_;  // guards snapshot_ swaps/reads
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::mutex update_mu_;  // serializes writers (clone → apply → swap)
+
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> update_failures_{0};
+  std::atomic<uint64_t> in_flight_{0};
+
+  // Log-scale latency histogram: bucket b covers [2^(b/4), 2^((b+1)/4)) us.
+  static constexpr size_t kLatencyBuckets = 96;
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets_{};
+
+  ThreadPool pool_;  // last member: destroyed (drained) first
+};
+
+}  // namespace imageproof::core
+
+#endif  // IMAGEPROOF_CORE_QUERY_ENGINE_H_

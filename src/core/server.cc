@@ -4,18 +4,23 @@
 #include <map>
 #include <set>
 
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "freqgroup/fg_search.h"
 
 namespace imageproof::core {
 
 QueryResponse ServiceProvider::Query(
-    const std::vector<std::vector<float>>& features, size_t k) const {
+    const std::vector<std::vector<float>>& features, size_t k,
+    const QueryParallelism& par) const {
   QueryResponse resp;
   const Config& config = pkg_->config;
   const ann::PointSet& codebook = pkg_->codebook;
   const size_t dims = codebook.dims();
   const size_t nq = features.size();
+  // Every parallel loop below writes disjoint per-index slots and is merged
+  // in index order, so the response is byte-identical at any thread count.
+  const unsigned threads = par.threads == 0 ? 1 : par.threads;
 
   Stopwatch bovw_timer;
 
@@ -23,19 +28,31 @@ QueryResponse ServiceProvider::Query(
   std::vector<const float*> queries(nq);
   for (size_t i = 0; i < nq; ++i) queries[i] = features[i].data();
   std::vector<double> thresholds_sq(nq, 0.0);
-  for (size_t i = 0; i < nq; ++i) {
-    ann::NearestResult r = pkg_->forest->ApproxNearest(queries[i]);
-    thresholds_sq[i] = r.dist_sq;
-  }
+  ParallelFor(
+      nq,
+      [&](size_t i) {
+        ann::NearestResult r = pkg_->forest->ApproxNearest(queries[i]);
+        thresholds_sq[i] = r.dist_sq;
+      },
+      threads, /*grain=*/1);
   resp.vo.thresholds_sq = thresholds_sq;
 
-  // Step 2: MRKDSearch over every tree.
+  // Step 2: MRKDSearch over every tree, in parallel across trees; outputs
+  // are merged in tree order afterwards.
+  const size_t num_trees = pkg_->mrkd_trees.size();
+  std::vector<mrkd::TreeSearchOutput> tree_outputs(num_trees);
+  ParallelFor(
+      num_trees,
+      [&](size_t t) {
+        const mrkd::MrkdTree& tree = *pkg_->mrkd_trees[t];
+        tree_outputs[t] =
+            config.share_nodes
+                ? mrkd::MrkdSearchShared(tree, queries, thresholds_sq)
+                : mrkd::MrkdSearchUnshared(tree, queries, thresholds_sq);
+      },
+      threads, /*grain=*/1);
   std::vector<std::set<mrkd::ClusterId>> candidates(nq);
-  for (const auto& tree : pkg_->mrkd_trees) {
-    mrkd::TreeSearchOutput out =
-        config.share_nodes
-            ? mrkd::MrkdSearchShared(*tree, queries, thresholds_sq)
-            : mrkd::MrkdSearchUnshared(*tree, queries, thresholds_sq);
+  for (mrkd::TreeSearchOutput& out : tree_outputs) {
     for (size_t i = 0; i < nq; ++i) {
       candidates[i].insert(out.candidates[i].begin(), out.candidates[i].end());
     }
@@ -49,21 +66,24 @@ QueryResponse ServiceProvider::Query(
   // candidate-reveal section.
   std::vector<mrkd::ClusterId> assignment(nq);
   std::vector<double> assigned_dist(nq, 0.0);
-  for (size_t i = 0; i < nq; ++i) {
-    double best = -1;
-    mrkd::ClusterId best_c = 0;
-    bool first = true;
-    for (mrkd::ClusterId c : candidates[i]) {
-      double d = ann::SquaredL2(queries[i], codebook.row(c), dims);
-      if (first || d < best || (d == best && c < best_c)) {
-        best = d;
-        best_c = c;
-        first = false;
-      }
-    }
-    assignment[i] = best_c;
-    assigned_dist[i] = best;
-  }
+  ParallelFor(
+      nq,
+      [&](size_t i) {
+        double best = -1;
+        mrkd::ClusterId best_c = 0;
+        bool first = true;
+        for (mrkd::ClusterId c : candidates[i]) {
+          double d = ann::SquaredL2(queries[i], codebook.row(c), dims);
+          if (first || d < best || (d == best && c < best_c)) {
+            best = d;
+            best_c = c;
+            first = false;
+          }
+        }
+        assignment[i] = best_c;
+        assigned_dist[i] = best;
+      },
+      threads, /*grain=*/1);
 
   // Which queries must each candidate be excluded for, and which clusters
   // must be revealed fully (someone's assigned cluster).

@@ -39,13 +39,28 @@ struct QueryResponse {
   QueryStats stats;
 };
 
+// Intra-query parallelism knobs. The hot loops of Query — the per-feature
+// AKM threshold search (Step 1), the per-tree MRKD searches (Step 2), and
+// the per-feature exact-nearest scan (Step 3) — are index-disjoint, so they
+// route through ParallelFor and produce bit-identical output at any thread
+// count. `threads == 1` (the default) is the plain serial loop.
+struct QueryParallelism {
+  unsigned threads = 1;
+};
+
 class ServiceProvider {
  public:
   // Borrows the package; the owner output must outlive the SP.
+  //
+  // Thread safety: Query is const over immutable package state and uses
+  // only per-call locals, so one ServiceProvider may serve any number of
+  // concurrent callers — this is what core/query_engine.h builds on. The
+  // package must not be mutated (core/update.h) while queries are in
+  // flight; the engine guarantees that with copy-on-write snapshots.
   explicit ServiceProvider(const SpPackage* package) : pkg_(package) {}
 
   QueryResponse Query(const std::vector<std::vector<float>>& features,
-                      size_t k) const;
+                      size_t k, const QueryParallelism& par = {}) const;
 
   const SpPackage& package() const { return *pkg_; }
 

@@ -7,6 +7,14 @@
 // is the cluster commitment (mrkd/commit.h), and h_Gi is the digest of the
 // cluster's Merkle inverted list — which is how the MRKD-tree is linked to
 // the second ADS.
+//
+// Thread safety: every const accessor is safe to call concurrently; the
+// search code (mrkd/search.h) reads only through them. The single mutator
+// is RefreshListDigest (plus the shared `list_digests` vector it reads,
+// owned by SpPackage), used by the incremental-update path; it must never
+// run concurrently with searches over the same tree. Concurrent serving
+// therefore applies updates to a cloned package and swaps snapshots
+// (core/query_engine.h) instead of mutating a live one.
 
 #ifndef IMAGEPROOF_MRKD_MRKD_TREE_H_
 #define IMAGEPROOF_MRKD_MRKD_TREE_H_

@@ -18,6 +18,15 @@
 // Cluster coordinates are *not* in the stream; they travel once, globally,
 // in the candidate-reveal section (mrkd/commit.h) — the paper's shared
 // candidate strategy.
+//
+// Thread safety: both search entry points take the tree by const reference
+// and keep ALL traversal state (the recursion context, offset vectors, VO
+// writer, candidate sets) in per-call locals — no statics, no caches, no
+// mutable members. Any number of searches may therefore run concurrently
+// over one MrkdTree, across queries and across trees, provided no one
+// mutates the tree (MrkdTree::RefreshListDigest) meanwhile. The query
+// engine (core/query_engine.h) guarantees that by serving every query from
+// an immutable package snapshot.
 
 #ifndef IMAGEPROOF_MRKD_SEARCH_H_
 #define IMAGEPROOF_MRKD_SEARCH_H_

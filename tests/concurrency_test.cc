@@ -1,16 +1,22 @@
 // Concurrency tests: ServiceProvider::Query and Client::Verify are const
 // operations over immutable state, so any number of clients may be served
 // in parallel from one package — and ParallelFor must behave exactly like
-// the serial loop.
+// the serial loop. The QueryEngine layer adds snapshot isolation on top:
+// writers publish copy-on-write snapshots while readers keep verifying
+// against the root they were admitted under. Build with -DIMAGEPROOF_TSAN=ON
+// to run this file under ThreadSanitizer (scripts/check.sh --tsan).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "core/client.h"
 #include "core/owner.h"
+#include "core/query_engine.h"
 #include "core/server.h"
 #include "workload/synthetic.h"
 
@@ -116,6 +122,203 @@ TEST(ConcurrentQueryTest, ManyClientsOneServer) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskAndDeliversResults) {
+  ThreadPool pool(4, /*queue_capacity=*/8);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressure) {
+  // One worker blocked on a gate; the queue holds 2 more tasks. The 4th
+  // Submit must block until the gate opens.
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> done{0};
+  auto blocker = pool.Submit([opened, &done] {
+    opened.wait();
+    ++done;
+  });
+  // Wait for the worker to pick up the blocker so the queue is empty.
+  while (pool.QueueDepth() > 0) std::this_thread::yield();
+  for (int i = 0; i < 2; ++i) {
+    (void)pool.Submit([&done] { ++done; });
+  }
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+
+  std::atomic<bool> fourth_submitted{false};
+  std::thread submitter([&] {
+    (void)pool.Submit([&done] { ++done; });
+    fourth_submitted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fourth_submitted.load()) << "Submit did not block on full queue";
+  gate.set_value();
+  submitter.join();
+  blocker.get();
+  // Destructor drains the remaining tasks.
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++done;
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine: snapshot isolation under a concurrent update/query storm
+// ---------------------------------------------------------------------------
+
+struct EngineFixture {
+  core::OwnerOutput owner;
+  std::shared_ptr<const core::SpPackage> package;
+
+  explicit EngineFixture(uint64_t seed = 5) {
+    core::Config config = core::Config::ImageProof();
+    config.rsa_bits = 512;
+    workload::CorpusParams cp;
+    cp.num_images = 250;
+    cp.num_clusters = 128;
+    cp.seed = seed;
+    auto corpus = workload::GenerateCorpus(cp);
+    std::unordered_map<bovw::ImageId, Bytes> blobs;
+    for (const auto& [id, v] : corpus) {
+      blobs[id] = workload::GenerateImageBlob(id);
+    }
+    workload::CodebookParams cbp;
+    cbp.num_clusters = 128;
+    cbp.dims = 16;
+    owner = core::BuildDeployment(config, workload::GenerateCodebook(cbp),
+                                  std::move(corpus), std::move(blobs));
+    package = std::shared_ptr<const core::SpPackage>(std::move(owner.package));
+  }
+};
+
+TEST(QueryEngineStressTest, UpdatesVersusQueries) {
+  EngineFixture fx;
+  core::EngineOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 32;
+  opts.intra_query_threads = 2;
+  core::QueryEngine engine(fx.package, fx.owner.public_params, opts);
+
+  constexpr int kWriters = 2;
+  constexpr int kUpdatesPerWriter = 4;
+  constexpr int kReaders = 3;
+  constexpr int kQueriesPerReader = 6;
+
+  std::atomic<int> verify_failures{0};
+  std::atomic<int> update_failures{0};
+  std::atomic<int> updates_ok{0};
+
+  std::vector<std::thread> threads;
+  // Writers: insert fresh images (ids disjoint from the corpus and from
+  // each other), then delete half of them again.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      workload::CorpusParams qp;
+      qp.num_clusters = 128;
+      for (int u = 0; u < kUpdatesPerWriter; ++u) {
+        bovw::ImageId id = 10000 + w * 100 + u;
+        bovw::BovwVector vec =
+            workload::GenerateQueryBovw(qp, 20, 900 + w * 10 + u);
+        auto ins = engine.InsertImage(fx.owner.private_key, id, vec,
+                                      workload::GenerateImageBlob(id));
+        if (!ins.ok()) {
+          ++update_failures;
+          continue;
+        }
+        ++updates_ok;
+        if (u % 2 == 1) {
+          auto del = engine.DeleteImage(fx.owner.private_key, id);
+          if (del.ok()) {
+            ++updates_ok;
+          } else {
+            ++update_failures;
+          }
+        }
+      }
+    });
+  }
+  // Readers: every response must verify against the PublicParams of the
+  // snapshot it was served under — the heart of snapshot isolation. A VO
+  // checked against the wrong root signature would fail, so 0 failures here
+  // proves responses and roots stay paired across concurrent swaps.
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        auto features = workload::GenerateQueryFeatures(
+            fx.package->codebook, 10, 0.3, r * 1000 + q);
+        core::EngineResponse resp = engine.Submit(features, 5).get();
+        core::Client client(resp.snapshot->params);
+        auto verified = client.Verify(features, 5, resp.response.vo);
+        if (!verified.ok()) ++verify_failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(verify_failures.load(), 0);
+  EXPECT_EQ(update_failures.load(), 0);
+  core::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_served,
+            static_cast<uint64_t>(kReaders * kQueriesPerReader));
+  EXPECT_EQ(stats.updates_applied, static_cast<uint64_t>(updates_ok.load()));
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_GT(stats.snapshot_version, 0u);
+}
+
+TEST(QueryEngineTest, InFlightQueriesKeepTheirSnapshot) {
+  EngineFixture fx;
+  core::EngineOptions opts;
+  opts.num_workers = 2;
+  core::QueryEngine engine(fx.package, fx.owner.public_params, opts);
+
+  auto old_snapshot = engine.CurrentSnapshot();
+  auto features =
+      workload::GenerateQueryFeatures(fx.package->codebook, 10, 0.3, 1);
+  std::future<core::EngineResponse> pending = engine.Submit(features, 5);
+
+  workload::CorpusParams qp;
+  qp.num_clusters = 128;
+  auto ins = engine.InsertImage(fx.owner.private_key, 20000,
+                                workload::GenerateQueryBovw(qp, 20, 7),
+                                workload::GenerateImageBlob(20000));
+  ASSERT_TRUE(ins.ok()) << ins.status().message();
+
+  core::EngineResponse resp = pending.get();
+  // The pre-update submission was served under the pre-update snapshot...
+  EXPECT_EQ(resp.snapshot->version, old_snapshot->version);
+  core::Client old_client(old_snapshot->params);
+  EXPECT_TRUE(old_client.Verify(features, 5, resp.response.vo).ok());
+
+  // ...while new submissions see the new state, verified under its params.
+  core::EngineResponse fresh = engine.Submit(features, 5).get();
+  EXPECT_GT(fresh.snapshot->version, old_snapshot->version);
+  core::Client new_client(fresh.snapshot->params);
+  EXPECT_TRUE(new_client.Verify(features, 5, fresh.response.vo).ok());
+
+  // The two snapshots are distinct objects with distinct signed roots.
+  EXPECT_NE(resp.snapshot->package.get(), fresh.snapshot->package.get());
+  EXPECT_NE(old_snapshot->params.root_signature,
+            fresh.snapshot->params.root_signature);
 }
 
 }  // namespace

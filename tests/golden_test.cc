@@ -11,12 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include "core/query_engine.h"
 #include "crypto/hasher.h"
 #include "freqgroup/fg_index.h"
 #include "invindex/merkle_inv_index.h"
 #include "merkle/merkle_tree.h"
 #include "mrkd/commit.h"
 #include "mrkd/mrkd_tree.h"
+#include "workload/synthetic.h"
 
 namespace imageproof {
 namespace {
@@ -71,6 +73,94 @@ TEST(GoldenDigestTest, MrkdInternalNode) {
   mrkd::MrkdTree::HashInternal(b, 3, 1.25f, Digest::Zero(), p);
   EXPECT_EQ(b.Finalize().ToHex(),
             "45eff8a4353ec3cf7b04669c667306c1b9094ca4f89089999430db6d855e16e0");
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism: the concurrent serving path is a *golden* property of
+// the same kind as the digest formats above — at any worker count and any
+// intra-query thread count, the engine must emit byte-identical VOs and the
+// identical top-k to the serial ServiceProvider::Query. A divergence means
+// some parallel loop introduced ordering- or thread-dependent output, which
+// would make responses non-reproducible and signatures unverifiable.
+// ---------------------------------------------------------------------------
+
+core::OwnerOutput BuildSmallDeployment(const core::Config& config) {
+  workload::CorpusParams cp;
+  cp.num_images = 250;
+  cp.num_clusters = 128;
+  cp.seed = 11;
+  auto corpus = workload::GenerateCorpus(cp);
+  std::unordered_map<bovw::ImageId, Bytes> blobs;
+  for (const auto& [id, v] : corpus) blobs[id] = workload::GenerateImageBlob(id);
+  workload::CodebookParams cbp;
+  cbp.num_clusters = 128;
+  cbp.dims = 16;
+  return core::BuildDeployment(config, workload::GenerateCodebook(cbp),
+                               std::move(corpus), std::move(blobs));
+}
+
+void CheckEngineMatchesSerial(core::Config config) {
+  config.rsa_bits = 512;
+  core::OwnerOutput owner = BuildSmallDeployment(config);
+  auto package =
+      std::shared_ptr<const core::SpPackage>(std::move(owner.package));
+
+  const size_t kNumQueries = 6;
+  const size_t k = 5;
+  std::vector<std::vector<std::vector<float>>> queries;
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    queries.push_back(
+        workload::GenerateQueryFeatures(package->codebook, 12, 0.3, 40 + q));
+  }
+
+  // Serial ground truth through the legacy one-at-a-time path.
+  core::ServiceProvider sp(package.get());
+  std::vector<Bytes> serial_vo;
+  std::vector<std::vector<bovw::ScoredImage>> serial_topk;
+  for (const auto& q : queries) {
+    core::QueryResponse resp = sp.Query(q, k);
+    serial_vo.push_back(resp.vo.Serialize());
+    serial_topk.push_back(resp.topk);
+  }
+
+  struct Shape {
+    unsigned workers;
+    unsigned intra;
+  };
+  for (Shape shape : {Shape{1, 1}, Shape{2, 2}, Shape{8, 4}}) {
+    core::EngineOptions opts;
+    opts.num_workers = shape.workers;
+    opts.queue_capacity = 4;  // small: exercises Submit backpressure too
+    opts.intra_query_threads = shape.intra;
+    core::QueryEngine engine(package, owner.public_params, opts);
+    std::vector<core::EngineResponse> responses = engine.QueryBatch(queries, k);
+    ASSERT_EQ(responses.size(), kNumQueries);
+    for (size_t i = 0; i < kNumQueries; ++i) {
+      EXPECT_EQ(responses[i].response.vo.Serialize(), serial_vo[i])
+          << config.Name() << " workers=" << shape.workers
+          << " intra=" << shape.intra << " query " << i
+          << ": VO bytes diverged from the serial path";
+      const auto& topk = responses[i].response.topk;
+      ASSERT_EQ(topk.size(), serial_topk[i].size());
+      for (size_t j = 0; j < topk.size(); ++j) {
+        EXPECT_EQ(topk[j].id, serial_topk[i][j].id);
+        EXPECT_EQ(topk[j].score, serial_topk[i][j].score);
+      }
+    }
+    core::EngineStats stats = engine.Stats();
+    EXPECT_EQ(stats.queries_served, kNumQueries);
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_GT(stats.p50_latency_ms, 0.0);
+    EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
+  }
+}
+
+TEST(EngineDeterminismTest, ImageProofConfigByteIdenticalAcrossThreadCounts) {
+  CheckEngineMatchesSerial(core::Config::ImageProof());
+}
+
+TEST(EngineDeterminismTest, OptimizedBothConfigByteIdenticalAcrossThreadCounts) {
+  CheckEngineMatchesSerial(core::Config::OptimizedBoth());
 }
 
 }  // namespace

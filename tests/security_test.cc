@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "core/client.h"
 #include "core/owner.h"
+#include "core/query_engine.h"
 #include "core/server.h"
 #include "cuckoo/cuckoo_filter.h"
 #include "freqgroup/fg_index.h"
@@ -54,46 +57,6 @@ class SemanticAttackTest : public ::testing::Test {
     return true;
   }
 
-  // Re-serializes the honest VO with a field-level mutation applied by
-  // `mutate(list_index, writer_state...)`. The VO layout is re-emitted
-  // faithfully except for the requested change.
-  struct Posting {
-    uint64_t id;
-    double impact;
-  };
-  struct List {
-    uint64_t cluster;
-    double weight;
-    std::vector<Posting> popped;
-    uint8_t flags;
-    crypto::Digest first_remaining;
-    Bytes filter;
-    crypto::Digest theta;
-  };
-
-  Bytes Reserialize(const std::vector<List>& lists) {
-    ByteWriter w;
-    w.PutU8(1);
-    w.PutVarint(lists.size());
-    for (const List& l : lists) {
-      w.PutVarint(l.cluster);
-      w.PutF64(l.weight);
-      w.PutVarint(l.popped.size());
-      for (const Posting& p : l.popped) {
-        w.PutVarint(p.id);
-        w.PutF64(p.impact);
-      }
-      w.PutU8(l.flags);
-      if (l.flags & 1) crypto::PutDigest(w, l.first_remaining);
-      if (l.flags & 2) {
-        w.PutBlob(l.filter);
-      } else {
-        crypto::PutDigest(w, l.theta);
-      }
-    }
-    return w.Take();
-  }
-
   std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> corpus_;
   std::unique_ptr<invindex::MerkleInvertedIndex> index_;
   bovw::BovwVector query_;
@@ -101,22 +64,62 @@ class SemanticAttackTest : public ::testing::Test {
   std::vector<bovw::ImageId> claimed_;
 };
 
-// Field-level parse of an InvSearch VO (mirrors the documented layout).
-std::vector<SemanticAttackTest::List> ParseVo(const Bytes& vo) {
-  std::vector<SemanticAttackTest::List> lists;
+// Field-level model of an InvSearch VO (mirrors the documented layout),
+// shared by the semantic attacks here and the engine-path tamper matrix.
+struct Posting {
+  uint64_t id;
+  double impact;
+};
+struct List {
+  uint64_t cluster;
+  double weight;
+  std::vector<Posting> popped;
+  uint8_t flags;
+  crypto::Digest first_remaining;
+  Bytes filter;
+  crypto::Digest theta;
+};
+
+// Re-serializes a parsed VO faithfully, so a single-field mutation yields a
+// VO that differs only in that field.
+Bytes Reserialize(const std::vector<List>& lists) {
+  ByteWriter w;
+  w.PutU8(1);
+  w.PutVarint(lists.size());
+  for (const List& l : lists) {
+    w.PutVarint(l.cluster);
+    w.PutF64(l.weight);
+    w.PutVarint(l.popped.size());
+    for (const Posting& p : l.popped) {
+      w.PutVarint(p.id);
+      w.PutF64(p.impact);
+    }
+    w.PutU8(l.flags);
+    if (l.flags & 1) crypto::PutDigest(w, l.first_remaining);
+    if (l.flags & 2) {
+      w.PutBlob(l.filter);
+    } else {
+      crypto::PutDigest(w, l.theta);
+    }
+  }
+  return w.Take();
+}
+
+std::vector<List> ParseVo(const Bytes& vo) {
+  std::vector<List> lists;
   ByteReader r(vo);
   uint8_t use_filters;
   if (!r.GetU8(&use_filters).ok()) return lists;
   uint64_t n;
   if (!r.GetVarint(&n).ok()) return lists;
   for (uint64_t i = 0; i < n; ++i) {
-    SemanticAttackTest::List l;
+    List l;
     if (!r.GetVarint(&l.cluster).ok()) return {};
     if (!r.GetF64(&l.weight).ok()) return {};
     uint64_t popped;
     if (!r.GetVarint(&popped).ok()) return {};
     for (uint64_t j = 0; j < popped; ++j) {
-      SemanticAttackTest::Posting p;
+      Posting p;
       if (!r.GetVarint(&p.id).ok()) return {};
       if (!r.GetF64(&p.impact).ok()) return {};
       l.popped.push_back(p);
@@ -350,6 +353,143 @@ TEST(ParserFuzzTest, TruncationsOfValidVoNeverCrash) {
     }
   }
   EXPECT_EQ(accepted, 0) << "no strict prefix may verify";
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial matrix against the concurrent serving path: the same cheating
+// strategies a rational SP could mount, but mounted on responses served by
+// the QueryEngine. The engine must not open any hole the serial path does
+// not have — a client holding the snapshot's PublicParams rejects each.
+// ---------------------------------------------------------------------------
+
+class EngineAdversaryTest : public ::testing::Test {
+ public:
+  EngineAdversaryTest() {
+    core::Config config = core::Config::ImageProof();  // plain inv layout
+    config.rsa_bits = 512;
+    workload::CorpusParams cp;
+    cp.num_images = 300;
+    cp.num_clusters = 128;
+    cp.seed = 13;
+    auto corpus = workload::GenerateCorpus(cp);
+    std::unordered_map<bovw::ImageId, Bytes> blobs;
+    for (const auto& [id, v] : corpus) {
+      blobs[id] = workload::GenerateImageBlob(id);
+    }
+    workload::CodebookParams cbp;
+    cbp.num_clusters = 128;
+    cbp.dims = 16;
+    owner_ = core::BuildDeployment(config, workload::GenerateCodebook(cbp),
+                                   std::move(corpus), std::move(blobs));
+    package_ =
+        std::shared_ptr<const core::SpPackage>(std::move(owner_.package));
+    core::EngineOptions opts;
+    opts.num_workers = 2;
+    opts.intra_query_threads = 2;
+    engine_ = std::make_unique<core::QueryEngine>(
+        package_, owner_.public_params, opts);
+    features_ =
+        workload::GenerateQueryFeatures(package_->codebook, 10, 0.3, 21);
+    honest_ = engine_->Submit(features_, 5).get();
+  }
+
+  // Verifies `vo` against the params of the snapshot that served `honest_`.
+  bool Accepts(const core::QueryVO& vo) {
+    core::Client client(honest_.snapshot->params);
+    return client.Verify(features_, 5, vo).ok();
+  }
+
+  core::OwnerOutput owner_;
+  std::shared_ptr<const core::SpPackage> package_;
+  std::unique_ptr<core::QueryEngine> engine_;
+  std::vector<std::vector<float>> features_;
+  core::EngineResponse honest_;
+};
+
+TEST_F(EngineAdversaryTest, HonestResponseAccepted) {
+  EXPECT_TRUE(Accepts(honest_.response.vo));
+}
+
+TEST_F(EngineAdversaryTest, TamperMatrixRejected) {
+  struct TamperCase {
+    const char* name;
+    std::function<bool(core::QueryVO*)> mutate;  // false = skip (no target)
+  };
+  const size_t dims = package_->codebook.dims();
+  std::vector<TamperCase> cases;
+
+  // 1. Dropped reveal: hide one revealed candidate cluster — the client can
+  // then no longer authenticate that candidate's exclusion/assignment.
+  cases.push_back({"dropped_reveal", [dims](core::QueryVO* vo) {
+                     ByteReader r(vo->reveal_section);
+                     std::vector<mrkd::ClusterReveal> reveals;
+                     if (!mrkd::DeserializeReveals(r, dims, &reveals).ok() ||
+                         reveals.empty()) {
+                       return false;
+                     }
+                     reveals.pop_back();
+                     ByteWriter w;
+                     mrkd::SerializeReveals(reveals, w);
+                     vo->reveal_section = w.Take();
+                     return true;
+                   }});
+
+  // 2. Swapped posting entry: reorder two popped postings inside one
+  // inverted-list stream (breaks the impact order or the chain digest).
+  cases.push_back({"swapped_posting_entry", [](core::QueryVO* vo) {
+                     auto lists = ParseVo(vo->inv_vo);
+                     for (auto& l : lists) {
+                       if (l.popped.size() >= 2) {
+                         std::swap(l.popped[0], l.popped[1]);
+                         vo->inv_vo = Reserialize(lists);
+                         return true;
+                       }
+                     }
+                     return false;
+                   }});
+
+  // 3. Truncated inv VO: chop the tail of the inverted-index proof.
+  cases.push_back({"truncated_inv_vo", [](core::QueryVO* vo) {
+                     if (vo->inv_vo.size() < 8) return false;
+                     vo->inv_vo.resize(vo->inv_vo.size() - 7);
+                     return true;
+                   }});
+
+  for (const TamperCase& tc : cases) {
+    core::QueryVO tampered = honest_.response.vo;
+    if (!tc.mutate(&tampered)) {
+      ADD_FAILURE() << tc.name << ": no mutation target in this VO";
+      continue;
+    }
+    EXPECT_FALSE(Accepts(tampered)) << "accepted tampered VO: " << tc.name;
+  }
+}
+
+TEST_F(EngineAdversaryTest, StaleSignatureRejected) {
+  // The SP updates the deployment, then tries to pass off a response served
+  // under the NEW root to a client still holding (or replaying) the OLD
+  // public parameters — and vice versa. Both directions must fail: a root
+  // signature authenticates exactly one package state.
+  auto old_params = honest_.snapshot->params;
+  workload::CorpusParams qp;
+  qp.num_clusters = 128;
+  auto ins = engine_->InsertImage(owner_.private_key, 31000,
+                                  workload::GenerateQueryBovw(qp, 20, 3),
+                                  workload::GenerateImageBlob(31000));
+  ASSERT_TRUE(ins.ok()) << ins.status().message();
+
+  core::EngineResponse fresh = engine_->Submit(features_, 5).get();
+  ASSERT_GT(fresh.snapshot->version, honest_.snapshot->version);
+
+  // New response under old params: stale signature, reject.
+  core::Client stale_client(old_params);
+  EXPECT_FALSE(stale_client.Verify(features_, 5, fresh.response.vo).ok());
+  // Old (replayed) response under new params: also reject.
+  core::Client new_client(fresh.snapshot->params);
+  EXPECT_FALSE(new_client.Verify(features_, 5, honest_.response.vo).ok());
+  // Each verifies under its own snapshot.
+  EXPECT_TRUE(new_client.Verify(features_, 5, fresh.response.vo).ok());
+  EXPECT_TRUE(stale_client.Verify(features_, 5, honest_.response.vo).ok());
 }
 
 }  // namespace
