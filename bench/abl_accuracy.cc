@@ -21,7 +21,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_accuracy");
   DeploymentSpec spec;
   spec.num_images = 5000;
   spec.num_clusters = 4096;
@@ -97,5 +98,5 @@ int main() {
   std::printf("(authenticated assignment is exact-NN-within-threshold, so its "
               "accuracy\n dominates plain AKM; top-k sets agree wherever AKM "
               "already found the true NN)\n");
-  return 0;
+  return FinishBench(0);
 }

@@ -13,7 +13,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_check_batch");
   InvFixture fx(/*num_images=*/10000, /*num_clusters=*/2048);
 
   std::printf("Ablation — condition re-check batch size (10k images, 2048 "
@@ -42,5 +43,5 @@ int main() {
                   popped / kQ, checks / kQ);
     }
   }
-  return 0;
+  return FinishBench(0);
 }

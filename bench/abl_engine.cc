@@ -5,6 +5,10 @@
 // 1-worker baseline, plus the cost of a snapshot-swapped update while the
 // pool is busy. Every response is verified against the snapshot it was
 // served under, so the numbers are for *authenticated* serving.
+//
+// --smoke shrinks the deployment and query count for CI; --json <path>
+// additionally attaches the final engine MetricsSnapshot() so the report
+// carries per-worker queue-wait / latency histograms.
 
 #include <cstdio>
 #include <memory>
@@ -15,17 +19,18 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_engine");
   DeploymentSpec spec;
-  spec.num_images = 10000;
-  spec.num_clusters = 4096;
-  spec.dims = 64;
+  spec.num_images = SmokeMode() ? 1000 : 10000;
+  spec.num_clusters = SmokeMode() ? 1024 : 4096;
+  spec.dims = SmokeMode() ? 32 : 64;
   Deployment d(core::Config::ImageProof(), spec);
   auto package =
       std::shared_ptr<const core::SpPackage>(std::move(d.owner.package));
 
-  const size_t kNumQueries = 32;
-  const size_t kFeatures = 30;
+  const size_t kNumQueries = SmokeMode() ? 8 : 32;
+  const size_t kFeatures = SmokeMode() ? 20 : 30;
   const size_t kTopK = 10;
   std::vector<std::vector<std::vector<float>>> queries;
   for (size_t q = 0; q < kNumQueries; ++q) {
@@ -41,7 +46,9 @@ int main() {
               "total_ms", "qps", "p50_ms", "p99_ms");
   std::printf("---------------------------------------------------------------\n");
 
-  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+  std::string last_metrics_json;
+  for (unsigned workers : SmokeMode() ? std::vector<unsigned>{1u, 2u}
+                                      : std::vector<unsigned>{1u, 2u, 4u, 8u}) {
     core::EngineOptions opts;
     opts.num_workers = workers;
     opts.queue_capacity = 64;
@@ -59,17 +66,27 @@ int main() {
       }
     }
     core::EngineStats stats = engine.Stats();
+    double qps = kNumQueries / (total_ms / 1000.0);
     std::printf("%8u %6u | %12.1f %10.1f %10.2f %10.2f%s\n", workers,
-                opts.intra_query_threads, total_ms,
-                kNumQueries / (total_ms / 1000.0), stats.p50_latency_ms,
+                opts.intra_query_threads, total_ms, qps, stats.p50_latency_ms,
                 stats.p99_latency_ms,
                 verify_failures ? "   [VERIFY FAILED]" : "");
+    char key[64];
+    std::snprintf(key, sizeof(key), "workers_%u.qps", workers);
+    BenchReport::Global().AddValue(key, qps);
+    std::snprintf(key, sizeof(key), "workers_%u.p50_ms", workers);
+    BenchReport::Global().AddValue(key, stats.p50_latency_ms);
+    std::snprintf(key, sizeof(key), "workers_%u.p99_ms", workers);
+    BenchReport::Global().AddValue(key, stats.p99_latency_ms);
+    std::snprintf(key, sizeof(key), "workers_%u.verify_failures", workers);
+    BenchReport::Global().AddValue(key, verify_failures);
+    last_metrics_json = engine.MetricsSnapshot();
   }
 
   // Update cost while serving: one snapshot swap (clone + apply + re-sign)
   // overlapped with a busy pool.
   core::EngineOptions opts;
-  opts.num_workers = 4;
+  opts.num_workers = SmokeMode() ? 2 : 4;
   opts.queue_capacity = 64;
   core::QueryEngine engine(package, d.owner.public_params, opts);
   std::vector<std::future<core::EngineResponse>> in_flight;
@@ -86,5 +103,11 @@ int main() {
               "final snapshot v%llu\n", update_ms,
               ins.ok() ? "ok" : ins.status().message().c_str(),
               static_cast<unsigned long long>(engine.Stats().snapshot_version));
-  return ins.ok() ? 0 : 1;
+  BenchReport::Global().AddValue("update_ms", update_ms);
+  BenchReport::Global().AddJson("engine_metrics", engine.MetricsSnapshot());
+  if (!last_metrics_json.empty()) {
+    BenchReport::Global().AddJson("sweep_last_engine_metrics",
+                                  std::move(last_metrics_json));
+  }
+  return FinishBench(ins.ok() ? 0 : 1);
 }

@@ -13,7 +13,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_filter_bounds");
   const size_t kImages = 10000, kClusters = 2048, kK = 10, kFeatures = 200;
   workload::CorpusParams cp;
   cp.num_images = kImages;
@@ -63,5 +64,5 @@ int main() {
     std::snprintf(name, sizeof(name), "cuckoo %2u-bit fp", bits);
     run(name, index);
   }
-  return 0;
+  return FinishBench(0);
 }

@@ -15,7 +15,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_lazy_topk");
   std::printf("Extension — lazy top-k popping (20k images, k=10)\n");
   std::printf("%-8s %10s | %10s %10s | %10s %10s\n", "mode", "features",
               "popped%", "vo_KB", "sp_ms", "client_ms");
@@ -47,7 +48,7 @@ int main() {
         client_ms += t2.ElapsedMillis();
         if (!s.ok()) {
           std::fprintf(stderr, "verify failed: %s\n", s.message().c_str());
-          return 1;
+          return FinishBench(1);
         }
       }
       std::printf("%-8s %10zu | %9.1f%% %10.1f | %10.2f %10.2f\n",
@@ -55,5 +56,5 @@ int main() {
                   sp_ms / kQ, client_ms / kQ);
     }
   }
-  return 0;
+  return FinishBench(0);
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/stopwatch.h"
 #include "cuckoo/counting_bloom.h"
 #include "cuckoo/cuckoo_filter.h"
@@ -55,7 +56,8 @@ void Measure(const char* name, Filter& filter, size_t n) {
               mut_ns, sink == 0 ? " (!)" : "");
 }
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBench(argc, argv, "abl_membership");
   std::printf("Ablation — deletable set-membership structures (per list of n "
               "items, half deleted)\n");
   std::printf("%-16s %10s %13s %12s %12s\n", "structure", "bytes", "FPR",
@@ -73,5 +75,5 @@ int main() {
   }
   std::printf("(expected: cuckoo smaller at comparable FPR, faster lookups — "
               "the paper's Section II-B rationale)\n");
-  return 0;
+  return bench::FinishBench(0);
 }

@@ -11,7 +11,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_node_sharing");
   DeploymentSpec spec;
   spec.num_images = 1000;
   spec.num_clusters = 8192;
@@ -38,5 +39,5 @@ int main() {
                 ms.share_ratio);
   }
   std::printf("(ratio should grow with the feature count)\n");
-  return 0;
+  return FinishBench(0);
 }

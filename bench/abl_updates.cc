@@ -17,7 +17,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_updates");
   std::printf("Extension — incremental updates vs full rebuild\n");
   std::printf("%10s | %12s %12s %14s %12s\n", "images", "insert_ms",
               "delete_ms", "lists/insert", "rebuild_ms");
@@ -45,7 +46,7 @@ int main() {
       if (!stats.ok()) {
         std::fprintf(stderr, "insert failed: %s\n",
                      stats.status().message().c_str());
-        return 1;
+        return FinishBench(1);
       }
       lists += static_cast<double>(stats->lists_updated);
       Stopwatch t2;
@@ -55,11 +56,16 @@ int main() {
       if (!del.ok()) {
         std::fprintf(stderr, "delete failed: %s\n",
                      del.status().message().c_str());
-        return 1;
+        return FinishBench(1);
       }
     }
     std::printf("%10zu | %12.2f %12.2f %14.1f %12.0f\n", images,
                 insert_ms / kOps, delete_ms / kOps, lists / kOps, rebuild_ms);
+    char key[48];
+    std::snprintf(key, sizeof(key), "images_%zu.insert_ms", images);
+    BenchReport::Global().AddValue(key, insert_ms / kOps);
+    std::snprintf(key, sizeof(key), "images_%zu.rebuild_ms", images);
+    BenchReport::Global().AddValue(key, rebuild_ms);
   }
-  return 0;
+  return FinishBench(0);
 }

@@ -11,13 +11,19 @@
 #define IMAGEPROOF_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "core/client.h"
 #include "core/owner.h"
 #include "core/server.h"
+#include "obs/json.h"
+#include "obs/registry.h"
 #include "workload/synthetic.h"
 
 namespace imageproof::bench {
@@ -61,6 +67,20 @@ struct Deployment {
     client = std::make_unique<core::Client>(owner.public_params);
   }
 };
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output. Every fig*/abl_* binary accepts
+//
+//   --json <path>   write a BENCH_<name>.json-style report: each printed
+//                   table row as a structured record, any named scalars,
+//                   and the full process metrics registry (obs/registry.h)
+//   --smoke         reduced scales for CI smoke runs (binaries opt in via
+//                   SmokeMode(); unused by benches with no smoke variant)
+//
+// The human-readable tables are unchanged: PrintFigureHeader/PrintRow feed
+// the report as a side effect, so instrumented binaries only add an Init()
+// call at the top of main and route their exit through Finish().
+// ---------------------------------------------------------------------------
 
 // Averaged measurements over several queries.
 struct Measurement {
@@ -120,8 +140,123 @@ inline Measurement RunQueries(Deployment& d, size_t num_features, size_t k,
   return m;
 }
 
+class BenchReport {
+ public:
+  static BenchReport& Global() {
+    static BenchReport r;
+    return r;
+  }
+
+  // Call first thing in main(). Unknown flags abort with usage — a typoed
+  // flag silently measuring the wrong thing is worse than an exit.
+  void Init(int argc, char** argv, const char* bench_name) {
+    name_ = bench_name;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        smoke_ = true;
+      } else {
+        std::fprintf(stderr, "usage: %s [--json <path>] [--smoke]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+  }
+
+  bool smoke() const { return smoke_; }
+
+  void SetSeries(const char* figure, const char* x_name) {
+    figure_ = figure;
+    x_name_ = x_name;
+  }
+
+  void AddRow(const std::string& scheme, double x, const Measurement& m) {
+    rows_.push_back(Row{figure_, x_name_, scheme, x, m});
+  }
+
+  // Named scalar for benches whose output is not Measurement-shaped
+  // (abl_engine's qps/update_ms, ...).
+  void AddValue(const std::string& key, double v) {
+    values_.emplace_back(key, v);
+  }
+
+  // Pre-rendered JSON subdocument, emitted verbatim under `key`
+  // (abl_engine attaches core::QueryEngine::MetricsSnapshot() this way).
+  void AddJson(const std::string& key, std::string json) {
+    raw_json_.emplace_back(key, std::move(json));
+  }
+
+  // Writes the JSON report if --json was given; returns `code` (or 1 if
+  // the write failed) so mains can `return ...Finish(code);`.
+  int Finish(int code) {
+    if (json_path_.empty()) return code;
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("smoke").Bool(smoke_);
+    w.Key("exit_code").I64(code);
+    w.Key("rows").BeginArray();
+    for (const Row& r : rows_) {
+      w.BeginObject();
+      w.Key("figure").String(r.figure);
+      w.Key("scheme").String(r.scheme);
+      w.Key("x_name").String(r.x_name);
+      w.Key("x").Double(r.x);
+      w.Key("sp_bovw_ms").Double(r.m.sp_bovw_ms);
+      w.Key("sp_inv_ms").Double(r.m.sp_inv_ms);
+      w.Key("client_bovw_ms").Double(r.m.client_bovw_ms);
+      w.Key("client_inv_ms").Double(r.m.client_inv_ms);
+      w.Key("bovw_vo_kb").Double(r.m.bovw_vo_kb);
+      w.Key("inv_vo_kb").Double(r.m.inv_vo_kb);
+      w.Key("popped_fraction").Double(r.m.popped_fraction);
+      w.Key("share_ratio").Double(r.m.share_ratio);
+      w.Key("verified").Bool(r.m.verified);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("values").BeginObject();
+    for (const auto& [key, v] : values_) w.Key(key).Double(v);
+    w.EndObject();
+    for (const auto& [key, j] : raw_json_) w.Key(key).Raw(j);
+    w.Key("metrics").Raw(obs::Registry::Global().ToJson());
+    w.EndObject();
+    std::string out = w.Take();
+    FILE* f = std::fopen(json_path_.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %s\n", json_path_.c_str());
+    return code;
+  }
+
+ private:
+  struct Row {
+    std::string figure, x_name, scheme;
+    double x;
+    Measurement m;
+  };
+
+  std::string name_, json_path_, figure_, x_name_;
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::string, double>> values_;
+  std::vector<std::pair<std::string, std::string>> raw_json_;
+  bool smoke_ = false;
+};
+
+// Shorthands so bench mains read naturally.
+inline void InitBench(int argc, char** argv, const char* name) {
+  BenchReport::Global().Init(argc, argv, name);
+}
+inline bool SmokeMode() { return BenchReport::Global().smoke(); }
+inline int FinishBench(int code) { return BenchReport::Global().Finish(code); }
+
 inline void PrintFigureHeader(const char* figure, const char* description,
                               const char* x_name) {
+  BenchReport::Global().SetSeries(figure, x_name);
   std::printf("=================================================================="
               "=============\n");
   std::printf("%s — %s\n", figure, description);
@@ -133,6 +268,7 @@ inline void PrintFigureHeader(const char* figure, const char* description,
 
 inline void PrintRow(const std::string& scheme, double x,
                      const Measurement& m) {
+  BenchReport::Global().AddRow(scheme, x, m);
   std::printf("%-16s %8.0f | %10.2f %12.2f %10.1f %8.1f%% %7.2f%s\n",
               scheme.c_str(), x, m.SpMs(), m.ClientMs(), m.VoKb(),
               m.popped_fraction * 100.0, m.share_ratio,

@@ -14,11 +14,21 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig06_bovw_sift");
   DeploymentSpec spec;
   spec.num_images = 1500;  // small corpus; this figure measures BoVW only
   spec.num_clusters = 8192;
   spec.dims = 128;
+  std::vector<size_t> sweep = {50, 100, 200, 400};
+  int queries_per_point = 3;
+  if (SmokeMode()) {  // CI smoke: same shape, minutes -> seconds
+    spec.num_images = 300;
+    spec.num_clusters = 1024;
+    spec.dims = 32;
+    sweep = {20, 50};
+    queries_per_point = 1;
+  }
 
   struct Scheme {
     const char* name;
@@ -36,14 +46,16 @@ int main() {
               "sp_bovw_ms", "client_bovw_ms", "bovw_vo_KB");
   std::printf("--------------------------------------------------------------"
               "---\n");
+  BenchReport::Global().SetSeries("fig06", "features");
   for (const Scheme& s : schemes) {
     Deployment d(s.config, spec);
-    for (size_t nf : {50, 100, 200, 400}) {
-      Measurement m = RunQueries(d, nf, 10, 3);
+    for (size_t nf : sweep) {
+      Measurement m = RunQueries(d, nf, 10, queries_per_point);
+      BenchReport::Global().AddRow(s.name, static_cast<double>(nf), m);
       std::printf("%-12s %10zu | %12.2f %14.2f %12.1f%s\n", s.name, nf,
                   m.sp_bovw_ms, m.client_bovw_ms, m.bovw_vo_kb,
                   m.verified ? "" : "  [VERIFY FAILED]");
     }
   }
-  return 0;
+  return FinishBench(0);
 }

@@ -11,7 +11,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig07_bovw_surf");
   DeploymentSpec spec;
   spec.num_images = 1500;
   spec.num_clusters = 8192;
@@ -33,14 +34,16 @@ int main() {
               "sp_bovw_ms", "client_bovw_ms", "bovw_vo_KB", "share");
   std::printf("--------------------------------------------------------------"
               "--------------\n");
+  BenchReport::Global().SetSeries("fig07", "features");
   for (const Scheme& s : schemes) {
     Deployment d(s.config, spec);
     for (size_t nf : {50, 100, 200, 400}) {
       Measurement m = RunQueries(d, nf, 10, 3);
+      BenchReport::Global().AddRow(s.name, static_cast<double>(nf), m);
       std::printf("%-12s %10zu | %12.2f %14.2f %12.1f %10.2f%s\n", s.name, nf,
                   m.sp_bovw_ms, m.client_bovw_ms, m.bovw_vo_kb, m.share_ratio,
                   m.verified ? "" : "  [VERIFY FAILED]");
     }
   }
-  return 0;
+  return FinishBench(0);
 }

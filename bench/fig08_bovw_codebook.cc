@@ -10,7 +10,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig08_bovw_codebook");
   struct Scheme {
     const char* name;
     core::Config config;
@@ -26,6 +27,7 @@ int main() {
               "sp_bovw_ms", "client_bovw_ms", "bovw_vo_KB", "share");
   std::printf("--------------------------------------------------------------"
               "--------------\n");
+  BenchReport::Global().SetSeries("fig08", "codebook");
   for (const Scheme& s : schemes) {
     for (size_t codebook : {2048, 4096, 8192, 16384}) {
       DeploymentSpec spec;
@@ -34,10 +36,11 @@ int main() {
       spec.dims = 64;
       Deployment d(s.config, spec);
       Measurement m = RunQueries(d, 200, 10, 3);
+      BenchReport::Global().AddRow(s.name, static_cast<double>(codebook), m);
       std::printf("%-12s %10zu | %12.2f %14.2f %12.1f %10.2f%s\n", s.name,
                   codebook, m.sp_bovw_ms, m.client_bovw_ms, m.bovw_vo_kb,
                   m.share_ratio, m.verified ? "" : "  [VERIFY FAILED]");
     }
   }
-  return 0;
+  return FinishBench(0);
 }

@@ -9,7 +9,8 @@
 
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig09_inv_features");
   InvFixture fx(/*num_images=*/20000, /*num_clusters=*/4096);
   PrintInvHeader(
       "Figure 9 — inverted index vs #features (20k images, 4096 clusters, k=10)",
@@ -20,5 +21,5 @@ int main() {
       PrintInvRow(scheme, nf, RunInvQueries(fx, scheme, nf, 10, 3));
     }
   }
-  return 0;
+  return FinishBench(0);
 }

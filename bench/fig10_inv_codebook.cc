@@ -9,7 +9,8 @@
 
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig10_inv_codebook");
   PrintInvHeader(
       "Figure 10 — inverted index vs codebook size (20k images, 200 features, k=10)",
       "codebook");
@@ -20,5 +21,5 @@ int main() {
       PrintInvRow(scheme, codebook, RunInvQueries(fx, scheme, 200, 10, 3));
     }
   }
-  return 0;
+  return FinishBench(0);
 }

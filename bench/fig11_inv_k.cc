@@ -10,7 +10,8 @@
 
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig11_inv_k");
   InvFixture fx(20000, 4096);
   PrintInvHeader(
       "Figure 11 — inverted index vs k (20k images, 4096 clusters, 200 features)",
@@ -21,5 +22,5 @@ int main() {
       PrintInvRow(scheme, k, RunInvQueries(fx, scheme, 200, k, 3));
     }
   }
-  return 0;
+  return FinishBench(0);
 }

@@ -12,7 +12,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig12_overall_features");
   DeploymentSpec spec;
   spec.num_images = 10000;
   spec.num_clusters = 4096;
@@ -33,14 +34,16 @@ int main() {
   std::printf("%-12s %10s | %10s %12s %10s\n", "scheme", "features", "sp_ms",
               "client_ms", "vo_KB");
   std::printf("-----------------------------------------------------------\n");
+  BenchReport::Global().SetSeries("fig12", "features");
   for (const Scheme& s : schemes) {
     Deployment d(s.config, spec);
     for (size_t nf : {50, 100, 200}) {
       Measurement m = RunQueries(d, nf, 10, 3);
+      BenchReport::Global().AddRow(s.name, static_cast<double>(nf), m);
       std::printf("%-12s %10zu | %10.2f %12.2f %10.1f%s\n", s.name, nf,
                   m.SpMs(), m.ClientMs(), m.VoKb(),
                   m.verified ? "" : "  [VERIFY FAILED]");
     }
   }
-  return 0;
+  return FinishBench(0);
 }

@@ -10,7 +10,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig13_overall_codebook");
   struct Scheme {
     const char* name;
     core::Config config;
@@ -34,10 +35,11 @@ int main() {
       spec.dims = 64;
       Deployment d(s.config, spec);
       Measurement m = RunQueries(d, 100, 10, 3);
+      BenchReport::Global().AddRow(s.name, static_cast<double>(codebook), m);
       std::printf("%-12s %10zu | %10.2f %12.2f %10.1f%s\n", s.name, codebook,
                   m.SpMs(), m.ClientMs(), m.VoKb(),
                   m.verified ? "" : "  [VERIFY FAILED]");
     }
   }
-  return 0;
+  return FinishBench(0);
 }

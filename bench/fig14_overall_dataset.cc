@@ -11,7 +11,8 @@
 using namespace imageproof;
 using namespace imageproof::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "fig14_overall_dataset");
   struct Scheme {
     const char* name;
     core::Config config;
@@ -35,10 +36,11 @@ int main() {
       spec.dims = 64;
       Deployment d(s.config, spec);
       Measurement m = RunQueries(d, 100, 10, 3);
+      BenchReport::Global().AddRow(s.name, static_cast<double>(images), m);
       std::printf("%-12s %10zu | %10.2f %12.2f %10.1f%s\n", s.name, images,
                   m.SpMs(), m.ClientMs(), m.VoKb(),
                   m.verified ? "" : "  [VERIFY FAILED]");
     }
   }
-  return 0;
+  return FinishBench(0);
 }

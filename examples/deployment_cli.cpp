@@ -9,14 +9,19 @@
 //                                 package and verify it with stored params
 //
 // Run without arguments for a self-contained demo of all three steps.
+// Pass --metrics (any position) to dump the process metrics registry as
+// JSON to stdout after the command finishes — SP stage timings, client
+// verify timings, and VO size histograms for whatever the invocation ran.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/client.h"
 #include "core/server.h"
 #include "core/update.h"
+#include "obs/registry.h"
 #include "storage/serializer.h"
 #include "workload/synthetic.h"
 
@@ -141,24 +146,45 @@ int Query(const std::string& dir) {
 
 }  // namespace
 
+namespace {
+
+int DumpMetricsAndReturn(int code, bool metrics) {
+  if (metrics) {
+    std::string json = obs::Registry::Global().ToJson();
+    std::printf("%s\n", json.c_str());
+  }
+  return code;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc >= 3) {
-    std::string cmd = argv[1], dir = argv[2];
-    if (cmd == "build") return Build(dir);
-    if (cmd == "insert") return Insert(dir);
-    if (cmd == "query") return Query(dir);
-    std::printf("usage: %s {build|insert|query} <dir>\n", argv[0]);
+  bool metrics = false;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() >= 2) {
+    std::string cmd = args[0], dir = args[1];
+    if (cmd == "build") return DumpMetricsAndReturn(Build(dir), metrics);
+    if (cmd == "insert") return DumpMetricsAndReturn(Insert(dir), metrics);
+    if (cmd == "query") return DumpMetricsAndReturn(Query(dir), metrics);
+    std::printf("usage: %s {build|insert|query} <dir> [--metrics]\n", argv[0]);
     return 2;
   }
   // Demo: full lifecycle in a temp directory.
   std::string dir = "/tmp/imageproof_deployment";
   (void)system(("mkdir -p " + dir).c_str());
   std::printf("--- build ---\n");
-  if (Build(dir)) return 1;
+  if (Build(dir)) return DumpMetricsAndReturn(1, metrics);
   std::printf("--- query (initial) ---\n");
-  if (Query(dir)) return 1;
+  if (Query(dir)) return DumpMetricsAndReturn(1, metrics);
   std::printf("--- insert (near-duplicate of image 3) ---\n");
-  if (Insert(dir)) return 1;
+  if (Insert(dir)) return DumpMetricsAndReturn(1, metrics);
   std::printf("--- query (after update; new image should appear) ---\n");
-  return Query(dir);
+  return DumpMetricsAndReturn(Query(dir), metrics);
 }

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run the test suite with
 # --output-on-failure, smoke-run every example, and optionally run the
-# figure/ablation/micro benchmarks or a sanitizer pass.
+# figure/ablation/micro benchmarks, a metrics smoke pass, or a sanitizer
+# build.
 #
 #   scripts/check.sh            # build + ctest + examples (build/)
 #   scripts/check.sh --bench    # additionally run every benchmark binary
+#                               # (fig*/abl_* also write BENCH_<name>.json
+#                               # reports under build/bench-reports/)
+#   scripts/check.sh --metrics  # fast metrics smoke: one smoke bench with
+#                               # --json + deployment_cli --metrics, JSON
+#                               # validated with python3
 #   scripts/check.sh --asan     # AddressSanitizer+UBSan build (build-asan/)
 #   scripts/check.sh --tsan     # ThreadSanitizer build (build-tsan/), runs
-#                               # the concurrency suite under TSan
+#                               # the concurrency + obs suites under TSan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,7 +21,6 @@ MODE="${1:-}"
 BUILD_DIR=build
 CMAKE_ARGS=()
 GENERATOR=()
-command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
 
 case "$MODE" in
   --asan)
@@ -28,34 +33,85 @@ case "$MODE" in
     ;;
 esac
 
+fail() {
+  echo "CHECK FAILED: $*" >&2
+  exit 1
+}
+
+# Prefer Ninja, but never fight an existing cache configured with another
+# generator — cmake hard-errors on the mismatch.
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+fi
+
 cmake -B "$BUILD_DIR" "${GENERATOR[@]}" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 if [[ "$MODE" == "--tsan" ]]; then
-  # The concurrency, determinism, and adversary suites are the ones that
-  # exercise threads; running the whole suite under TSan adds time but no
-  # extra thread coverage.
-  ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'concurrency_test|golden_test|security_test'
+  # The concurrency, determinism, adversary, and obs suites are the ones
+  # that exercise threads; running the whole suite under TSan adds time but
+  # no extra thread coverage. --no-tests=error: an empty selection is a
+  # broken regex, not a pass.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+    -R 'concurrency_test|golden_test|security_test|obs_test'
 else
-  ctest --test-dir "$BUILD_DIR" --output-on-failure
+  ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error
 fi
 
-if [[ "$MODE" == "" || "$MODE" == "--bench" ]]; then
+if [[ "$MODE" == "" || "$MODE" == "--bench" || "$MODE" == "--metrics" ]]; then
   echo "--- examples ---"
-  "./$BUILD_DIR/examples/quickstart"
-  "./$BUILD_DIR/examples/tamper_detection"
-  "./$BUILD_DIR/examples/vo_breakdown"
-  "./$BUILD_DIR/examples/image_pipeline"
-  "./$BUILD_DIR/examples/deployment_cli"
+  for ex in quickstart tamper_detection vo_breakdown image_pipeline \
+            deployment_cli; do
+    "./$BUILD_DIR/examples/$ex" || fail "example $ex exited $?"
+  done
+fi
+
+if [[ "$MODE" == "--metrics" ]]; then
+  echo "--- metrics smoke ---"
+  REPORT_DIR="$BUILD_DIR/bench-reports"
+  mkdir -p "$REPORT_DIR"
+  "./$BUILD_DIR/bench/fig06_bovw_sift" --smoke \
+    --json "$REPORT_DIR/BENCH_fig06_bovw_sift.json" \
+    || fail "fig06_bovw_sift --smoke exited $?"
+  "./$BUILD_DIR/bench/abl_engine" --smoke \
+    --json "$REPORT_DIR/BENCH_abl_engine.json" \
+    || fail "abl_engine --smoke exited $?"
+  "./$BUILD_DIR/examples/deployment_cli" query /tmp/imageproof_deployment \
+    --metrics > "$REPORT_DIR/cli_metrics.txt" \
+    || fail "deployment_cli --metrics exited $?"
+  # The dumps must be well-formed JSON (an empty registry is {} under
+  # -DIMAGEPROOF_NO_METRICS=ON, which still parses).
+  python3 - "$REPORT_DIR" <<'EOF' || fail "metrics JSON did not parse"
+import json, pathlib, sys
+d = pathlib.Path(sys.argv[1])
+for f in sorted(d.glob("BENCH_*.json")):
+    json.load(open(f))
+    print(f"ok: {f}")
+last = open(d / "cli_metrics.txt").read().strip().splitlines()[-1]
+json.loads(last)
+print("ok: deployment_cli --metrics")
+EOF
 fi
 
 if [[ "$MODE" == "--bench" ]]; then
   echo "--- benchmarks ---"
+  REPORT_DIR="$BUILD_DIR/bench-reports"
+  mkdir -p "$REPORT_DIR"
   for b in "$BUILD_DIR"/bench/*; do
     [[ -f "$b" && -x "$b" ]] || continue
-    echo "===== $b ====="
-    "$b"
+    name="$(basename "$b")"
+    echo "===== $name ====="
+    case "$name" in
+      fig*|abl_*)
+        # These accept the BenchReport flags; micro_* are google-benchmark
+        # binaries and reject unknown flags.
+        "$b" --json "$REPORT_DIR/BENCH_$name.json" \
+          || fail "bench $name exited $?"
+        ;;
+      *)
+        "$b" || fail "bench $name exited $?"
+        ;;
+    esac
   done
 fi
 echo "ALL CHECKS PASSED"

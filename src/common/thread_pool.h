@@ -41,7 +41,10 @@ class ThreadPool {
     if (num_threads == 0) num_threads = 1;
     workers_.reserve(num_threads);
     for (unsigned i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back([this, i] {
+        worker_index_ = static_cast<int>(i);
+        WorkerLoop();
+      });
     }
   }
 
@@ -87,6 +90,11 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
+  // Index in [0, num_threads) of the pool worker running the calling
+  // thread, or -1 off-pool. A task that runs on some pool sees that pool's
+  // index; the query engine uses this for per-worker serving counters.
+  static int CurrentWorkerIndex() { return worker_index_; }
+
  private:
   void WorkerLoop() {
     for (;;) {
@@ -102,6 +110,8 @@ class ThreadPool {
       task();
     }
   }
+
+  inline static thread_local int worker_index_ = -1;
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

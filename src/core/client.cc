@@ -10,6 +10,8 @@
 #include "freqgroup/fg_verify.h"
 #include "invindex/verify.h"
 #include "mrkd/verify.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
 
 namespace imageproof::core {
 
@@ -22,9 +24,68 @@ crypto::Digest ImageDigest(ImageId id, const Bytes& data) {
       .Finalize();
 }
 
+// Client-side verification metrics: one timer per ADS check (Section V-C
+// step), plus the VO size broken down by component — the paper's VO-size
+// figures are exactly these series.
+struct ClientMetrics {
+  obs::Counter& verifies;
+  obs::Counter& verify_failures;
+  obs::Histogram& verify_us;
+  obs::Histogram& reveal_verify_us;
+  obs::Histogram& mrkd_replay_us;
+  obs::Histogram& bovw_check_us;
+  obs::Histogram& inv_verify_us;
+  obs::Histogram& sig_verify_us;
+  obs::Histogram& vo_reveal_bytes;
+  obs::Histogram& vo_tree_bytes;
+  obs::Histogram& vo_inv_bytes;
+  obs::Histogram& vo_result_bytes;
+
+  static ClientMetrics& Get() {
+    static ClientMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      return ClientMetrics{r.GetCounter("client.verifies"),
+                           r.GetCounter("client.verify_failures"),
+                           r.GetHistogram("client.verify_us"),
+                           r.GetHistogram("client.stage.reveal_verify_us"),
+                           r.GetHistogram("client.stage.mrkd_replay_us"),
+                           r.GetHistogram("client.stage.bovw_check_us"),
+                           r.GetHistogram("client.stage.inv_verify_us"),
+                           r.GetHistogram("client.stage.sig_verify_us"),
+                           r.GetHistogram("client.vo.reveal_bytes"),
+                           r.GetHistogram("client.vo.tree_bytes"),
+                           r.GetHistogram("client.vo.inv_bytes"),
+                           r.GetHistogram("client.vo.result_bytes")};
+    }();
+    return m;
+  }
+};
+
 }  // namespace
 
 Result<VerifiedResults> Client::Verify(
+    const std::vector<std::vector<float>>& features, size_t k,
+    const QueryVO& vo) const {
+  ClientMetrics& met = ClientMetrics::Get();
+  met.verifies.Add();
+  met.vo_reveal_bytes.Record(vo.reveal_section.size());
+  uint64_t tree_bytes = 0;
+  for (const Bytes& t : vo.tree_vos) tree_bytes += t.size();
+  met.vo_tree_bytes.Record(tree_bytes);
+  met.vo_inv_bytes.Record(vo.inv_vo.size());
+  uint64_t result_bytes = 0;
+  for (const ResultImage& ri : vo.results) {
+    result_bytes += ri.data.size() + ri.signature.size();
+  }
+  met.vo_result_bytes.Record(result_bytes);
+
+  obs::ScopedTimer total_timer(met.verify_us);
+  Result<VerifiedResults> out = VerifyImpl(features, k, vo);
+  if (!out.ok()) met.verify_failures.Add();
+  return out;
+}
+
+Result<VerifiedResults> Client::VerifyImpl(
     const std::vector<std::vector<float>>& features, size_t k,
     const QueryVO& vo) const {
   VerifiedResults out;
@@ -48,6 +109,8 @@ Result<VerifiedResults> Client::Verify(
   }
 
   // ---- Step 1: candidate reveals -> commitments + distance evidence ----
+  ClientMetrics& met = ClientMetrics::Get();
+  obs::ScopedTimer reveal_timer(met.reveal_verify_us);
   std::vector<mrkd::ClusterReveal> reveals;
   {
     ByteReader r(vo.reveal_section);
@@ -69,7 +132,10 @@ Result<VerifiedResults> Client::Verify(
     reveal_of[rev.id] = &rev;
   }
 
+  reveal_timer.Stop();
+
   // ---- Step 2: MRKD replay + root signature ----
+  obs::ScopedTimer replay_timer(met.mrkd_replay_us);
   std::vector<const float*> queries(nq);
   for (size_t i = 0; i < nq; ++i) queries[i] = features[i].data();
 
@@ -106,7 +172,10 @@ Result<VerifiedResults> Client::Verify(
         "client: ADS root signature verification failed");
   }
 
+  replay_timer.Stop();
+
   // ---- Step 3: BoVW encoding ----
+  obs::ScopedTimer bovw_check_timer(met.bovw_check_us);
   std::vector<bovw::ClusterId> assignment(nq);
   for (size_t i = 0; i < nq; ++i) {
     if (candidates[i].empty()) {
@@ -153,10 +222,12 @@ Result<VerifiedResults> Client::Verify(
     assignment[i] = best_c;
   }
   bovw::BovwVector query_bovw = bovw::CountAssignments(assignment);
+  bovw_check_timer.Stop();
   out.client_bovw_ms = bovw_timer.ElapsedMillis();
 
   // ---- Step 4: inverted-index VO ----
   Stopwatch inv_timer;
+  obs::ScopedTimer inv_verify_timer(met.inv_verify_us);
   std::vector<ImageId> claimed;
   claimed.reserve(vo.results.size());
   for (const ResultImage& ri : vo.results) claimed.push_back(ri.id);
@@ -184,7 +255,10 @@ Result<VerifiedResults> Client::Verify(
     }
   }
 
+  inv_verify_timer.Stop();
+
   // ---- Step 5: image payload signatures ----
+  obs::ScopedTimer sig_timer(met.sig_verify_us);
   for (const ResultImage& ri : vo.results) {
     if (!config.sign_images && ri.signature.empty()) continue;  // bench mode
     if (!verifier.Verify(ImageDigest(ri.id, ri.data), ri.signature)) {
@@ -192,6 +266,8 @@ Result<VerifiedResults> Client::Verify(
           "client: image signature verification failed");
     }
   }
+
+  sig_timer.Stop();
 
   out.topk = inv.topk;
   for (const auto& si : out.topk) {

@@ -45,6 +45,13 @@ class Client {
   const PublicParams& params() const { return params_; }
 
  private:
+  // The verification pipeline itself. Verify() wraps it with the
+  // observability layer: outcome counters, per-ADS stage timers, and the
+  // VO-size-by-component histograms (obs/registry.h, "client.*" names).
+  Result<VerifiedResults> VerifyImpl(
+      const std::vector<std::vector<float>>& features, size_t k,
+      const QueryVO& vo) const;
+
   PublicParams params_;
 };
 

@@ -1,9 +1,8 @@
 #include "core/query_engine.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "common/stopwatch.h"
+#include "obs/registry.h"
 #include "storage/serializer.h"
 
 namespace imageproof::core {
@@ -11,8 +10,9 @@ namespace imageproof::core {
 QueryEngine::QueryEngine(std::shared_ptr<const SpPackage> package,
                          PublicParams params, EngineOptions options)
     : options_(options),
-      pool_(options.num_workers == 0 ? 1 : options.num_workers,
-            options.queue_capacity) {
+      num_workers_(options.num_workers == 0 ? 1 : options.num_workers),
+      per_worker_queries_(new obs::Counter[num_workers_]),
+      pool_(num_workers_, options.queue_capacity) {
   auto snap = std::make_shared<Snapshot>();
   snap->package = std::move(package);
   snap->params = std::move(params);
@@ -27,18 +27,24 @@ std::shared_ptr<const Snapshot> QueryEngine::CurrentSnapshot() const {
 
 EngineResponse QueryEngine::Serve(
     const std::shared_ptr<const Snapshot>& snap,
-    const std::vector<std::vector<float>>& features, size_t k) {
-  ++in_flight_;
-  Stopwatch timer;
+    const std::vector<std::vector<float>>& features, size_t k,
+    obs::TimePoint enqueued) {
+  queue_wait_us_.Record(obs::ElapsedUs(enqueued));
+  in_flight_.Add();
+  int worker = ThreadPool::CurrentWorkerIndex();
+  if (worker >= 0 && static_cast<unsigned>(worker) < num_workers_) {
+    per_worker_queries_[worker].Add();
+  }
+  obs::ScopedTimer latency_timer(latency_us_);
   ServiceProvider sp(snap->package.get());
   QueryParallelism par;
   par.threads = options_.intra_query_threads;
   EngineResponse out;
   out.response = sp.Query(features, k, par);
   out.snapshot = snap;
-  RecordLatencyMs(timer.ElapsedMillis());
-  ++queries_served_;
-  --in_flight_;
+  latency_timer.Stop();
+  queries_served_.Add();
+  in_flight_.Sub();
   return out;
 }
 
@@ -48,10 +54,11 @@ std::future<EngineResponse> QueryEngine::Submit(
   // query admitted before an update is answered from the state the caller
   // observed, even if it sits in the queue across the swap.
   std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
-  return pool_.Submit(
-      [this, snap = std::move(snap), features = std::move(features), k] {
-        return Serve(snap, features, k);
-      });
+  obs::TimePoint enqueued = obs::Now();
+  return pool_.Submit([this, snap = std::move(snap),
+                       features = std::move(features), k, enqueued] {
+    return Serve(snap, features, k, enqueued);
+  });
 }
 
 std::vector<EngineResponse> QueryEngine::QueryBatch(
@@ -68,6 +75,7 @@ std::vector<EngineResponse> QueryEngine::QueryBatch(
 template <typename Apply>
 Result<UpdateStats> QueryEngine::ApplyUpdate(Apply&& apply) {
   std::lock_guard<std::mutex> writer_lock(update_mu_);
+  obs::ScopedTimer update_timer(update_us_);
   std::shared_ptr<const Snapshot> base = CurrentSnapshot();
 
   // Deep-clone via the canonical serializer: the load path re-derives every
@@ -76,7 +84,7 @@ Result<UpdateStats> QueryEngine::ApplyUpdate(Apply&& apply) {
   Result<std::unique_ptr<SpPackage>> clone =
       storage::DeserializeSpPackage(storage::SerializeSpPackage(*base->package));
   if (!clone.ok()) {
-    ++update_failures_;
+    update_failures_.Add();
     return Result<UpdateStats>::Error("engine update: clone failed: " +
                                       clone.status().message());
   }
@@ -84,7 +92,7 @@ Result<UpdateStats> QueryEngine::ApplyUpdate(Apply&& apply) {
   next->params = base->params;
   Result<UpdateStats> result = apply(clone->get(), &next->params);
   if (!result.ok()) {
-    ++update_failures_;
+    update_failures_.Add();
     return result;  // nothing published; readers keep the old snapshot
   }
   next->package = std::shared_ptr<const SpPackage>(std::move(*clone));
@@ -93,7 +101,7 @@ Result<UpdateStats> QueryEngine::ApplyUpdate(Apply&& apply) {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(next);
   }
-  ++updates_applied_;
+  updates_applied_.Add();
   return result;
 }
 
@@ -113,47 +121,51 @@ Result<UpdateStats> QueryEngine::DeleteImage(
   });
 }
 
-void QueryEngine::RecordLatencyMs(double ms) {
-  double us = std::max(ms * 1000.0, 1.0);
-  // Bucket b covers [2^(b/4), 2^((b+1)/4)) microseconds.
-  double b = std::floor(std::log2(us) * 4.0);
-  size_t bucket = static_cast<size_t>(std::max(b, 0.0));
-  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
-  ++latency_buckets_[bucket];
-}
-
 EngineStats QueryEngine::Stats() const {
   EngineStats s;
-  s.queries_served = queries_served_.load();
-  s.updates_applied = updates_applied_.load();
-  s.update_failures = update_failures_.load();
-  s.in_flight = in_flight_.load();
+  s.queries_served = queries_served_.Value();
+  s.updates_applied = updates_applied_.Value();
+  s.update_failures = update_failures_.Value();
+  s.in_flight = static_cast<uint64_t>(std::max<int64_t>(in_flight_.Value(), 0));
   s.queue_depth = pool_.QueueDepth();
   s.snapshot_version = CurrentSnapshot()->version;
-
-  std::array<uint64_t, kLatencyBuckets> counts;
-  uint64_t total = 0;
-  for (size_t i = 0; i < kLatencyBuckets; ++i) {
-    counts[i] = latency_buckets_[i].load();
-    total += counts[i];
+  obs::HistogramSnapshot lat = latency_us_.Snapshot();
+  if (lat.count > 0) {
+    s.p50_latency_ms = lat.p50 / 1000.0;
+    s.p99_latency_ms = lat.p99 / 1000.0;
   }
-  if (total == 0) return s;
-  auto percentile = [&](double p) {
-    uint64_t rank = static_cast<uint64_t>(std::ceil(p * total));
-    if (rank == 0) rank = 1;
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kLatencyBuckets; ++i) {
-      seen += counts[i];
-      if (seen >= rank) {
-        // Upper edge of bucket i, converted back to ms.
-        return std::pow(2.0, (i + 1) / 4.0) / 1000.0;
-      }
-    }
-    return std::pow(2.0, kLatencyBuckets / 4.0) / 1000.0;
-  };
-  s.p50_latency_ms = percentile(0.50);
-  s.p99_latency_ms = percentile(0.99);
   return s;
+}
+
+std::string QueryEngine::MetricsSnapshot() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics_enabled").Bool(obs::kMetricsEnabled);
+  w.Key("engine").BeginObject();
+  w.Key("num_workers").U64(num_workers_);
+  w.Key("intra_query_threads").U64(options_.intra_query_threads);
+  w.Key("snapshot_version").U64(CurrentSnapshot()->version);
+  w.Key("queue_depth").U64(pool_.QueueDepth());
+  w.Key("in_flight").I64(in_flight_.Value());
+  w.Key("queries_served").U64(queries_served_.Value());
+  w.Key("updates_applied").U64(updates_applied_.Value());
+  w.Key("update_failures").U64(update_failures_.Value());
+  w.Key("per_worker_queries").BeginArray();
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    w.U64(per_worker_queries_[i].Value());
+  }
+  w.EndArray();
+  w.Key("latency_us");
+  obs::AppendHistogramJson(w, latency_us_);
+  w.Key("queue_wait_us");
+  obs::AppendHistogramJson(w, queue_wait_us_);
+  w.Key("update_us");
+  obs::AppendHistogramJson(w, update_us_);
+  w.EndObject();
+  w.Key("process");
+  obs::Registry::Global().AppendJson(w);
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace imageproof::core

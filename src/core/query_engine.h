@@ -35,16 +35,16 @@
 #ifndef IMAGEPROOF_CORE_QUERY_ENGINE_H_
 #define IMAGEPROOF_CORE_QUERY_ENGINE_H_
 
-#include <atomic>
-#include <array>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "core/server.h"
 #include "core/update.h"
+#include "obs/metrics.h"
 
 namespace imageproof::core {
 
@@ -72,7 +72,10 @@ struct EngineResponse {
 };
 
 // Point-in-time engine counters (Stats()). Latency percentiles come from a
-// fixed log-scale histogram and are upper-bound bucket estimates.
+// fixed log-scale histogram (obs::Histogram) and are upper-bound bucket
+// estimates. In an IMAGEPROOF_NO_METRICS build, snapshot_version and
+// queue_depth remain live (they are engine state, not metrics) while every
+// other field reads zero.
 struct EngineStats {
   uint64_t queries_served = 0;
   uint64_t updates_applied = 0;
@@ -119,34 +122,44 @@ class QueryEngine {
 
   EngineStats Stats() const;
 
+  // Full observability dump as stable JSON: the engine's own metrics
+  // (serving/queue-wait/update latency histograms, per-worker query
+  // counts, in-flight gauge, snapshot version) plus the process-wide
+  // registry (sp.* stage timers, client.* verify metrics) under "process".
+  // Safe to call concurrently with serving; values are relaxed-atomic
+  // reads. Under IMAGEPROOF_NO_METRICS the histograms/counters read zero
+  // and "process" is {}.
+  std::string MetricsSnapshot() const;
+
   const EngineOptions& options() const { return options_; }
 
  private:
-  // Executes one query on a worker thread against `snap`.
+  // Executes one query on a worker thread against `snap`. `enqueued` is
+  // the Submit() timestamp, for the queue-wait histogram.
   EngineResponse Serve(const std::shared_ptr<const Snapshot>& snap,
                        const std::vector<std::vector<float>>& features,
-                       size_t k);
+                       size_t k, obs::TimePoint enqueued);
 
   // Clone-apply-swap core of both update entry points. `apply` receives the
   // cloned package and the params copy to update in place.
   template <typename Apply>
   Result<UpdateStats> ApplyUpdate(Apply&& apply);
 
-  void RecordLatencyMs(double ms);
-
   EngineOptions options_;
+  unsigned num_workers_;            // options_.num_workers, 0 resolved to 1
   mutable std::mutex snapshot_mu_;  // guards snapshot_ swaps/reads
   std::shared_ptr<const Snapshot> snapshot_;
   std::mutex update_mu_;  // serializes writers (clone → apply → swap)
 
-  std::atomic<uint64_t> queries_served_{0};
-  std::atomic<uint64_t> updates_applied_{0};
-  std::atomic<uint64_t> update_failures_{0};
-  std::atomic<uint64_t> in_flight_{0};
-
-  // Log-scale latency histogram: bucket b covers [2^(b/4), 2^((b+1)/4)) us.
-  static constexpr size_t kLatencyBuckets = 96;
-  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets_{};
+  // Engine-scoped metrics (obs/metrics.h; no-ops when compiled out).
+  obs::Counter queries_served_;
+  obs::Counter updates_applied_;
+  obs::Counter update_failures_;
+  obs::Gauge in_flight_;
+  obs::Histogram latency_us_;     // Serve() wall time
+  obs::Histogram queue_wait_us_;  // Submit() -> worker pickup
+  obs::Histogram update_us_;      // clone + apply + re-sign + swap
+  std::unique_ptr<obs::Counter[]> per_worker_queries_;  // [num_workers_]
 
   ThreadPool pool_;  // last member: destroyed (drained) first
 };

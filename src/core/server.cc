@@ -7,8 +7,47 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "freqgroup/fg_search.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
 
 namespace imageproof::core {
+
+namespace {
+
+// Per-stage serving metrics (process-wide; see obs/registry.h for the
+// resolve-once pattern). Stage names follow the paper's cost model: the
+// BoVW step splits into the AKM threshold descent, the authenticated MRKD
+// range search, and assignment + candidate-reveal assembly; the
+// inverted-index step and the result-payload attachment complete the VO.
+struct SpMetrics {
+  obs::Counter& queries;
+  obs::Counter& features;
+  obs::Histogram& akm_threshold_us;
+  obs::Histogram& mrkd_search_us;
+  obs::Histogram& assign_reveal_us;
+  obs::Histogram& inv_search_us;
+  obs::Histogram& vo_assemble_us;
+  obs::Histogram& bovw_vo_bytes;
+  obs::Histogram& inv_vo_bytes;
+
+  static SpMetrics& Get() {
+    static SpMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      return SpMetrics{r.GetCounter("sp.queries"),
+                       r.GetCounter("sp.features"),
+                       r.GetHistogram("sp.stage.akm_threshold_us"),
+                       r.GetHistogram("sp.stage.mrkd_search_us"),
+                       r.GetHistogram("sp.stage.assign_reveal_us"),
+                       r.GetHistogram("sp.stage.inv_search_us"),
+                       r.GetHistogram("sp.stage.vo_assemble_us"),
+                       r.GetHistogram("sp.vo.bovw_bytes"),
+                       r.GetHistogram("sp.vo.inv_bytes")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 QueryResponse ServiceProvider::Query(
     const std::vector<std::vector<float>>& features, size_t k,
@@ -23,8 +62,12 @@ QueryResponse ServiceProvider::Query(
   const unsigned threads = par.threads == 0 ? 1 : par.threads;
 
   Stopwatch bovw_timer;
+  SpMetrics& met = SpMetrics::Get();
+  met.queries.Add();
+  met.features.Add(nq);
 
   // Step 1: AKM search for thresholds.
+  obs::ScopedTimer akm_timer(met.akm_threshold_us);
   std::vector<const float*> queries(nq);
   for (size_t i = 0; i < nq; ++i) queries[i] = features[i].data();
   std::vector<double> thresholds_sq(nq, 0.0);
@@ -36,9 +79,11 @@ QueryResponse ServiceProvider::Query(
       },
       threads, /*grain=*/1);
   resp.vo.thresholds_sq = thresholds_sq;
+  akm_timer.Stop();
 
   // Step 2: MRKDSearch over every tree, in parallel across trees; outputs
   // are merged in tree order afterwards.
+  obs::ScopedTimer mrkd_timer(met.mrkd_search_us);
   const size_t num_trees = pkg_->mrkd_trees.size();
   std::vector<mrkd::TreeSearchOutput> tree_outputs(num_trees);
   ParallelFor(
@@ -62,8 +107,11 @@ QueryResponse ServiceProvider::Query(
     resp.vo.tree_vos.push_back(std::move(out.vo));
   }
 
+  mrkd_timer.Stop();
+
   // Step 3: assignments = exact nearest among candidates, then the shared
   // candidate-reveal section.
+  obs::ScopedTimer assign_timer(met.assign_reveal_us);
   std::vector<mrkd::ClusterId> assignment(nq);
   std::vector<double> assigned_dist(nq, 0.0);
   ParallelFor(
@@ -122,13 +170,16 @@ QueryResponse ServiceProvider::Query(
   // Step 4: BoVW encoding.
   std::vector<bovw::ClusterId> assigned_ids(assignment.begin(), assignment.end());
   bovw::BovwVector query_bovw = bovw::CountAssignments(assigned_ids);
+  assign_timer.Stop();
   resp.stats.sp_bovw_ms = bovw_timer.ElapsedMillis();
   resp.stats.bovw_vo_bytes =
       resp.vo.reveal_section.size() + nq * sizeof(double);
   for (const Bytes& t : resp.vo.tree_vos) resp.stats.bovw_vo_bytes += t.size();
+  met.bovw_vo_bytes.Record(resp.stats.bovw_vo_bytes);
 
   // Step 5: inverted-index search.
   Stopwatch inv_timer;
+  obs::ScopedTimer inv_stage_timer(met.inv_search_us);
   invindex::InvSearchParams params;
   params.k = k;
   params.check_batch = config.check_batch;
@@ -145,10 +196,13 @@ QueryResponse ServiceProvider::Query(
     resp.vo.inv_vo = std::move(r.vo);
     resp.stats.inv = r.stats;
   }
+  inv_stage_timer.Stop();
   resp.stats.sp_inv_ms = inv_timer.ElapsedMillis();
   resp.stats.inv_vo_bytes = resp.vo.inv_vo.size();
+  met.inv_vo_bytes.Record(resp.stats.inv_vo_bytes);
 
   // Step 6: result payloads + signatures.
+  obs::ScopedTimer vo_timer(met.vo_assemble_us);
   for (const auto& si : resp.topk) {
     ResultImage ri;
     ri.id = si.id;

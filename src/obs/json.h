@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer for metrics snapshots and bench reports.
+//
+// Deliberately tiny: objects, arrays, string/number/bool values, correct
+// escaping, and deterministic number formatting (integers render with no
+// fraction, other doubles with exactly three decimals). Determinism matters
+// because snapshots are diffed across runs and pinned by golden tests —
+// "%g"-style shortest-round-trip output would make that brittle.
+//
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("count"); w.U64(3);
+//   w.Key("name");  w.String("abc");
+//   w.EndObject();
+//   std::string s = w.Take();
+//
+// The writer does not validate call order beyond comma placement; callers
+// are expected to emit well-formed sequences (this is internal tooling, not
+// a general-purpose serializer).
+
+#ifndef IMAGEPROOF_OBS_JSON_H_
+#define IMAGEPROOF_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace imageproof::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits the key and leaves the writer expecting its value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& U64(uint64_t v);
+  JsonWriter& I64(int64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  // Splices pre-rendered JSON (e.g. a nested Registry dump) as one value.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  void Escape(std::string_view v);
+
+  std::string out_;
+  // One entry per open container: true once a first element was written.
+  std::vector<bool> has_elem_;
+  bool after_key_ = false;
+};
+
+}  // namespace imageproof::obs
+
+#endif  // IMAGEPROOF_OBS_JSON_H_

@@ -1,0 +1,97 @@
+#include "obs/metrics.h"
+
+namespace imageproof::obs {
+
+namespace {
+
+// edges[b] = smallest integer in bucket b = ceil(2^(b/4)). Built once.
+const std::array<uint64_t, Histogram::kBuckets>& Edges() {
+  static const std::array<uint64_t, Histogram::kBuckets> edges = [] {
+    std::array<uint64_t, Histogram::kBuckets> e{};
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      e[b] = static_cast<uint64_t>(
+          std::ceil(std::pow(2.0, static_cast<double>(b) / 4.0)));
+    }
+    return e;
+  }();
+  return edges;
+}
+
+}  // namespace
+
+uint64_t Histogram::BucketLowerEdgeInt(size_t b) {
+  return Edges()[b < kBuckets ? b : kBuckets - 1];
+}
+
+size_t Histogram::BucketOf(uint64_t v) {
+  if (v <= 1) return 0;
+  // The octave is the top bit position; the quarter-octave is approximated
+  // by the linear fraction below it. Because log2(1+x) >= x on [0,1], the
+  // linear guess never overshoots and undershoots by < 0.35 of a bucket, so
+  // one edge comparison fixes it up.
+  int msb = 63 - __builtin_clzll(v);
+  uint64_t frac = v - (uint64_t{1} << msb);
+  size_t quarter = msb >= 2 ? static_cast<size_t>(frac >> (msb - 2))
+                            : static_cast<size_t>(frac << (2 - msb));
+  size_t b = static_cast<size_t>(msb) * 4 + quarter;
+  if (b + 1 < kBuckets && v >= Edges()[b + 1]) ++b;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+#ifndef IMAGEPROOF_NO_METRICS
+
+double Histogram::Percentile(double p) const {
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketUpperEdge(i);
+  }
+  return BucketUpperEdge(kBuckets - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  std::array<uint64_t, kBuckets> counts;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += counts[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  auto pct = [&](double p) {
+    uint64_t rank = static_cast<uint64_t>(std::ceil(p * s.count));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return BucketUpperEdge(i);
+    }
+    return BucketUpperEdge(kBuckets - 1);
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+#else  // IMAGEPROOF_NO_METRICS
+
+double Histogram::Percentile(double) const { return 0.0; }
+
+HistogramSnapshot Histogram::Snapshot() const { return {}; }
+
+#endif  // IMAGEPROOF_NO_METRICS
+
+}  // namespace imageproof::obs

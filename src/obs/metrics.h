@@ -1,0 +1,269 @@
+// Low-overhead metric primitives for the query-serving hot path.
+//
+// Everything here is wait-free on the record side: counters and gauges are
+// single relaxed atomic RMWs on their own cache line (no false sharing with
+// neighbouring metrics), and histograms are one relaxed RMW into a
+// fixed-size log-scale bucket array plus sum/min/max upkeep. There are no
+// locks, no allocation, and no syscalls on any Record/Add path, so the
+// instrumentation can sit inside ServiceProvider::Query and Client::Verify
+// without perturbing what it measures.
+//
+// Compile-out: building with -DIMAGEPROOF_NO_METRICS=ON (CMake option)
+// defines IMAGEPROOF_NO_METRICS, which turns every primitive into an empty
+// no-op class and every clock read into a constant. The instrumented call
+// sites compile unchanged — the optimizer deletes them — and query output
+// is byte-identical either way (metrics only ever observe; they never feed
+// back into the response).
+//
+// Units are carried by metric *names* (suffix `_us` for microseconds,
+// `_bytes` for sizes), not by the types: a Histogram is just a distribution
+// of non-negative integers.
+
+#ifndef IMAGEPROOF_OBS_METRICS_H_
+#define IMAGEPROOF_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace imageproof::obs {
+
+#ifdef IMAGEPROOF_NO_METRICS
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+// Point-in-time view of one histogram. Percentiles are upper-bound bucket
+// estimates: the true quantile q satisfies q <= pXX <= q * 2^(1/4).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+#ifndef IMAGEPROOF_NO_METRICS
+    v_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+#ifndef IMAGEPROOF_NO_METRICS
+    return v_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  void Reset() {
+#ifndef IMAGEPROOF_NO_METRICS
+    v_.store(0, std::memory_order_relaxed);
+#endif
+  }
+
+ private:
+#ifndef IMAGEPROOF_NO_METRICS
+  alignas(kCacheLineBytes) std::atomic<uint64_t> v_{0};
+#endif
+};
+
+// Up/down level indicator (in-flight queries, queue depth mirrors, ...).
+class Gauge {
+ public:
+  void Add(int64_t n = 1) {
+#ifndef IMAGEPROOF_NO_METRICS
+    v_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  void Sub(int64_t n = 1) { Add(-n); }
+
+  void Set(int64_t n) {
+#ifndef IMAGEPROOF_NO_METRICS
+    v_.store(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  int64_t Value() const {
+#ifndef IMAGEPROOF_NO_METRICS
+    return v_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  void Reset() { Set(0); }
+
+ private:
+#ifndef IMAGEPROOF_NO_METRICS
+  alignas(kCacheLineBytes) std::atomic<int64_t> v_{0};
+#endif
+};
+
+// Fixed-bucket log-scale histogram. Bucket b covers values in
+// [2^(b/4), 2^((b+1)/4)); bucket 0 additionally absorbs 0. Four buckets per
+// octave bounds the relative quantile error at 2^(1/4) ~ 19%, and 128
+// buckets span [1, 2^32) — 71 minutes at microsecond resolution, 4 GiB at
+// byte resolution — which covers every quantity the serving path emits.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 128;
+
+  // Bucket index a value lands in. Bit-ops plus at most one table
+  // comparison — no FPU work on the Record() path.
+  static size_t BucketOf(uint64_t v);
+
+  // Smallest integer value that lands in bucket b (ceil of the real edge
+  // 2^(b/4)). Low buckets between consecutive integers are simply unused.
+  static uint64_t BucketLowerEdgeInt(size_t b);
+
+  // Exclusive upper edge of bucket b (the reported quantile estimate).
+  static double BucketUpperEdge(size_t b) {
+    return std::pow(2.0, static_cast<double>(b + 1) / 4.0);
+  }
+
+  void Record(uint64_t v) {
+#ifndef IMAGEPROOF_NO_METRICS
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    AtomicMin(min_, v);
+    AtomicMax(max_, v);
+#else
+    (void)v;
+#endif
+  }
+
+  uint64_t Count() const {
+#ifndef IMAGEPROOF_NO_METRICS
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+#else
+    return 0;
+#endif
+  }
+
+  uint64_t Sum() const {
+#ifndef IMAGEPROOF_NO_METRICS
+    return sum_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+  }
+
+  // Upper-bound estimate of the p-quantile (p in [0, 1]). 0 when empty.
+  double Percentile(double p) const;
+
+  // Reads every bucket once and derives all stats from that one pass, so
+  // count/percentiles within a snapshot are mutually consistent even while
+  // writers race (the snapshot is some recent state, not a torn mix).
+  HistogramSnapshot Snapshot() const;
+
+  void Reset() {
+#ifndef IMAGEPROOF_NO_METRICS
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+#endif
+  }
+
+ private:
+#ifndef IMAGEPROOF_NO_METRICS
+  static void AtomicMin(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  alignas(kCacheLineBytes) std::array<std::atomic<uint64_t>, kBuckets>
+      buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// Timing. Now()/ElapsedUs() compile to constants under IMAGEPROOF_NO_METRICS
+// so call sites never pay for a clock read they don't use.
+// ---------------------------------------------------------------------------
+
+using MetricClock = std::chrono::steady_clock;
+using TimePoint = MetricClock::time_point;
+
+inline TimePoint Now() {
+  if constexpr (kMetricsEnabled) {
+    return MetricClock::now();
+  } else {
+    return TimePoint{};
+  }
+}
+
+inline uint64_t ElapsedUs(TimePoint start) {
+  if constexpr (kMetricsEnabled) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            MetricClock::now() - start)
+            .count());
+  } else {
+    (void)start;
+    return 0;
+  }
+}
+
+// RAII stage timer: records elapsed microseconds into a histogram when it
+// goes out of scope (or at an explicit Stop()). Early returns thus still
+// attribute their partial stage time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(&h), start_(Now()) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->Record(ElapsedUs(start_));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Records now and detaches; returns the elapsed microseconds.
+  uint64_t Stop() {
+    uint64_t us = ElapsedUs(start_);
+    if (h_ != nullptr) h_->Record(us);
+    h_ = nullptr;
+    return us;
+  }
+
+ private:
+  Histogram* h_;
+  TimePoint start_;
+};
+
+}  // namespace imageproof::obs
+
+#endif  // IMAGEPROOF_OBS_METRICS_H_

@@ -1,0 +1,104 @@
+#include "obs/registry.h"
+
+namespace imageproof::obs {
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();  // leaked: outlives static teardown
+  return *g;
+}
+
+void AppendHistogramJson(JsonWriter& w, const Histogram& h) {
+  HistogramSnapshot s = h.Snapshot();
+  w.BeginObject();
+  w.Key("count").U64(s.count);
+  w.Key("sum").U64(s.sum);
+  w.Key("min").U64(s.min);
+  w.Key("max").U64(s.max);
+  w.Key("p50").Double(s.p50);
+  w.Key("p95").Double(s.p95);
+  w.Key("p99").Double(s.p99);
+  w.EndObject();
+}
+
+#ifndef IMAGEPROOF_NO_METRICS
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::AppendJson(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w.Key(name).U64(c->Value());
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w.Key(name).I64(g->Value());
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name);
+    AppendHistogramJson(w, *h);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+#else  // IMAGEPROOF_NO_METRICS
+
+// No-op instances shared by every caller. The maps stay empty, so ToJson()
+// reports an honest "nothing is being measured" rather than zero-filled
+// entries that look like data.
+
+Counter& Registry::GetCounter(const std::string&) {
+  static Counter dummy;
+  return dummy;
+}
+
+Gauge& Registry::GetGauge(const std::string&) {
+  static Gauge dummy;
+  return dummy;
+}
+
+Histogram& Registry::GetHistogram(const std::string&) {
+  static Histogram dummy;
+  return dummy;
+}
+
+void Registry::AppendJson(JsonWriter& w) const { w.BeginObject().EndObject(); }
+
+void Registry::Reset() {}
+
+#endif  // IMAGEPROOF_NO_METRICS
+
+std::string Registry::ToJson() const {
+  JsonWriter w;
+  AppendJson(w);
+  return w.Take();
+}
+
+}  // namespace imageproof::obs

@@ -1,0 +1,74 @@
+// Named metric registry with stable JSON snapshots.
+//
+// A Registry owns counters, gauges and histograms keyed by dotted names
+// ("sp.stage.mrkd_search_us"). Lookup takes a mutex, so hot paths resolve
+// their metrics ONCE into a function-local static and record through the
+// returned reference ever after:
+//
+//   static obs::Histogram& h =
+//       obs::Registry::Global().GetHistogram("sp.stage.mrkd_search_us");
+//   obs::ScopedTimer t(h);
+//
+// References returned by Get* stay valid for the registry's lifetime
+// (metrics are never deleted, only Reset()).
+//
+// ToJson() renders every metric sorted by name:
+//
+//   {"counters":{"name":N,...},
+//    "gauges":{"name":N,...},
+//    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+//                          "p50":..,"p95":..,"p99":..},...}}
+//
+// The key order is stable across runs (std::map) so two snapshots diff
+// cleanly. Under IMAGEPROOF_NO_METRICS every Get* hands back a shared no-op
+// instance, nothing is ever registered, and ToJson() returns "{}".
+
+#ifndef IMAGEPROOF_OBS_REGISTRY_H_
+#define IMAGEPROOF_OBS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace imageproof::obs {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry the serving-path instrumentation records to.
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Stable, diff-friendly JSON of every registered metric.
+  std::string ToJson() const;
+  // Same content, spliced into an enclosing document as one object value.
+  void AppendJson(JsonWriter& w) const;
+
+  // Zeroes every metric (benches isolate phases with this). Registration
+  // survives; references stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Appends one histogram's snapshot fields as a JSON object value; shared by
+// Registry::AppendJson and QueryEngine::MetricsSnapshot.
+void AppendHistogramJson(JsonWriter& w, const Histogram& h);
+
+}  // namespace imageproof::obs
+
+#endif  // IMAGEPROOF_OBS_REGISTRY_H_
