@@ -1,0 +1,258 @@
+// Ablation — the fast hashing core (optimized Keccak, 4-lane batch digest
+// API, level-parallel Merkle construction, O(log n) incremental update).
+//
+// Four sections, each comparing the pre-PR serial strategy against the
+// batched/parallel one on identical inputs and checking the outputs are
+// byte-identical (the whole point of the optimization is that only the
+// schedule changes, never the digests):
+//
+//   keccak    one-at-a-time Sha3() vs HashBatch() over a message set
+//   merkle    the old serial recursion (replicated here verbatim) vs the
+//             level-parallel batched MerkleTree build
+//   update    full rebuild vs UpdateLeaf per single-leaf change, with the
+//             O(log n) hash bound asserted via the invocation counter
+//   chain     a serial backward digest chain vs four chains interleaved on
+//             the Sha3x4 lanes (the inverted-index build pattern)
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "crypto/hasher.h"
+#include "crypto/sha3.h"
+#include "merkle/merkle_tree.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+using crypto::Digest;
+
+namespace {
+
+std::vector<Bytes> RandomMessages(size_t n, size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> msgs(n);
+  for (auto& m : msgs) {
+    m.resize(len);
+    for (auto& b : m) b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return msgs;
+}
+
+// The pre-PR MerkleTree construction, kept here as the baseline: serial
+// leaf hashing plus the recursive largest-power-of-two-split root, no
+// digest memoization beyond the leaves.
+size_t SerialSplitPoint(size_t n) {
+  size_t p = 1;
+  while (p * 2 < n) p *= 2;
+  return p;
+}
+
+Digest SerialSubtree(const std::vector<Digest>& leaves, size_t begin,
+                     size_t end) {
+  if (end - begin == 1) return leaves[begin];
+  size_t mid = begin + SerialSplitPoint(end - begin);
+  return crypto::DigestBuilder()
+      .AddU8(0x01)
+      .AddDigest(SerialSubtree(leaves, begin, mid))
+      .AddDigest(SerialSubtree(leaves, mid, end))
+      .Finalize();
+}
+
+Digest SerialMerkleRoot(const std::vector<Bytes>& payloads) {
+  std::vector<Digest> leaves(payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    leaves[i] = merkle::MerkleTree::HashLeaf(payloads[i]);
+  }
+  return SerialSubtree(leaves, 0, payloads.size());
+}
+
+struct ChainPosting {
+  uint64_t id;
+  double impact;
+};
+
+Digest SerialChain(const std::vector<ChainPosting>& postings) {
+  Digest next = Digest::Zero();
+  for (size_t i = postings.size(); i-- > 0;) {
+    next = crypto::DigestBuilder()
+               .AddU64(postings[i].id)
+               .AddF64(postings[i].impact)
+               .AddDigest(next)
+               .Finalize();
+  }
+  return next;
+}
+
+// Four independent chains advanced in lockstep on the 4-lane engine — the
+// schedule the inverted-index builders use internally.
+void InterleavedChains(const std::vector<ChainPosting>* lists, Digest* heads) {
+  crypto::Sha3x4 eng;
+  size_t idx[4];
+  Digest next[4];
+  uint8_t buf[4][48];
+  auto start = [&](int j) {
+    const ChainPosting& p = lists[j][idx[j] - 1];
+    for (int b = 0; b < 8; ++b) {
+      buf[j][b] = static_cast<uint8_t>(p.id >> (8 * b));
+    }
+    uint64_t bits;
+    std::memcpy(&bits, &p.impact, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      buf[j][8 + b] = static_cast<uint8_t>(bits >> (8 * b));
+    }
+    std::memcpy(buf[j] + 16, next[j].bytes.data(), 32);
+    eng.Start(j, buf[j], sizeof(buf[j]));
+  };
+  int active = 0;
+  for (int j = 0; j < 4; ++j) {
+    idx[j] = lists[j].size();
+    next[j] = Digest::Zero();
+    if (idx[j] > 0) {
+      start(j);
+      ++active;
+    }
+  }
+  while (active > 0) {
+    eng.Step();
+    for (int j = 0; j < 4; ++j) {
+      if (!eng.done(j)) continue;
+      next[j] = eng.Take(j);
+      if (--idx[j] > 0) {
+        start(j);
+      } else {
+        heads[j] = next[j];
+        --active;
+      }
+    }
+  }
+}
+
+bool g_ok = true;
+
+void Check(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "abl_hash: CHECK FAILED: %s\n", what);
+    g_ok = false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_hash");
+  BenchReport& report = BenchReport::Global();
+  const bool smoke = SmokeMode();
+  std::printf("Ablation — fast hashing core (batch Keccak + parallel ADS build)\n");
+  std::printf("%-28s %14s %14s %9s\n", "section", "serial", "optimized",
+              "speedup");
+  std::printf("-------------------------------------------------------------------\n");
+
+  // --- keccak: one-at-a-time vs 4-lane batch -------------------------------
+  {
+    const size_t n = smoke ? 4096 : 65536;
+    const size_t len = 512;
+    auto msgs = RandomMessages(n, len, 42);
+    std::vector<BytesView> views(msgs.begin(), msgs.end());
+    std::vector<Digest> serial_out(n), batch_out(n);
+    Stopwatch t1;
+    for (size_t i = 0; i < n; ++i) {
+      serial_out[i] = crypto::Sha3(msgs[i].data(), msgs[i].size());
+    }
+    const double serial_ms = t1.ElapsedMillis();
+    Stopwatch t2;
+    crypto::HashBatch(views.data(), batch_out.data(), n);
+    const double batch_ms = t2.ElapsedMillis();
+    Check(serial_out == batch_out, "keccak batch digests match serial");
+    const double mb = static_cast<double>(n * len) / (1024.0 * 1024.0);
+    std::printf("%-28s %11.1f MB/s %11.1f MB/s %8.2fx\n", "keccak (512B msgs)",
+                mb / (serial_ms / 1000.0), mb / (batch_ms / 1000.0),
+                serial_ms / batch_ms);
+    report.AddValue("keccak_single_mbps", mb / (serial_ms / 1000.0));
+    report.AddValue("keccak_batch_mbps", mb / (batch_ms / 1000.0));
+    report.AddValue("keccak_batch_speedup", serial_ms / batch_ms);
+  }
+
+  // --- merkle: serial recursion vs level-parallel batched build ------------
+  {
+    const size_t n = smoke ? 20000 : 400000;
+    auto payloads = RandomMessages(n, 64, 7);
+    Stopwatch t1;
+    Digest serial_root = SerialMerkleRoot(payloads);
+    const double serial_ms = t1.ElapsedMillis();
+    Stopwatch t2;
+    merkle::MerkleTree tree(payloads);
+    const double parallel_ms = t2.ElapsedMillis();
+    Check(serial_root == tree.root(), "parallel merkle root matches serial");
+    std::printf("%-28s %11.1f ms %13.1f ms %8.2fx\n", "merkle build", serial_ms,
+                parallel_ms, serial_ms / parallel_ms);
+    report.AddValue("merkle_leaves", static_cast<double>(n));
+    report.AddValue("merkle_serial_ms", serial_ms);
+    report.AddValue("merkle_parallel_ms", parallel_ms);
+    report.AddValue("merkle_build_speedup", serial_ms / parallel_ms);
+
+    // --- update: full rebuild vs O(log n) UpdateLeaf -----------------------
+    const int ops = 32;
+    const size_t depth = std::bit_width(n - 1);
+    Rng rng(11);
+    uint64_t max_hashes = 0;
+    Stopwatch t3;
+    for (int i = 0; i < ops; ++i) {
+      const size_t idx = rng.NextBounded(n);
+      payloads[idx][0] ^= static_cast<uint8_t>(i + 1);
+      const uint64_t before = crypto::HashInvocations();
+      tree.UpdateLeaf(idx, payloads[idx]);
+      const uint64_t spent = crypto::HashInvocations() - before;
+      if (spent > max_hashes) max_hashes = spent;
+    }
+    const double incr_ms = t3.ElapsedMillis() / ops;
+    Stopwatch t4;
+    merkle::MerkleTree rebuilt(payloads);
+    const double rebuild_ms = t4.ElapsedMillis();
+    Check(rebuilt.root() == tree.root(), "incremental root matches rebuild");
+    Check(max_hashes <= 1 + depth, "UpdateLeaf within 1 + ceil(log2 n) hashes");
+    std::printf("%-28s %11.3f ms %13.3f ms %8.0fx\n", "update (rebuild/incr)",
+                rebuild_ms, incr_ms, rebuild_ms / incr_ms);
+    std::printf("%-28s %11llu %16zu\n", "  hashes/update (max, bound)",
+                static_cast<unsigned long long>(max_hashes), 1 + depth);
+    report.AddValue("update_rebuild_ms", rebuild_ms);
+    report.AddValue("update_incremental_ms", incr_ms);
+    report.AddValue("update_speedup", rebuild_ms / incr_ms);
+    report.AddValue("update_max_hashes", static_cast<double>(max_hashes));
+    report.AddValue("update_hash_bound", static_cast<double>(1 + depth));
+  }
+
+  // --- chain: serial backward chain vs 4-lane interleave -------------------
+  {
+    const size_t len = smoke ? 20000 : 200000;
+    Rng rng(23);
+    std::vector<ChainPosting> lists[4];
+    for (auto& list : lists) {
+      list.resize(len);
+      for (auto& p : list) {
+        p.id = rng.NextU64();
+        p.impact = static_cast<double>(rng.NextU64() % 1000) / 7.0;
+      }
+    }
+    Digest serial_heads[4], x4_heads[4];
+    Stopwatch t1;
+    for (int j = 0; j < 4; ++j) serial_heads[j] = SerialChain(lists[j]);
+    const double serial_ms = t1.ElapsedMillis();
+    Stopwatch t2;
+    InterleavedChains(lists, x4_heads);
+    const double x4_ms = t2.ElapsedMillis();
+    Check(std::equal(serial_heads, serial_heads + 4, x4_heads),
+          "interleaved chain heads match serial");
+    std::printf("%-28s %11.1f ms %13.1f ms %8.2fx\n", "chain (4 lists)",
+                serial_ms, x4_ms, serial_ms / x4_ms);
+    report.AddValue("chain_serial_ms", serial_ms);
+    report.AddValue("chain_x4_ms", x4_ms);
+    report.AddValue("chain_x4_speedup", serial_ms / x4_ms);
+  }
+
+  return FinishBench(g_ok ? 0 : 1);
+}

@@ -48,12 +48,12 @@ cmake -B "$BUILD_DIR" "${GENERATOR[@]}" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 if [[ "$MODE" == "--tsan" ]]; then
-  # The concurrency, determinism, adversary, and obs suites are the ones
-  # that exercise threads; running the whole suite under TSan adds time but
-  # no extra thread coverage. --no-tests=error: an empty selection is a
-  # broken regex, not a pass.
+  # The concurrency, determinism, adversary, obs, and parallel-Merkle
+  # suites are the ones that exercise threads; running the whole suite under
+  # TSan adds time but no extra thread coverage. --no-tests=error: an empty
+  # selection is a broken regex, not a pass.
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
-    -R 'concurrency_test|golden_test|security_test|obs_test'
+    -R 'concurrency_test|golden_test|security_test|obs_test|merkle_test'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error
 fi

@@ -25,6 +25,18 @@ namespace imageproof {
 
 using Bytes = std::vector<uint8_t>;
 
+// Non-owning view of a byte range, for APIs that take many inputs at once
+// (the batch digest API in crypto/hasher.h) without forcing a copy into a
+// container. The viewed bytes must outlive the view.
+struct BytesView {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+  BytesView() = default;
+  BytesView(const uint8_t* d, size_t n) : data(d), size(n) {}
+  BytesView(const Bytes& b) : data(b.data()), size(b.size()) {}  // NOLINT
+};
+
 // Appends canonical encodings to a growable byte buffer.
 class ByteWriter {
  public:

@@ -59,6 +59,31 @@ void ParallelFor(size_t n, Fn&& fn, unsigned max_threads = 0,
   for (auto& t : threads) t.join();
 }
 
+// Invokes fn(begin, end) over disjoint contiguous chunks of [0, n) of at
+// most `chunk` indices each, parallelized across workers. For callers whose
+// inner loop wants a *range* rather than a single index — typically to feed
+// a batch API (crypto::HashBatch) or to amortize per-call setup. Chunks are
+// fixed by `chunk` alone, so the work decomposition (and any batched hash
+// schedule) is identical at every thread count.
+template <typename Fn>
+void ParallelChunks(size_t n, size_t chunk, Fn&& fn, unsigned max_threads = 0) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks == 1) {
+    fn(size_t{0}, n);
+    return;
+  }
+  ParallelFor(
+      num_chunks,
+      [&](size_t c) {
+        size_t begin = c * chunk;
+        size_t end = std::min(n, begin + chunk);
+        fn(begin, end);
+      },
+      max_threads, /*grain=*/1);
+}
+
 }  // namespace imageproof
 
 #endif  // IMAGEPROOF_COMMON_PARALLEL_H_

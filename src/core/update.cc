@@ -45,6 +45,7 @@ Result<UpdateStats> InsertImage(SpPackage* package,
   if (bovw.empty()) {
     return Result<UpdateStats>::Error("update: empty BoVW vector");
   }
+  const uint64_t hashes_before = crypto::HashInvocations();
   UpdateStats stats;
   double norm = bovw.L2Norm();
   std::vector<bovw::ClusterId> touched;
@@ -100,6 +101,7 @@ Result<UpdateStats> InsertImage(SpPackage* package,
 
   stats.mrkd_nodes_rehashed =
       RefreshAndResign(package, owner_key, public_params, touched);
+  stats.hash_invocations = crypto::HashInvocations() - hashes_before;
   return stats;
 }
 
@@ -112,6 +114,7 @@ Result<UpdateStats> DeleteImage(SpPackage* package,
   if (corpus_it == package->corpus.end()) {
     return Result<UpdateStats>::Error("update: unknown image id");
   }
+  const uint64_t hashes_before = crypto::HashInvocations();
   UpdateStats stats;
   std::vector<bovw::ClusterId> touched;
   for (const auto& [c, f] : corpus_it->second.entries) {
@@ -131,6 +134,7 @@ Result<UpdateStats> DeleteImage(SpPackage* package,
 
   stats.mrkd_nodes_rehashed =
       RefreshAndResign(package, owner_key, public_params, touched);
+  stats.hash_invocations = crypto::HashInvocations() - hashes_before;
   return stats;
 }
 

@@ -24,6 +24,10 @@ namespace imageproof::core {
 struct UpdateStats {
   size_t lists_updated = 0;
   size_t mrkd_nodes_rehashed = 0;
+  // SHA3 message digests computed by this update (crypto::HashInvocations()
+  // delta) — the benchmark's evidence that the incremental path does
+  // prefix/path-local work, not a full ADS rebuild.
+  uint64_t hash_invocations = 0;
 };
 
 // Adds a new image to a live deployment. Fails (without changes committed

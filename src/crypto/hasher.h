@@ -29,14 +29,24 @@ class DigestBuilder {
 
   DigestBuilder& AddU32(uint32_t v) {
     uint8_t b[4];
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+    // The canonical encoding is little-endian, which on LE targets is the
+    // in-memory representation; a single memcpy replaces the shift loop.
+    std::memcpy(b, &v, sizeof(b));
+#else
     for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+#endif
     sponge_.Update(b, 4);
     return *this;
   }
 
   DigestBuilder& AddU64(uint64_t v) {
     uint8_t b[8];
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+    std::memcpy(b, &v, sizeof(b));
+#else
     for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+#endif
     sponge_.Update(b, 8);
     return *this;
   }
@@ -79,6 +89,27 @@ class DigestBuilder {
 inline Digest HashPair(const Digest& left, const Digest& right) {
   return DigestBuilder().AddDigest(left).AddDigest(right).Finalize();
 }
+
+// ---------------------------------------------------------------------------
+// Batch digest API. Same digests as the serial sponge, computed up to four
+// messages at a time on the lane-interleaved Keccak (Sha3x4). Inputs of any
+// lengths mix freely; a lane that drains early is refilled from the pending
+// messages. Use these for the independent-hash inner loops of ADS
+// construction (Merkle levels, leaf payloads, commitments); for dependent
+// chains, drive Sha3x4 directly.
+// ---------------------------------------------------------------------------
+
+// out[i] = Sha3(in[i]) for i in [0, n).
+void HashBatch(const BytesView* in, Digest* out, size_t n);
+
+// out[i] = HashPair(left[i], right[i]) for i in [0, n).
+void HashPairBatch(const Digest* left, const Digest* right, Digest* out,
+                   size_t n);
+
+// out[i] = h(domain_prefix | left[i] | right[i]) — the domain-separated
+// internal-node form used by merkle::MerkleTree.
+void HashPairBatch(uint8_t domain_prefix, const Digest* left,
+                   const Digest* right, Digest* out, size_t n);
 
 // Fast non-cryptographic 64-bit mix used for cuckoo-filter bucket selection
 // (not for any authenticated digest).

@@ -1,73 +1,66 @@
 #include "crypto/sha3.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+
+#include "crypto/keccak_impl.h"
 
 namespace imageproof::crypto {
 
 namespace {
 
-constexpr int kRounds = 24;
+using internal::KeccakPermute;
+using internal::LoadLe64;
+using internal::StoreLe64;
+using internal::U64x2;
 
-constexpr uint64_t kRoundConstants[kRounds] = {
-    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808AULL,
-    0x8000000080008000ULL, 0x000000000000808BULL, 0x0000000080000001ULL,
-    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008AULL,
-    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000AULL,
-    0x000000008000808BULL, 0x800000000000008BULL, 0x8000000000008089ULL,
-    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
-    0x000000000000800AULL, 0x800000008000000AULL, 0x8000000080008081ULL,
-    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
-};
+std::atomic<uint64_t> g_hash_invocations{0};
 
-// Rotation offsets for the rho step, indexed by lane (x + 5y).
-constexpr int kRotations[25] = {
-    0,  1,  62, 28, 27,  //
-    36, 44, 6,  55, 20,  //
-    3,  10, 43, 25, 39,  //
-    41, 45, 15, 21, 8,   //
-    18, 2,  61, 56, 14,
-};
+inline void CountHash() {
+  g_hash_invocations.fetch_add(1, std::memory_order_relaxed);
+}
 
-inline uint64_t Rotl64(uint64_t x, int k) {
-  if (k == 0) return x;
-  return (x << k) | (x >> (64 - k));
+#if defined(IMAGEPROOF_SHA3_AVX2)
+bool UseAvx2() {
+  // IMAGEPROOF_NO_AVX2 forces the portable path so tests and benches can
+  // A/B the two implementations on the same machine.
+  static const bool use = __builtin_cpu_supports("avx2") &&
+                          std::getenv("IMAGEPROOF_NO_AVX2") == nullptr;
+  return use;
+}
+#endif
+
+// Interleaved 4-sponge permutation with runtime dispatch. The portable
+// fallback runs the generic round body on pairs of states (U64x2), which
+// keeps two independent dependency chains in flight per instruction stream.
+void KeccakF4(uint64_t state[25][Sha3x4::kLanes]) {
+#if defined(IMAGEPROOF_SHA3_AVX2)
+  if (UseAvx2()) {
+    internal::KeccakF4Avx2(state);
+    return;
+  }
+#endif
+  U64x2 pair[25];
+  for (int half = 0; half < 2; ++half) {
+    for (int i = 0; i < 25; ++i) {
+      pair[i] = {state[i][2 * half], state[i][2 * half + 1]};
+    }
+    KeccakPermute(pair);
+    for (int i = 0; i < 25; ++i) {
+      state[i][2 * half] = pair[i].v0;
+      state[i][2 * half + 1] = pair[i].v1;
+    }
+  }
 }
 
 }  // namespace
 
-void Sha3_256::KeccakF(uint64_t a[25]) {
-  for (int round = 0; round < kRounds; ++round) {
-    // Theta.
-    uint64_t c[5];
-    for (int x = 0; x < 5; ++x) {
-      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
-    }
-    for (int x = 0; x < 5; ++x) {
-      uint64_t d = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
-      for (int y = 0; y < 25; y += 5) a[x + y] ^= d;
-    }
-
-    // Rho and pi combined: b[y, 2x+3y] = rot(a[x, y]).
-    uint64_t b[25];
-    for (int x = 0; x < 5; ++x) {
-      for (int y = 0; y < 5; ++y) {
-        int src = x + 5 * y;
-        int dst = y + 5 * ((2 * x + 3 * y) % 5);
-        b[dst] = Rotl64(a[src], kRotations[src]);
-      }
-    }
-
-    // Chi.
-    for (int y = 0; y < 25; y += 5) {
-      for (int x = 0; x < 5; ++x) {
-        a[y + x] = b[y + x] ^ (~b[y + (x + 1) % 5] & b[y + (x + 2) % 5]);
-      }
-    }
-
-    // Iota.
-    a[0] ^= kRoundConstants[round];
-  }
+uint64_t HashInvocations() {
+  return g_hash_invocations.load(std::memory_order_relaxed);
 }
+
+void Sha3_256::KeccakF(uint64_t a[25]) { KeccakPermute(a); }
 
 void Sha3_256::Reset() {
   std::memset(state_, 0, sizeof(state_));
@@ -77,17 +70,15 @@ void Sha3_256::Reset() {
 
 void Sha3_256::Absorb(const uint8_t* block) {
   for (size_t i = 0; i < kRate / 8; ++i) {
-    uint64_t lane = 0;
-    for (int j = 0; j < 8; ++j) {
-      lane |= static_cast<uint64_t>(block[8 * i + j]) << (8 * j);
-    }
-    state_[i] ^= lane;
+    state_[i] ^= LoadLe64(block + 8 * i);
   }
   KeccakF(state_);
 }
 
 void Sha3_256::Update(const uint8_t* data, size_t n) {
-  while (n > 0) {
+  // Fast path: absorb full blocks straight from the input once the carry
+  // buffer is empty, instead of staging every byte through it.
+  if (buffered_ > 0) {
     size_t take = kRate - buffered_;
     if (take > n) take = n;
     std::memcpy(buffer_ + buffered_, data, take);
@@ -99,6 +90,15 @@ void Sha3_256::Update(const uint8_t* data, size_t n) {
       buffered_ = 0;
     }
   }
+  while (n >= kRate) {
+    Absorb(data);
+    data += kRate;
+    n -= kRate;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, data, n);
+    buffered_ = n;
+  }
 }
 
 Digest Sha3_256::Finalize() {
@@ -109,9 +109,10 @@ Digest Sha3_256::Finalize() {
   Absorb(buffer_);
 
   Digest out;
-  for (size_t i = 0; i < kDigestSize; ++i) {
-    out.bytes[i] = static_cast<uint8_t>(state_[i / 8] >> (8 * (i % 8)));
+  for (size_t i = 0; i < kDigestSize / 8; ++i) {
+    StoreLe64(out.bytes.data() + 8 * i, state_[i]);
   }
+  CountHash();
   return out;
 }
 
@@ -119,6 +120,76 @@ Digest Sha3(const uint8_t* data, size_t n) {
   Sha3_256 h;
   h.Update(data, n);
   return h.Finalize();
+}
+
+// ---------------------------------------------------------------------------
+// Sha3x4
+// ---------------------------------------------------------------------------
+
+Sha3x4::Sha3x4() {
+  std::memset(state_, 0, sizeof(state_));
+  for (int j = 0; j < kLanes; ++j) {
+    data_[j] = nullptr;
+    len_[j] = off_[j] = 0;
+    phase_[j] = kIdle;
+  }
+}
+
+bool Sha3x4::AnyAbsorbing() const {
+  for (int j = 0; j < kLanes; ++j) {
+    if (phase_[j] == kAbsorbing) return true;
+  }
+  return false;
+}
+
+void Sha3x4::Start(int lane, const uint8_t* data, size_t n) {
+  for (int i = 0; i < 25; ++i) state_[i][lane] = 0;
+  data_[lane] = data;
+  len_[lane] = n;
+  off_[lane] = 0;
+  phase_[lane] = kAbsorbing;
+}
+
+void Sha3x4::Step() {
+  for (int j = 0; j < kLanes; ++j) {
+    if (phase_[j] != kAbsorbing) continue;
+    const size_t remaining = len_[j] - off_[j];
+    if (remaining >= kRate) {
+      const uint8_t* block = data_[j] + off_[j];
+      for (size_t i = 0; i < kRate / 8; ++i) {
+        state_[i][j] ^= LoadLe64(block + 8 * i);
+      }
+      off_[j] += kRate;
+      // An exact-multiple message still owes the all-padding block; the
+      // next Step absorbs it, matching the serial Finalize exactly.
+    } else {
+      uint8_t last[kRate];
+      std::memset(last, 0, sizeof(last));
+      if (remaining > 0) std::memcpy(last, data_[j] + off_[j], remaining);
+      last[remaining] = 0x06;
+      last[kRate - 1] |= 0x80;
+      for (size_t i = 0; i < kRate / 8; ++i) {
+        state_[i][j] ^= LoadLe64(last + 8 * i);
+      }
+      phase_[j] = kFinalBlock;
+    }
+  }
+  KeccakF4(state_);
+  for (int j = 0; j < kLanes; ++j) {
+    if (phase_[j] == kFinalBlock) phase_[j] = kDone;
+  }
+}
+
+Digest Sha3x4::Take(int lane) {
+  Digest out;
+  for (size_t i = 0; i < kDigestSize / 8; ++i) {
+    StoreLe64(out.bytes.data() + 8 * i, state_[i][lane]);
+  }
+  data_[lane] = nullptr;
+  len_[lane] = off_[lane] = 0;
+  phase_[lane] = kIdle;
+  CountHash();
+  return out;
 }
 
 }  // namespace imageproof::crypto

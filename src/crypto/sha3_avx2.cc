@@ -1,0 +1,54 @@
+// AVX2 instantiation of the interleaved 4-sponge Keccak permutation: each of
+// the 25 Keccak lanes is one __m256i holding that lane for all four sponges,
+// so theta/rho/pi/chi run on four states per instruction.
+//
+// This translation unit is the only one compiled with -mavx2 (see
+// src/crypto/CMakeLists.txt); callers reach it through the runtime
+// __builtin_cpu_supports("avx2") dispatch in sha3.cc, so the rest of the
+// library stays runnable on any x86-64.
+
+#if defined(IMAGEPROOF_SHA3_AVX2)
+
+#include <immintrin.h>
+
+#include "crypto/keccak_impl.h"
+
+namespace imageproof::crypto::internal {
+
+namespace {
+
+struct V256 {
+  __m256i v;
+};
+
+inline V256 operator^(V256 a, V256 b) {
+  return {_mm256_xor_si256(a.v, b.v)};
+}
+inline V256 RotlL(V256 a, int k) {
+  return {_mm256_or_si256(_mm256_slli_epi64(a.v, k),
+                          _mm256_srli_epi64(a.v, 64 - k))};
+}
+// ~a & b, which is exactly what VPANDN computes.
+inline V256 AndNotL(V256 a, V256 b) {
+  return {_mm256_andnot_si256(a.v, b.v)};
+}
+inline V256 XorRc(V256 a, uint64_t rc) {
+  return {_mm256_xor_si256(a.v, _mm256_set1_epi64x(static_cast<int64_t>(rc)))};
+}
+
+}  // namespace
+
+void KeccakF4Avx2(uint64_t state[25][4]) {
+  V256 a[25];
+  for (int i = 0; i < 25; ++i) {
+    a[i].v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[i]));
+  }
+  KeccakPermute(a);
+  for (int i = 0; i < 25; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(state[i]), a[i].v);
+  }
+}
+
+}  // namespace imageproof::crypto::internal
+
+#endif  // IMAGEPROOF_SHA3_AVX2

@@ -5,9 +5,83 @@
 
 #include "common/parallel.h"
 #include "crypto/hasher.h"
+#include "crypto/sha3.h"
 #include "invindex/merkle_inv_index.h"
 
 namespace imageproof::freqgroup {
+
+namespace {
+
+// Group preimage bytes — the same canonical encodings FgPostingDigest
+// streams through DigestBuilder (freq | members (id, norm)... | next).
+void AppendGroupMsg(ByteWriter& w, const FgPosting& posting,
+                    const Digest& next) {
+  w.PutU32(posting.freq);
+  for (const FgMember& m : posting.members) {
+    w.PutU64(m.id);
+    w.PutF64(m.norm);
+  }
+  crypto::PutDigest(w, next);
+}
+
+// Interleaves the backward group-digest chains of a range of lists across
+// the four Keccak lanes. Unlike the fixed-size posting messages of the
+// plain index, group messages vary in length (4 + 12|members| + 32 bytes),
+// so a lane may take several Steps per message; each lane still walks its
+// own list strictly in chain order, and a drained lane picks up the next
+// list.
+void ChainFgLists(FgList** lists, size_t n) {
+  struct Lane {
+    FgList* list = nullptr;
+    size_t i = 0;  // groups remaining (current group is i - 1)
+    Digest next = Digest::Zero();
+    Bytes buf;
+  };
+  crypto::Sha3x4 eng;
+  Lane lanes[crypto::Sha3x4::kLanes];
+  size_t next_list = 0;
+  int active = 0;
+
+  auto start_msg = [&](int j) {
+    Lane& lane = lanes[j];
+    ByteWriter w;
+    AppendGroupMsg(w, lane.list->postings[lane.i - 1], lane.next);
+    lane.buf = w.Take();
+    eng.Start(j, lane.buf.data(), lane.buf.size());
+  };
+  auto feed = [&](int j) -> bool {
+    while (next_list < n) {
+      FgList* l = lists[next_list++];
+      if (l->postings.empty()) continue;
+      lanes[j].list = l;
+      lanes[j].i = l->postings.size();
+      lanes[j].next = Digest::Zero();
+      start_msg(j);
+      return true;
+    }
+    return false;
+  };
+
+  for (int j = 0; j < crypto::Sha3x4::kLanes; ++j) {
+    if (feed(j)) ++active;
+  }
+  while (active > 0) {
+    eng.Step();
+    for (int j = 0; j < crypto::Sha3x4::kLanes; ++j) {
+      if (!eng.done(j)) continue;
+      Lane& lane = lanes[j];
+      lane.next = eng.Take(j);
+      lane.list->postings[lane.i - 1].digest = lane.next;
+      if (--lane.i > 0) {
+        start_msg(j);
+      } else if (!feed(j)) {
+        --active;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Digest FgPostingDigest(const FgPosting& posting, const Digest& next) {
   crypto::DigestBuilder b;
@@ -55,58 +129,66 @@ FgInvertedIndex FgInvertedIndex::Build(
   const cuckoo::CuckooParams& filter_params = index.filter_params_;
 
   // Per-list builds are independent; parallelize with identical results.
-  ParallelFor(num_clusters, [&](size_t c) {
-    FgList& list = index.lists_[c];
-    list.cluster = static_cast<ClusterId>(c);
-    list.weight = weights.WeightOf(static_cast<ClusterId>(c));
+  // Chunked so each worker interleaves its lists' group chains across the
+  // four Keccak lanes.
+  ParallelChunks(num_clusters, /*chunk=*/16, [&](size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) {
+      FgList& list = index.lists_[c];
+      list.cluster = static_cast<ClusterId>(c);
+      list.weight = weights.WeightOf(static_cast<ClusterId>(c));
 
-    for (auto& [freq, members] : raw[c]) {
-      FgPosting posting;
-      posting.freq = freq;
-      std::sort(members.begin(), members.end(),
-                [](const FgMember& a, const FgMember& b) {
-                  if (a.norm != b.norm) return a.norm < b.norm;
-                  return a.id < b.id;
-                });
-      posting.members = std::move(members);
-      list.postings.push_back(std::move(posting));
-    }
-    // Order groups by descending impact (freq ascending on ties for
-    // determinism).
-    std::sort(list.postings.begin(), list.postings.end(),
-              [&list](const FgPosting& a, const FgPosting& b) {
-                double ia = a.GroupImpact(list.weight);
-                double ib = b.GroupImpact(list.weight);
-                if (ia != ib) return ia > ib;
-                return a.freq < b.freq;
-              });
-
-    if (with_filters) {
-      cuckoo::CuckooFilter filter(filter_params);
-      for (const FgPosting& p : list.postings) {
-        for (const FgMember& m : p.members) {
-          bool ok = filter.Insert(m.id);
-          (void)ok;
-        }
+      for (auto& [freq, members] : raw[c]) {
+        FgPosting posting;
+        posting.freq = freq;
+        std::sort(members.begin(), members.end(),
+                  [](const FgMember& a, const FgMember& b) {
+                    if (a.norm != b.norm) return a.norm < b.norm;
+                    return a.id < b.id;
+                  });
+        posting.members = std::move(members);
+        list.postings.push_back(std::move(posting));
       }
-      list.theta_digest = filter.StateDigest();
-      list.filter = std::move(filter);
-    } else {
-      list.theta_digest = Digest::Zero();
+      // Order groups by descending impact (freq ascending on ties for
+      // determinism).
+      std::sort(list.postings.begin(), list.postings.end(),
+                [&list](const FgPosting& a, const FgPosting& b) {
+                  double ia = a.GroupImpact(list.weight);
+                  double ib = b.GroupImpact(list.weight);
+                  if (ia != ib) return ia > ib;
+                  return a.freq < b.freq;
+                });
+
+      if (with_filters) {
+        cuckoo::CuckooFilter filter(filter_params);
+        for (const FgPosting& p : list.postings) {
+          for (const FgMember& m : p.members) {
+            bool ok = filter.Insert(m.id);
+            (void)ok;
+          }
+        }
+        list.theta_digest = filter.StateDigest();
+        list.filter = std::move(filter);
+      } else {
+        list.theta_digest = Digest::Zero();
+      }
     }
 
-    Digest next = Digest::Zero();
-    for (size_t i = list.postings.size(); i-- > 0;) {
-      next = FgPostingDigest(list.postings[i], next);
-      list.postings[i].digest = next;
+    std::vector<FgList*> ptrs;
+    ptrs.reserve(end - begin);
+    for (size_t c = begin; c < end; ++c) ptrs.push_back(&index.lists_[c]);
+    ChainFgLists(ptrs.data(), ptrs.size());
+    for (size_t c = begin; c < end; ++c) {
+      FgList& list = index.lists_[c];
+      list.digest = invindex::ListDigest(list.weight, list.theta_digest,
+                                         list.FirstPostingDigest());
     }
-    list.digest = invindex::ListDigest(list.weight, list.theta_digest,
-                                       list.FirstPostingDigest());
   });
   return index;
 }
 
-Status FgInvertedIndex::RechainList(FgList* list) {
+Status FgInvertedIndex::RepairList(FgList* list,
+                                   const std::vector<uint32_t>& old_freqs,
+                                   uint32_t touched_freq) {
   // Restore group ordering (impact desc, freq asc on ties).
   std::sort(list->postings.begin(), list->postings.end(),
             [list](const FgPosting& a, const FgPosting& b) {
@@ -116,6 +198,8 @@ Status FgInvertedIndex::RechainList(FgList* list) {
               return a.freq < b.freq;
             });
   if (with_filters_) {
+    // Filter state depends on insertion order over the whole list, so it is
+    // always rebuilt in full (theta_digest must match a from-scratch build).
     cuckoo::CuckooFilter filter(filter_params_);
     for (const FgPosting& p : list->postings) {
       for (const FgMember& m : p.members) {
@@ -129,8 +213,21 @@ Status FgInvertedIndex::RechainList(FgList* list) {
     list->theta_digest = filter.StateDigest();
     list->filter = std::move(filter);
   }
-  Digest next = Digest::Zero();
-  for (size_t i = list->postings.size(); i-- > 0;) {
+  // Longest common suffix of the old and new group orders that excludes the
+  // touched group (groups are keyed by freq within a list): a group digest
+  // depends only on its chain suffix, and those suffixes are unchanged, so
+  // the stored digests there are still valid. Anchor at the first valid
+  // index and recompute only the prefix.
+  size_t k = list->postings.size();
+  size_t j = old_freqs.size();
+  while (k > 0 && j > 0 && list->postings[k - 1].freq == old_freqs[j - 1] &&
+         list->postings[k - 1].freq != touched_freq) {
+    --k;
+    --j;
+  }
+  Digest next = k < list->postings.size() ? list->postings[k].digest
+                                          : Digest::Zero();
+  for (size_t i = k; i-- > 0;) {
     next = FgPostingDigest(list->postings[i], next);
     list->postings[i].digest = next;
   }
@@ -149,6 +246,9 @@ Status FgInvertedIndex::ApplyInsert(ClusterId c, ImageId id, uint32_t freq,
       if (m.id == id) return Status::Error("fg: image already in list");
     }
   }
+  std::vector<uint32_t> old_freqs;
+  old_freqs.reserve(list.postings.size());
+  for (const FgPosting& p : list.postings) old_freqs.push_back(p.freq);
   FgMember member{id, norm};
   auto group = std::find_if(list.postings.begin(), list.postings.end(),
                             [freq](const FgPosting& p) { return p.freq == freq; });
@@ -165,7 +265,7 @@ Status FgInvertedIndex::ApplyInsert(ClusterId c, ImageId id, uint32_t freq,
                                 });
     group->members.insert(pos, member);
   }
-  return RechainList(&list);
+  return RepairList(&list, old_freqs, freq);
 }
 
 Status FgInvertedIndex::ApplyRemove(ClusterId c, ImageId id) {
@@ -176,9 +276,13 @@ Status FgInvertedIndex::ApplyRemove(ClusterId c, ImageId id) {
     auto pos = std::find_if(group->members.begin(), group->members.end(),
                             [id](const FgMember& m) { return m.id == id; });
     if (pos == group->members.end()) continue;
+    std::vector<uint32_t> old_freqs;
+    old_freqs.reserve(list.postings.size());
+    for (const FgPosting& p : list.postings) old_freqs.push_back(p.freq);
+    const uint32_t touched_freq = group->freq;
     group->members.erase(pos);
     if (group->members.empty()) list.postings.erase(group);
-    return RechainList(&list);
+    return RepairList(&list, old_freqs, touched_freq);
   }
   return Status::Error("fg: image not in list");
 }

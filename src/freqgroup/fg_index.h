@@ -90,7 +90,12 @@ class FgInvertedIndex {
   Status ApplyRemove(ClusterId c, ImageId id);
 
  private:
-  Status RechainList(FgList* list);
+  // Re-sorts groups, rebuilds the filter, and recomputes only the chain
+  // prefix invalidated by an edit to the group keyed `touched_freq`: the
+  // longest common unmodified suffix of `old_freqs` (the pre-edit group
+  // order) and the new order keeps its digests.
+  Status RepairList(FgList* list, const std::vector<uint32_t>& old_freqs,
+                    uint32_t touched_freq);
 
   bool with_filters_ = true;
   cuckoo::CuckooParams filter_params_;

@@ -1,11 +1,87 @@
 #include "invindex/merkle_inv_index.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/parallel.h"
 #include "crypto/hasher.h"
+#include "crypto/sha3.h"
 
 namespace imageproof::invindex {
+
+namespace {
+
+// Canonical little-endian stores for assembling posting preimages outside
+// DigestBuilder (same bytes AddU64/AddF64 stream into the sponge).
+void PutU64Le(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+void PutF64Le(uint8_t* p, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64Le(p, bits);
+}
+
+// Posting preimage: id(8) | impact(8) | next(32) — one sponge block.
+constexpr size_t kPostingMsg = 8 + 8 + crypto::kDigestSize;
+
+// Walks the backward digest chains of a range of lists four at a time on
+// the lane-interleaved Keccak. A chain is inherently sequential (posting i
+// needs digest i+1), but chains of different lists are independent, so each
+// lane carries one list and every Step() completes one posting per lane —
+// the same digests as the serial loop at ~4x the permutation throughput.
+// A drained lane picks up the next list in the range.
+void ChainLists(MerkleInvertedList** lists, size_t n) {
+  struct Lane {
+    MerkleInvertedList* list = nullptr;
+    size_t i = 0;  // postings remaining (current posting is i - 1)
+    Digest next = Digest::Zero();
+  };
+  crypto::Sha3x4 eng;
+  Lane lanes[crypto::Sha3x4::kLanes];
+  uint8_t buf[crypto::Sha3x4::kLanes][kPostingMsg];
+  size_t next_list = 0;
+  int active = 0;
+
+  auto start_msg = [&](int j) {
+    Lane& lane = lanes[j];
+    const MerklePosting& p = lane.list->postings[lane.i - 1];
+    PutU64Le(buf[j], p.id);
+    PutF64Le(buf[j] + 8, p.impact);
+    std::memcpy(buf[j] + 16, lane.next.bytes.data(), crypto::kDigestSize);
+    eng.Start(j, buf[j], kPostingMsg);
+  };
+  auto feed = [&](int j) -> bool {
+    while (next_list < n) {
+      MerkleInvertedList* l = lists[next_list++];
+      if (l->postings.empty()) continue;
+      lanes[j] = Lane{l, l->postings.size(), Digest::Zero()};
+      start_msg(j);
+      return true;
+    }
+    return false;
+  };
+
+  for (int j = 0; j < crypto::Sha3x4::kLanes; ++j) {
+    if (feed(j)) ++active;
+  }
+  while (active > 0) {
+    eng.Step();
+    for (int j = 0; j < crypto::Sha3x4::kLanes; ++j) {
+      if (!eng.done(j)) continue;
+      Lane& lane = lanes[j];
+      lane.next = eng.Take(j);
+      lane.list->postings[lane.i - 1].digest = lane.next;
+      if (--lane.i > 0) {
+        start_msg(j);
+      } else if (!feed(j)) {
+        --active;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Digest PostingDigest(ImageId id, double impact, const Digest& next) {
   return crypto::DigestBuilder()
@@ -51,53 +127,61 @@ MerkleInvertedIndex MerkleInvertedIndex::Build(
   const cuckoo::CuckooParams& filter_params = index.filter_params_;
 
   // Every list is built independently (sort, filter, digest chain), so the
-  // per-cluster loop parallelizes with bit-identical results.
-  ParallelFor(num_clusters, [&](size_t c) {
-    MerkleInvertedList& list = index.lists_[c];
-    list.cluster = static_cast<ClusterId>(c);
-    list.weight = weights.WeightOf(static_cast<ClusterId>(c));
+  // per-cluster loop parallelizes with bit-identical results. Chunked so
+  // each worker can interleave the digest chains of its lists across the
+  // four Keccak lanes.
+  ParallelChunks(num_clusters, /*chunk=*/16, [&](size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) {
+      MerkleInvertedList& list = index.lists_[c];
+      list.cluster = static_cast<ClusterId>(c);
+      list.weight = weights.WeightOf(static_cast<ClusterId>(c));
 
-    auto& postings = raw[c];
-    std::sort(postings.begin(), postings.end(),
-              [](const auto& a, const auto& b) {
-                if (a.second != b.second) return a.second > b.second;
-                return a.first < b.first;
-              });
-    list.postings.resize(postings.size());
-    for (size_t i = 0; i < postings.size(); ++i) {
-      list.postings[i].id = postings[i].first;
-      list.postings[i].impact = postings[i].second;
-    }
-
-    if (with_filters) {
-      cuckoo::CuckooFilter filter(filter_params);
-      for (const MerklePosting& p : list.postings) {
-        // The 60% sizing rule keeps load under ~42%, so insertion cannot
-        // realistically fail; if it ever did the ADS would be unusable, so
-        // treat it as a fatal construction error.
-        bool ok = filter.Insert(p.id);
-        (void)ok;
+      auto& postings = raw[c];
+      std::sort(postings.begin(), postings.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      list.postings.resize(postings.size());
+      for (size_t i = 0; i < postings.size(); ++i) {
+        list.postings[i].id = postings[i].first;
+        list.postings[i].impact = postings[i].second;
       }
-      list.theta_digest = filter.StateDigest();
-      list.filter = std::move(filter);
-    } else {
-      list.theta_digest = Digest::Zero();
+
+      if (with_filters) {
+        cuckoo::CuckooFilter filter(filter_params);
+        for (const MerklePosting& p : list.postings) {
+          // The 60% sizing rule keeps load under ~42%, so insertion cannot
+          // realistically fail; if it ever did the ADS would be unusable, so
+          // treat it as a fatal construction error.
+          bool ok = filter.Insert(p.id);
+          (void)ok;
+        }
+        list.theta_digest = filter.StateDigest();
+        list.filter = std::move(filter);
+      } else {
+        list.theta_digest = Digest::Zero();
+      }
     }
 
-    // Backward digest chain.
-    Digest next = Digest::Zero();
-    for (size_t i = list.postings.size(); i-- > 0;) {
-      next = PostingDigest(list.postings[i].id, list.postings[i].impact, next);
-      list.postings[i].digest = next;
+    std::vector<MerkleInvertedList*> ptrs;
+    ptrs.reserve(end - begin);
+    for (size_t c = begin; c < end; ++c) ptrs.push_back(&index.lists_[c]);
+    ChainLists(ptrs.data(), ptrs.size());
+    for (size_t c = begin; c < end; ++c) {
+      MerkleInvertedList& list = index.lists_[c];
+      list.digest = ListDigest(list.weight, list.theta_digest,
+                               list.FirstPostingDigest());
     }
-    list.digest = ListDigest(list.weight, list.theta_digest,
-                             list.FirstPostingDigest());
   });
   return index;
 }
 
-Status MerkleInvertedIndex::RechainList(MerkleInvertedList* list) {
+Status MerkleInvertedIndex::RepairList(MerkleInvertedList* list, size_t upto) {
   if (with_filters_) {
+    // The filter's state depends on insertion order over the whole list, so
+    // it is always rebuilt in full (theta_digest must stay byte-identical
+    // to a from-scratch build).
     cuckoo::CuckooFilter filter(filter_params_);
     for (const MerklePosting& p : list->postings) {
       if (!filter.Insert(p.id)) {
@@ -109,8 +193,13 @@ Status MerkleInvertedIndex::RechainList(MerkleInvertedList* list) {
     list->theta_digest = filter.StateDigest();
     list->filter = std::move(filter);
   }
-  Digest next = Digest::Zero();
-  for (size_t i = list->postings.size(); i-- > 0;) {
+  // A posting's digest depends only on the chain suffix from it onward, so
+  // entries at index >= upto are still valid: anchor there and recompute
+  // only the prefix.
+  upto = std::min(upto, list->postings.size());
+  Digest next = upto < list->postings.size() ? list->postings[upto].digest
+                                             : Digest::Zero();
+  for (size_t i = upto; i-- > 0;) {
     next = PostingDigest(list->postings[i].id, list->postings[i].impact, next);
     list->postings[i].digest = next;
   }
@@ -134,8 +223,10 @@ Status MerkleInvertedIndex::ApplyInsert(ClusterId c, ImageId id, double impact) 
         if (a.impact != b.impact) return a.impact > b.impact;
         return a.id < b.id;
       });
+  const size_t p = static_cast<size_t>(pos - list.postings.begin());
   list.postings.insert(pos, posting);
-  return RechainList(&list);
+  // Digests after the insertion point are untouched: recompute [0, p].
+  return RepairList(&list, p + 1);
 }
 
 Status MerkleInvertedIndex::ApplyRemove(ClusterId c, ImageId id) {
@@ -146,8 +237,11 @@ Status MerkleInvertedIndex::ApplyRemove(ClusterId c, ImageId id) {
   if (pos == list.postings.end()) {
     return Status::Error("inv: image not in list");
   }
+  const size_t p = static_cast<size_t>(pos - list.postings.begin());
   list.postings.erase(pos);
-  return RechainList(&list);
+  // The suffix that followed the removed posting keeps its digests:
+  // recompute [0, p).
+  return RepairList(&list, p);
 }
 
 std::vector<Digest> MerkleInvertedIndex::ListDigests() const {

@@ -96,7 +96,11 @@ class MerkleInvertedIndex {
   const cuckoo::CuckooParams& filter_params() const { return filter_params_; }
 
  private:
-  Status RechainList(MerkleInvertedList* list);
+  // Recomputes the chain prefix [0, upto) against the still-valid suffix
+  // anchor at `upto` (or the zero digest at the list end), rebuilds the
+  // filter, and refreshes the list digest. Updates pass the smallest prefix
+  // that covers their edit; a full rechain is upto == postings.size().
+  Status RepairList(MerkleInvertedList* list, size_t upto);
 
   bool with_filters_ = true;
   cuckoo::CuckooParams filter_params_;

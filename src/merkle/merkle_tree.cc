@@ -1,7 +1,10 @@
 #include "merkle/merkle_tree.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
+#include "common/parallel.h"
 #include "crypto/hasher.h"
 
 namespace imageproof::merkle {
@@ -23,23 +26,107 @@ Digest HashNode(const Digest& left, const Digest& right) {
       .Finalize();
 }
 
+// Batch granularity for the level-parallel build. Fixed (not derived from
+// the thread count) so the chunk decomposition — and therefore every digest
+// — is identical at any max_threads.
+constexpr size_t kBuildChunk = 1024;
+
 }  // namespace
 
 Digest MerkleTree::HashLeaf(const Bytes& payload) {
   return crypto::DigestBuilder().AddU8(0x00).AddBytes(payload).Finalize();
 }
 
-MerkleTree::MerkleTree(const std::vector<Bytes>& leaf_payloads)
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaf_payloads,
+                       const MerkleBuildOptions& options)
     : leaf_count_(leaf_payloads.size()) {
-  leaf_digests_.reserve(leaf_count_);
-  for (const Bytes& p : leaf_payloads) leaf_digests_.push_back(HashLeaf(p));
-  root_ = leaf_count_ == 0 ? Digest::Zero() : SubtreeDigest(0, leaf_count_);
+  if (leaf_count_ == 0) {
+    root_ = Digest::Zero();
+    return;
+  }
+  const unsigned threads =
+      leaf_count_ < options.parallel_grain ? 1 : options.max_threads;
+
+  // Level 0: leaf digests, batch-hashed in chunks. Each chunk assembles the
+  // 0x00-prefixed messages into one scratch buffer and feeds them to the
+  // 4-lane engine.
+  levels_.emplace_back(leaf_count_);
+  std::vector<Digest>& leaf_level = levels_[0];
+  ParallelChunks(
+      leaf_count_, kBuildChunk,
+      [&](size_t begin, size_t end) {
+        const size_t count = end - begin;
+        size_t total = 0;
+        for (size_t i = begin; i < end; ++i) {
+          total += 1 + leaf_payloads[i].size();
+        }
+        std::vector<uint8_t> scratch(total);
+        std::vector<BytesView> msgs;
+        msgs.reserve(count);
+        size_t off = 0;
+        for (size_t i = begin; i < end; ++i) {
+          const Bytes& p = leaf_payloads[i];
+          scratch[off] = 0x00;
+          if (!p.empty()) std::memcpy(scratch.data() + off + 1, p.data(), p.size());
+          msgs.emplace_back(scratch.data() + off, 1 + p.size());
+          off += 1 + p.size();
+        }
+        crypto::HashBatch(msgs.data(), leaf_level.data() + begin, count);
+      },
+      threads);
+
+  // Pair up each level; an odd trailing node is carried to the next level
+  // unchanged (it is the right child of some ancestor higher up — the
+  // largest-power-of-two split never pads).
+  while (levels_.back().size() > 1) {
+    const std::vector<Digest>& prev = levels_.back();
+    const size_t pairs = prev.size() / 2;
+    std::vector<Digest> next((prev.size() + 1) / 2);
+    ParallelChunks(
+        pairs, kBuildChunk,
+        [&](size_t begin, size_t end) {
+          const size_t count = end - begin;
+          std::vector<Digest> lefts(count);
+          std::vector<Digest> rights(count);
+          for (size_t i = 0; i < count; ++i) {
+            lefts[i] = prev[2 * (begin + i)];
+            rights[i] = prev[2 * (begin + i) + 1];
+          }
+          crypto::HashPairBatch(0x01, lefts.data(), rights.data(),
+                                next.data() + begin, count);
+        },
+        threads);
+    if (prev.size() % 2 != 0) next.back() = prev.back();
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
 }
 
-Digest MerkleTree::SubtreeDigest(size_t begin, size_t end) const {
-  if (end - begin == 1) return leaf_digests_[begin];
-  size_t mid = begin + SplitPoint(end - begin);
-  return HashNode(SubtreeDigest(begin, mid), SubtreeDigest(mid, end));
+void MerkleTree::UpdateLeaf(size_t index, const Bytes& new_payload) {
+  levels_[0][index] = HashLeaf(new_payload);
+  size_t idx = index;
+  for (size_t k = 0; k + 1 < levels_.size(); ++k) {
+    const std::vector<Digest>& cur = levels_[k];
+    const size_t parent = idx / 2;
+    Digest& dst = levels_[k + 1][parent];
+    if (2 * parent + 1 < cur.size()) {
+      dst = HashNode(cur[2 * parent], cur[2 * parent + 1]);
+    } else {
+      dst = cur[2 * parent];  // carried-up odd node: no hash
+    }
+    idx = parent;
+  }
+  root_ = levels_.back()[0];
+}
+
+const Digest& MerkleTree::NodeDigest(size_t begin, size_t end) const {
+  // Every subtree the recursion visits covers [begin, begin + len) with
+  // begin divisible by 2^ceil(log2(len)) — so it is exactly the stored
+  // node levels_[k][begin >> k].
+  const size_t len = end - begin;
+  const size_t k =
+      len == 1 ? 0 : static_cast<size_t>(std::bit_width(len - 1));
+  return levels_[k][begin >> k];
 }
 
 void MerkleTree::ProveRange(size_t begin, size_t end,
@@ -48,7 +135,7 @@ void MerkleTree::ProveRange(size_t begin, size_t end,
                             std::vector<Digest>* out) const {
   if (idx_begin == idx_end) {
     // No revealed leaf inside this subtree: emit its digest.
-    out->push_back(SubtreeDigest(begin, end));
+    out->push_back(NodeDigest(begin, end));
     return;
   }
   if (end - begin == 1) return;  // the leaf itself is revealed

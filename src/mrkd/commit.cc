@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "crypto/hasher.h"
 #include "merkle/merkle_tree.h"
 
@@ -43,6 +44,42 @@ Digest ClusterCommitment(RevealMode mode, ClusterId id, const float* coords,
     b.AddDigest(tree.root());
   }
   return b.Finalize();
+}
+
+void ClusterCommitments(RevealMode mode, const ann::PointSet& points,
+                        std::vector<Digest>* out) {
+  const size_t n = points.size();
+  const size_t dims = points.dims();
+  out->assign(n, Digest::Zero());
+  ParallelChunks(n, /*chunk=*/256, [&](size_t begin, size_t end) {
+    const size_t count = end - begin;
+    // Assemble the commitment preimages into one buffer (canonical
+    // ByteWriter encodings — identical bytes to the DigestBuilder stream in
+    // ClusterCommitment), then digest them four at a time.
+    ByteWriter w;
+    std::vector<size_t> offsets(count + 1, 0);
+    for (size_t i = 0; i < count; ++i) {
+      const ClusterId c = static_cast<ClusterId>(begin + i);
+      const float* coords = points.row(begin + i);
+      w.PutU8(static_cast<uint8_t>(mode));
+      w.PutU32(c);
+      w.PutU32(static_cast<uint32_t>(dims));
+      if (mode == RevealMode::kFullVector) {
+        for (size_t d = 0; d < dims; ++d) w.PutF32(coords[d]);
+      } else {
+        merkle::MerkleTree tree(BlockLeaves(coords, dims));
+        crypto::PutDigest(w, tree.root());
+      }
+      offsets[i + 1] = w.bytes().size();
+    }
+    std::vector<BytesView> msgs;
+    msgs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      msgs.emplace_back(w.bytes().data() + offsets[i],
+                        offsets[i + 1] - offsets[i]);
+    }
+    crypto::HashBatch(msgs.data(), out->data() + begin, count);
+  });
 }
 
 double PartialDistanceSq(const float* query,

@@ -54,6 +54,13 @@ inline constexpr size_t kDimBlock = 8;
 Digest ClusterCommitment(RevealMode mode, ClusterId id, const float* coords,
                          size_t dims);
 
+// Owner-side batch form: commitments for every cluster of the codebook,
+// parallel across clusters and hashed through the 4-lane batch digest API.
+// (*out)[c] == ClusterCommitment(mode, c, points.row(c), points.dims()),
+// byte-for-byte.
+void ClusterCommitments(RevealMode mode, const ann::PointSet& points,
+                        std::vector<Digest>* out);
+
 // A cluster's entry in the reveal section.
 struct ClusterReveal {
   ClusterId id = 0;

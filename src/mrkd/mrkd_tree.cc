@@ -8,14 +8,9 @@ namespace imageproof::mrkd {
 MrkdTree::MrkdTree(const ann::RkdTree* tree, RevealMode mode,
                    const std::vector<Digest>& list_digests)
     : tree_(tree), mode_(mode), list_digests_(&list_digests) {
-  const ann::PointSet& points = tree_->points();
-  cluster_commitments_.resize(points.size());
-  ParallelFor(points.size(), [&](size_t c) {
-    cluster_commitments_[c] = ClusterCommitment(
-        mode_, static_cast<ClusterId>(c), points.row(c), points.dims());
-  });
+  ClusterCommitments(mode_, tree_->points(), &cluster_commitments_);
   node_digests_.resize(tree_->nodes().size());
-  if (!tree_->nodes().empty()) ComputeNodeDigest(tree_->root());
+  BuildNodeDigests();
   BuildParentsAndLeafMap();
 }
 
@@ -71,23 +66,74 @@ void MrkdTree::HashInternal(crypto::DigestBuilder& b, uint32_t split_dim,
   b.AddDigest(right);
 }
 
-Digest MrkdTree::ComputeNodeDigest(int node) {
-  const ann::RkdNode& n = tree_->nodes()[node];
-  crypto::DigestBuilder b;
-  if (n.IsLeaf()) {
-    for (int32_t i = n.begin; i < n.end; ++i) {
-      ClusterId c = static_cast<ClusterId>(tree_->point_indices()[i]);
-      b.AddDigest(cluster_commitments_[c]);
-      b.AddDigest((*list_digests_)[c]);
+void MrkdTree::BuildNodeDigests() {
+  const auto& nodes = tree_->nodes();
+  if (nodes.empty()) return;
+
+  // Group nodes by depth (BFS from the root: a node's children always sit
+  // one level deeper), then digest the levels deepest-first. Every node's
+  // preimage depends only on strictly deeper digests, so within a level the
+  // hashes are independent — batched four-wide and chunk-parallel. Each
+  // digest is a pure function of its own preimage bytes, so the result is
+  // byte-identical to the old post-order recursion.
+  std::vector<int32_t> order;
+  order.reserve(nodes.size());
+  std::vector<size_t> level_begin;  // index into `order` where each depth starts
+  order.push_back(static_cast<int32_t>(tree_->root()));
+  level_begin.push_back(0);
+  size_t frontier = 0;
+  while (frontier < order.size()) {
+    const size_t level_end = order.size();
+    for (; frontier < level_end; ++frontier) {
+      const ann::RkdNode& n = nodes[order[frontier]];
+      if (!n.IsLeaf()) {
+        order.push_back(n.left);
+        order.push_back(n.right);
+      }
     }
-  } else {
-    Digest left = ComputeNodeDigest(n.left);
-    Digest right = ComputeNodeDigest(n.right);
-    HashInternal(b, static_cast<uint32_t>(n.split_dim), n.split_value, left,
-                 right);
+    if (order.size() > level_end) level_begin.push_back(level_end);
   }
-  node_digests_[node] = b.Finalize();
-  return node_digests_[node];
+
+  for (size_t lvl = level_begin.size(); lvl-- > 0;) {
+    const size_t begin = level_begin[lvl];
+    const size_t end = lvl + 1 < level_begin.size() ? level_begin[lvl + 1]
+                                                    : order.size();
+    ParallelChunks(end - begin, /*chunk=*/512, [&](size_t cb, size_t ce) {
+      const size_t count = ce - cb;
+      // Assemble this chunk's preimages (canonical ByteWriter encodings —
+      // the same bytes DigestBuilder streams) and batch-digest them.
+      ByteWriter w;
+      std::vector<size_t> offsets(count + 1, 0);
+      for (size_t i = 0; i < count; ++i) {
+        const int32_t node = order[begin + cb + i];
+        const ann::RkdNode& n = nodes[node];
+        if (n.IsLeaf()) {
+          for (int32_t j = n.begin; j < n.end; ++j) {
+            ClusterId c = static_cast<ClusterId>(tree_->point_indices()[j]);
+            crypto::PutDigest(w, cluster_commitments_[c]);
+            crypto::PutDigest(w, (*list_digests_)[c]);
+          }
+        } else {
+          w.PutU32(static_cast<uint32_t>(n.split_dim));
+          w.PutF32(n.split_value);
+          crypto::PutDigest(w, node_digests_[n.left]);
+          crypto::PutDigest(w, node_digests_[n.right]);
+        }
+        offsets[i + 1] = w.bytes().size();
+      }
+      std::vector<BytesView> msgs;
+      std::vector<Digest> outs(count);
+      msgs.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        msgs.emplace_back(w.bytes().data() + offsets[i],
+                          offsets[i + 1] - offsets[i]);
+      }
+      crypto::HashBatch(msgs.data(), outs.data(), count);
+      for (size_t i = 0; i < count; ++i) {
+        node_digests_[order[begin + cb + i]] = outs[i];
+      }
+    });
+  }
 }
 
 }  // namespace imageproof::mrkd

@@ -57,7 +57,9 @@ class MrkdTree {
   size_t RefreshListDigest(ClusterId c);
 
  private:
-  Digest ComputeNodeDigest(int node);
+  // Full build: groups nodes by depth and digests each level through the
+  // batch API, deepest level first (children before parents).
+  void BuildNodeDigests();
   Digest RecomputeLocalDigest(int node);  // from children/leaf content only
   void BuildParentsAndLeafMap();
 

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <vector>
 
 #include "common/random.h"
+#include "crypto/sha3.h"
 #include "merkle/merkle_tree.h"
 
 namespace imageproof::merkle {
@@ -159,6 +161,73 @@ TEST(MerkleTreeTest, MalformedProofsRejectedCleanly) {
                                         {leaves[5], leaves[2]}, proof)
                    .ok())
       << "unsorted";
+}
+
+// The build must produce the same bytes at any thread count / grain: the
+// chunked batch-hash decomposition is fixed by chunk size, not workers.
+TEST(MerkleTreeTest, ParallelBuildMatchesSerialAtAnyThreadCount) {
+  for (size_t n : {1u, 2u, 3u, 100u, 1337u, 4096u, 5000u}) {
+    auto leaves = MakeLeaves(n, n * 17 + 3);
+    MerkleTree serial(leaves, {.max_threads = 1, .parallel_grain = ~size_t{0}});
+    for (unsigned threads : {2u, 3u, 8u}) {
+      MerkleTree parallel(leaves,
+                          {.max_threads = threads, .parallel_grain = 1});
+      ASSERT_EQ(serial.root(), parallel.root()) << "n=" << n << " t=" << threads;
+    }
+  }
+}
+
+// Randomized UpdateLeaf sequences must track a from-scratch rebuild exactly
+// — root and subset proofs byte-identical after every step.
+TEST(MerkleTreeTest, IncrementalUpdateMatchesRebuild) {
+  for (size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 64u, 129u}) {
+    auto leaves = MakeLeaves(n, n * 101 + 7);
+    MerkleTree tree(leaves);
+    Rng rng(n * 9 + 5);
+    for (int step = 0; step < 24; ++step) {
+      size_t idx = rng.NextBounded(n);
+      Bytes payload;
+      size_t len = 1 + rng.NextBounded(20);
+      for (size_t i = 0; i < len; ++i) {
+        payload.push_back(static_cast<uint8_t>(rng.NextU64()));
+      }
+      leaves[idx] = payload;
+      tree.UpdateLeaf(idx, payload);
+      MerkleTree rebuilt(leaves);
+      ASSERT_EQ(tree.root(), rebuilt.root()) << "n=" << n << " step=" << step;
+      std::vector<uint32_t> indices;
+      std::vector<Bytes> payloads;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (rng.NextDouble() < 0.25) {
+          indices.push_back(i);
+          payloads.push_back(leaves[i]);
+        }
+      }
+      ASSERT_EQ(tree.ProveSubset(indices), rebuilt.ProveSubset(indices));
+      ASSERT_TRUE(MerkleTree::VerifySubset(n, tree.root(), indices, payloads,
+                                           tree.ProveSubset(indices))
+                      .ok());
+    }
+  }
+}
+
+// UpdateLeaf is O(log n): one leaf hash plus at most ceil(log2(n)) node
+// hashes, measured with the process-wide hash-invocation counter.
+TEST(MerkleTreeTest, UpdateLeafHashCountLogarithmic) {
+  for (size_t n : {1u, 2u, 5u, 64u, 1000u}) {
+    auto leaves = MakeLeaves(n, n + 77);
+    MerkleTree tree(leaves);
+    const size_t depth =
+        n <= 1 ? 0 : static_cast<size_t>(std::bit_width(n - 1));
+    Rng rng(n);
+    for (int step = 0; step < 8; ++step) {
+      uint64_t before = crypto::HashInvocations();
+      tree.UpdateLeaf(rng.NextBounded(n), {0xAB, static_cast<uint8_t>(step)});
+      uint64_t spent = crypto::HashInvocations() - before;
+      EXPECT_LE(spent, 1 + depth) << "n=" << n;
+      EXPECT_GE(spent, 1u);
+    }
+  }
 }
 
 TEST(MerkleTreeTest, LeafNodeDomainSeparation) {
