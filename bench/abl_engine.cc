@@ -9,8 +9,16 @@
 // --smoke shrinks the deployment and query count for CI; --json <path>
 // additionally attaches the final engine MetricsSnapshot() so the report
 // carries per-worker queue-wait / latency histograms.
+//
+// Fault-tolerance modes:
+//   --deadline-ms <n>  submit every query with an n-millisecond deadline
+//                      (reports how many resolve kDeadlineExceeded)
+//   --overload         drive a 1-worker engine at 2x its queue capacity and
+//                      report the shed rate and p99 of the served queries
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -20,7 +28,22 @@ using namespace imageproof;
 using namespace imageproof::bench;
 
 int main(int argc, char** argv) {
-  InitBench(argc, argv, "abl_engine");
+  // Strip this bench's own flags before InitBench: BenchReport::Init exits
+  // on anything it does not recognize.
+  int deadline_ms = 0;
+  bool overload = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  InitBench(static_cast<int>(passthrough.size()), passthrough.data(),
+            "abl_engine");
   DeploymentSpec spec;
   spec.num_images = SmokeMode() ? 1000 : 10000;
   spec.num_clusters = SmokeMode() ? 1024 : 4096;
@@ -54,11 +77,18 @@ int main(int argc, char** argv) {
     opts.queue_capacity = 64;
     opts.intra_query_threads = workers > 1 ? 2 : 1;
     core::QueryEngine engine(package, d.owner.public_params, opts);
+    core::SubmitOptions submit_opts;
+    submit_opts.deadline = std::chrono::milliseconds(deadline_ms);
     Stopwatch timer;
-    auto responses = engine.QueryBatch(queries, kTopK);
+    auto responses = engine.QueryBatch(queries, kTopK, submit_opts);
     double total_ms = timer.ElapsedMillis();
     int verify_failures = 0;
+    int expired = 0;
     for (const auto& r : responses) {
+      if (!r.ok()) {  // only possible with --deadline-ms
+        ++expired;
+        continue;
+      }
       core::Client client(r.snapshot->params);
       auto features_index = &r - responses.data();
       if (!client.Verify(queries[features_index], kTopK, r.response.vo).ok()) {
@@ -80,7 +110,56 @@ int main(int argc, char** argv) {
     BenchReport::Global().AddValue(key, stats.p99_latency_ms);
     std::snprintf(key, sizeof(key), "workers_%u.verify_failures", workers);
     BenchReport::Global().AddValue(key, verify_failures);
+    if (deadline_ms > 0) {
+      std::printf("         deadline %d ms: %d of %zu expired\n", deadline_ms,
+                  expired, kNumQueries);
+      std::snprintf(key, sizeof(key), "workers_%u.deadline_expired", workers);
+      BenchReport::Global().AddValue(key, expired);
+    }
     last_metrics_json = engine.MetricsSnapshot();
+  }
+
+  if (overload) {
+    // Offered load at 2x queue capacity against a single worker: the engine
+    // must shed the excess as immediate kOverloaded responses, and the
+    // queries it does accept must still serve and verify. Shed rate and the
+    // served-side p99 are the headline numbers.
+    core::EngineOptions opts;
+    opts.num_workers = 1;
+    opts.queue_capacity = SmokeMode() ? 4 : 16;
+    core::QueryEngine engine(package, d.owner.public_params, opts);
+    const size_t offered = 2 * opts.queue_capacity + 1;
+    std::vector<std::future<core::EngineResponse>> futures;
+    for (size_t i = 0; i < offered; ++i) {
+      futures.push_back(engine.Submit(queries[i % queries.size()], kTopK));
+    }
+    size_t served = 0, shed = 0, verify_failures = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      core::EngineResponse r = futures[i].get();
+      if (!r.ok()) {
+        ++shed;
+        continue;
+      }
+      ++served;
+      core::Client client(r.snapshot->params);
+      if (!client.Verify(queries[i % queries.size()], kTopK, r.response.vo)
+               .ok()) {
+        ++verify_failures;
+      }
+    }
+    core::EngineStats stats = engine.Stats();
+    double shed_rate = static_cast<double>(shed) / offered;
+    std::printf("\noverload (1 worker, queue %zu, offered %zu): served %zu, "
+                "shed %zu (%.0f%%), p99 %.2f ms%s\n",
+                opts.queue_capacity, offered, served, shed, 100.0 * shed_rate,
+                stats.p99_latency_ms,
+                verify_failures ? "   [VERIFY FAILED]" : "");
+    BenchReport::Global().AddValue("overload.offered", offered);
+    BenchReport::Global().AddValue("overload.served", served);
+    BenchReport::Global().AddValue("overload.shed_rate", shed_rate);
+    BenchReport::Global().AddValue("overload.p99_ms", stats.p99_latency_ms);
+    BenchReport::Global().AddValue("overload.verify_failures",
+                                   verify_failures);
   }
 
   // Update cost while serving: one snapshot swap (clone + apply + re-sign)

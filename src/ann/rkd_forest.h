@@ -28,6 +28,8 @@ struct ForestParams {
   int max_leaf_size = 2;    // clusters per leaf
   int max_leaf_checks = 32; // AKM stops after exploring this many leaves
   uint64_t seed = 0x5EED;
+
+  bool operator==(const ForestParams&) const = default;
 };
 
 struct NearestResult {

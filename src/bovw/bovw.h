@@ -32,6 +32,8 @@ struct BovwVector {
   double L2Norm() const;
   uint32_t FrequencyOf(ClusterId c) const;
   bool empty() const { return entries.empty(); }
+
+  bool operator==(const BovwVector&) const = default;
 };
 
 // Builds a sorted BovwVector by counting cluster assignments.

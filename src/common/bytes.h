@@ -139,7 +139,9 @@ class ByteReader {
     int shift = 0;
     while (true) {
       if (AtEnd()) return Truncated("varint");
-      if (shift >= 64) return Status::Error("bytes: varint overflows 64 bits");
+      if (shift >= 64) {
+        return Status::Corrupted("bytes: varint overflows 64 bits");
+      }
       uint8_t b = *data_++;
       v |= static_cast<uint64_t>(b & 0x7F) << shift;
       if (!(b & 0x80)) break;
@@ -191,8 +193,11 @@ class ByteReader {
   }
 
  private:
+  // Malformed untrusted input is kCorrupted: callers distinguish "the bytes
+  // are bad" (reject/retry) from a generic failed check.
   static Status Truncated(const char* what) {
-    return Status::Error(std::string("bytes: truncated input reading ") + what);
+    return Status::Corrupted(std::string("bytes: truncated input reading ") +
+                             what);
   }
 
   const uint8_t* data_;

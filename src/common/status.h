@@ -1,18 +1,56 @@
 // Lightweight, exception-free error handling for the ImageProof library.
 //
 // Library code never throws: fallible operations return Status or Result<T>.
-// A Status is either OK or carries a short human-readable message describing
-// the first failed check (verification code uses this to name the violated
-// security property).
+// A Status is either OK or carries a machine-readable StatusCode plus a short
+// human-readable message describing the first failed check (verification code
+// uses the message to name the violated security property; the serving layer
+// uses the code to pick a degradation behavior — shed, retry, or reject).
 
 #ifndef IMAGEPROOF_COMMON_STATUS_H_
 #define IMAGEPROOF_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 
 namespace imageproof {
+
+// Coarse failure taxonomy for the serving and storage layers. kError is the
+// generic "check failed" bucket (verification rejects, logical update
+// failures); the other codes drive distinct behaviors:
+//   kOverloaded       admission rejected; the submission queue is full
+//   kDeadlineExceeded the query's deadline expired in queue or in flight
+//   kUnavailable      the engine is stopped/draining; nothing was attempted
+//   kCorrupted        malformed or tampered bytes from an untrusted source
+//                     (truncation, overflow lengths, bit flips) — retryable
+//                     when the source is a transient fault, never accepted
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kError = 1,
+  kOverloaded = 2,
+  kDeadlineExceeded = 3,
+  kUnavailable = 4,
+  kCorrupted = 5,
+};
+
+inline const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kError:
+      return "ERROR";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kCorrupted:
+      return "CORRUPTED";
+  }
+  return "UNKNOWN";
+}
 
 // Outcome of a fallible operation. Cheap to copy in the OK case.
 class Status {
@@ -22,12 +60,29 @@ class Status {
 
   static Status Ok() { return Status(); }
   static Status Error(std::string message) {
+    return WithCode(StatusCode::kError, std::move(message));
+  }
+  static Status Overloaded(std::string message) {
+    return WithCode(StatusCode::kOverloaded, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return WithCode(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return WithCode(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status Corrupted(std::string message) {
+    return WithCode(StatusCode::kCorrupted, std::move(message));
+  }
+  static Status WithCode(StatusCode code, std::string message) {
     Status s;
+    s.code_ = code == StatusCode::kOk ? StatusCode::kError : code;
     s.message_ = std::move(message);
     return s;
   }
 
-  bool ok() const { return !message_.has_value(); }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   // Message of a non-OK status; empty string when OK.
   const std::string& message() const {
     static const std::string kEmpty;
@@ -35,6 +90,7 @@ class Status {
   }
 
  private:
+  StatusCode code_ = StatusCode::kOk;
   std::optional<std::string> message_;
 };
 

@@ -10,7 +10,14 @@
 //     BLOCKS until a worker drains an entry — natural backpressure, so an
 //     overloaded server sheds load onto its callers instead of growing an
 //     unbounded backlog.
-//   * The destructor drains every already-submitted task, then joins.
+//   * TrySubmit() is the load-shedding variant: it never blocks, and
+//     instead reports kQueueFull (caller sheds) or kShutdown (pool is
+//     draining) — the query engine builds its overload policy on this.
+//   * Shutdown() drains every already-submitted task, joins the workers,
+//     and is idempotent/thread-safe; the destructor calls it. After
+//     Shutdown, Submit() runs the task inline on the calling thread (the
+//     returned future is always satisfied, never silently dropped) and
+//     TrySubmit() reports kShutdown.
 //
 // Thread safety: all public members may be called from any thread. Tasks
 // may not Submit() to the pool they run on while the queue is full (the
@@ -48,20 +55,22 @@ class ThreadPool {
     }
   }
 
-  ~ThreadPool() {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      stopping_ = true;
-    }
-    not_empty_.notify_all();
-    for (auto& w : workers_) w.join();
-  }
+  ~ThreadPool() { Shutdown(); }
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Outcome of a TrySubmit admission attempt.
+  enum class TrySubmitResult {
+    kAccepted,   // task enqueued; the future will be satisfied
+    kQueueFull,  // bounded queue at capacity; nothing enqueued
+    kShutdown,   // pool is stopping/stopped; nothing enqueued
+  };
+
   // Enqueues `fn` and returns a future for its result. Blocks while the
-  // bounded queue is full.
+  // bounded queue is full. After Shutdown() the task runs inline on the
+  // calling thread (no worker remains to drain it, but the future must
+  // still be satisfied).
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
     using R = std::invoke_result_t<std::decay_t<Fn>>;
@@ -73,12 +82,52 @@ class ThreadPool {
       not_full_.wait(lock, [this] {
         return stopping_ || capacity_ == 0 || queue_.size() < capacity_;
       });
-      // Tasks submitted during shutdown still run: the workers drain the
-      // queue before exiting, so the returned future is always satisfied.
+      if (stopping_) {
+        lock.unlock();
+        (*task)();
+        return result;
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     not_empty_.notify_one();
     return result;
+  }
+
+  // Non-blocking admission: enqueues `fn` only when the pool accepts work
+  // and the bounded queue has room, otherwise reports why. `*out` is set
+  // only on kAccepted.
+  template <typename Fn>
+  TrySubmitResult TrySubmit(
+      Fn&& fn, std::future<std::invoke_result_t<std::decay_t<Fn>>>* out) {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return TrySubmitResult::kShutdown;
+      if (capacity_ != 0 && queue_.size() >= capacity_) {
+        return TrySubmitResult::kQueueFull;
+      }
+      *out = task->get_future();
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    not_empty_.notify_one();
+    return TrySubmitResult::kAccepted;
+  }
+
+  // Drains every already-submitted task, then joins the workers. Safe to
+  // call from multiple threads and multiple times; later calls are no-ops.
+  void Shutdown() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
   }
 
   size_t QueueDepth() const {
@@ -114,6 +163,7 @@ class ThreadPool {
   inline static thread_local int worker_index_ = -1;
 
   mutable std::mutex mu_;
+  std::mutex join_mu_;  // serializes concurrent Shutdown() joins
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<std::function<void()>> queue_;

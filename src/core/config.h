@@ -68,6 +68,11 @@ struct Config {
     return c;
   }
 
+  // Member-wise equality: the engine's update path compares a reloaded
+  // clone's config against the served snapshot's, because config bytes are
+  // the one committed region the signed root digest does not cover.
+  bool operator==(const Config&) const = default;
+
   std::string Name() const {
     if (!share_nodes && !with_filters) return "Baseline";
     if (reveal_mode == mrkd::RevealMode::kDimMerkle && freq_grouped) {

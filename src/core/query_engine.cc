@@ -1,7 +1,10 @@
 #include "core/query_engine.h"
 
 #include <algorithm>
+#include <thread>
 
+#include "common/fault.h"
+#include "crypto/rsa.h"
 #include "obs/registry.h"
 #include "storage/serializer.h"
 
@@ -20,16 +23,43 @@ QueryEngine::QueryEngine(std::shared_ptr<const SpPackage> package,
   snapshot_ = std::move(snap);
 }
 
+QueryEngine::~QueryEngine() { Shutdown(); }
+
+void QueryEngine::Shutdown() {
+  stopped_.store(true, std::memory_order_release);
+  pool_.Shutdown();  // drains accepted queries, joins workers; idempotent
+}
+
 std::shared_ptr<const Snapshot> QueryEngine::CurrentSnapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
 }
 
+std::future<EngineResponse> QueryEngine::ReadyResponse(Status status) {
+  std::promise<EngineResponse> p;
+  EngineResponse r;
+  r.status = std::move(status);
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
 EngineResponse QueryEngine::Serve(
     const std::shared_ptr<const Snapshot>& snap,
     const std::vector<std::vector<float>>& features, size_t k,
-    obs::TimePoint enqueued) {
+    obs::TimePoint enqueued, Clock::time_point deadline) {
   queue_wait_us_.Record(obs::ElapsedUs(enqueued));
+  EngineResponse out;
+  out.snapshot = snap;
+  const bool has_deadline = deadline != Clock::time_point{};
+  // A query whose deadline expired while it waited in the queue is dropped
+  // before any pipeline work: the client already gave up on it, so serving
+  // it would burn capacity the still-live queries need.
+  if (has_deadline && Clock::now() > deadline) {
+    deadline_exceeded_.Add();
+    out.status = Status::DeadlineExceeded("engine: deadline expired in queue");
+    return out;
+  }
+  fault::InjectLatency("engine.query.latency");
   in_flight_.Add();
   int worker = ThreadPool::CurrentWorkerIndex();
   if (worker >= 0 && static_cast<unsigned>(worker) < num_workers_) {
@@ -39,33 +69,82 @@ EngineResponse QueryEngine::Serve(
   ServiceProvider sp(snap->package.get());
   QueryParallelism par;
   par.threads = options_.intra_query_threads;
-  EngineResponse out;
-  out.response = sp.Query(features, k, par);
-  out.snapshot = snap;
+  QueryControl control =
+      has_deadline ? QueryControl(deadline) : QueryControl();
+  out.status = sp.Query(features, k, par, control, &out.response);
   latency_timer.Stop();
-  queries_served_.Add();
   in_flight_.Sub();
+  if (out.status.ok()) {
+    queries_served_.Add();
+  } else {
+    // Only deadline expiry can surface here; the partial response must not
+    // leak (a half-built VO would fail verification in confusing ways).
+    deadline_exceeded_.Add();
+    out.response = QueryResponse{};
+  }
   return out;
 }
 
 std::future<EngineResponse> QueryEngine::Submit(
-    std::vector<std::vector<float>> features, size_t k) {
+    std::vector<std::vector<float>> features, size_t k,
+    SubmitOptions submit_options) {
+  return SubmitWithPolicy(std::move(features), k, submit_options,
+                          options_.overload_policy);
+}
+
+std::future<EngineResponse> QueryEngine::SubmitWithPolicy(
+    std::vector<std::vector<float>> features, size_t k,
+    SubmitOptions submit_options, OverloadPolicy policy) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    rejected_unavailable_.Add();
+    return ReadyResponse(Status::Unavailable("engine: stopped"));
+  }
+  const Clock::time_point deadline =
+      submit_options.deadline.count() > 0
+          ? Clock::now() + submit_options.deadline
+          : Clock::time_point{};
   // The snapshot is pinned at submission time, not at execution time: a
   // query admitted before an update is answered from the state the caller
   // observed, even if it sits in the queue across the swap.
   std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
   obs::TimePoint enqueued = obs::Now();
-  return pool_.Submit([this, snap = std::move(snap),
-                       features = std::move(features), k, enqueued] {
-    return Serve(snap, features, k, enqueued);
-  });
+  auto task = [this, snap = std::move(snap), features = std::move(features),
+               k, enqueued, deadline] {
+    return Serve(snap, features, k, enqueued, deadline);
+  };
+  if (policy == OverloadPolicy::kBlock) {
+    // PR-1 backpressure semantics: a full queue blocks the submitter. If
+    // the pool shut down between the stopped_ check above and here, the
+    // task runs inline — the future is still satisfied, never dropped.
+    return pool_.Submit(std::move(task));
+  }
+  std::future<EngineResponse> fut;
+  switch (pool_.TrySubmit(std::move(task), &fut)) {
+    case ThreadPool::TrySubmitResult::kAccepted:
+      return fut;
+    case ThreadPool::TrySubmitResult::kQueueFull:
+      queries_shed_.Add();
+      return ReadyResponse(
+          Status::Overloaded("engine: submission queue full, query shed"));
+    case ThreadPool::TrySubmitResult::kShutdown:
+      break;
+  }
+  rejected_unavailable_.Add();
+  return ReadyResponse(Status::Unavailable("engine: stopped"));
 }
 
 std::vector<EngineResponse> QueryEngine::QueryBatch(
-    const std::vector<std::vector<std::vector<float>>>& queries, size_t k) {
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    SubmitOptions submit_options) {
   std::vector<std::future<EngineResponse>> futures;
   futures.reserve(queries.size());
-  for (const auto& q : queries) futures.push_back(Submit(q, k));
+  for (const auto& q : queries) {
+    // The batch caller waits for every result anyway, so a full queue means
+    // backpressure (block), not shedding — shedding is for callers that
+    // need an immediate admission decision.
+    futures.push_back(
+        SubmitWithPolicy(q, k, submit_options, OverloadPolicy::kBlock));
+  }
   std::vector<EngineResponse> out;
   out.reserve(queries.size());
   for (auto& f : futures) out.push_back(f.get());
@@ -73,44 +152,124 @@ std::vector<EngineResponse> QueryEngine::QueryBatch(
 }
 
 template <typename Apply>
-Result<UpdateStats> QueryEngine::ApplyUpdate(Apply&& apply) {
-  std::lock_guard<std::mutex> writer_lock(update_mu_);
-  obs::ScopedTimer update_timer(update_us_);
-  std::shared_ptr<const Snapshot> base = CurrentSnapshot();
+Result<UpdateStats> QueryEngine::TryApplyUpdate(
+    const std::shared_ptr<const Snapshot>& base, Apply&& apply) {
+  if (fault::InjectFault("engine.update.clone")) {
+    return Result<UpdateStats>(
+        Status::Corrupted("engine update: injected clone fault"));
+  }
+  fault::InjectLatency("engine.update.latency");
 
   // Deep-clone via the canonical serializer: the load path re-derives every
-  // digest from raw data, so a corrupted in-memory package fails here
-  // instead of being silently republished under a fresh signature.
+  // digest from raw data, so a corrupted in-memory package (or a storage
+  // fault on the wire bytes — see fault::InjectByteFaults in the
+  // serializer) fails here instead of being silently republished under a
+  // fresh signature.
   Result<std::unique_ptr<SpPackage>> clone =
       storage::DeserializeSpPackage(storage::SerializeSpPackage(*base->package));
   if (!clone.ok()) {
-    update_failures_.Add();
-    return Result<UpdateStats>::Error("engine update: clone failed: " +
-                                      clone.status().message());
+    return Result<UpdateStats>(
+        Status::WithCode(clone.status().code(), "engine update: clone failed: " +
+                                                    clone.status().message()));
   }
+  // A bit flip can survive parsing when it lands in content the load path
+  // takes at face value. The clone's re-derived root must match the root
+  // the served snapshot was signed under, or we would be about to sign
+  // corrupted state. The root transitively covers the codebook (cluster
+  // commitments), tree shapes, corpus/posting chains, weights, and filter
+  // geometry — but NOT the config header, image payloads, or per-image
+  // signatures, so those are compared against the base directly. Together
+  // the two checks cover every serialized byte of the clone.
+  if ((*clone)->RootDigest() != base->package->RootDigest()) {
+    return Result<UpdateStats>(Status::Corrupted(
+        "engine update: cloned package root diverges from served snapshot"));
+  }
+  // The corpus comparison additionally catches corruption the digests are
+  // blind to only in degenerate data (a frequency on a zero-weight cluster
+  // contributes nothing to any impact, so no digest sees it change).
+  if ((*clone)->config != base->package->config ||
+      (*clone)->corpus != base->package->corpus ||
+      (*clone)->image_data != base->package->image_data ||
+      (*clone)->image_signatures != base->package->image_signatures) {
+    return Result<UpdateStats>(Status::Corrupted(
+        "engine update: cloned package content diverges outside the root"));
+  }
+
   auto next = std::make_shared<Snapshot>();
   next->params = base->params;
   Result<UpdateStats> result = apply(clone->get(), &next->params);
   if (!result.ok()) {
-    update_failures_.Add();
-    return result;  // nothing published; readers keep the old snapshot
+    return result;  // logical failure (duplicate id, ...): not retryable
   }
+
+  if (fault::InjectFault("engine.update.sign") &&
+      !next->params.root_signature.empty()) {
+    next->params.root_signature[0] ^= 0x01;  // simulated signing fault
+  }
+  // The signature the update produced must verify over the clone's new
+  // root before anyone is asked to trust it. On mismatch the swap is
+  // skipped — rollback is simply not publishing.
+  if (!crypto::RsaVerify(next->params.public_key, (*clone)->RootDigest(),
+                         next->params.root_signature)) {
+    return Result<UpdateStats>(Status::Corrupted(
+        "engine update: fresh root signature failed verification"));
+  }
+
   next->package = std::shared_ptr<const SpPackage>(std::move(*clone));
   next->version = base->version + 1;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(next);
   }
-  updates_applied_.Add();
+  return result;
+}
+
+template <typename Apply>
+Result<UpdateStats> QueryEngine::ApplyUpdate(Apply&& apply) {
+  std::lock_guard<std::mutex> writer_lock(update_mu_);
+  if (stopped_.load(std::memory_order_acquire)) {
+    rejected_unavailable_.Add();
+    return Result<UpdateStats>(Status::Unavailable("engine: stopped"));
+  }
+  obs::ScopedTimer update_timer(update_us_);
+  std::shared_ptr<const Snapshot> base = CurrentSnapshot();
+
+  const int max_attempts = std::max(options_.update_max_attempts, 1);
+  std::chrono::milliseconds backoff = options_.update_retry_backoff;
+  Result<UpdateStats> result =
+      Result<UpdateStats>(Status::Error("engine update: not attempted"));
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result = TryApplyUpdate(base, apply);
+    if (result.ok()) {
+      updates_applied_.Add();
+      return result;
+    }
+    // Only corruption is transient (storage/signing faults); logical
+    // failures would fail identically on every attempt.
+    if (result.status().code() != StatusCode::kCorrupted ||
+        attempt == max_attempts) {
+      break;
+    }
+    update_retries_.Add();
+    if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+  }
+  update_failures_.Add();
   return result;
 }
 
 Result<UpdateStats> QueryEngine::InsertImage(
     const crypto::RsaPrivateKey& owner_key, ImageId id, bovw::BovwVector bovw,
     Bytes image_data) {
-  return ApplyUpdate([&](SpPackage* pkg, PublicParams* params) {
-    return core::InsertImage(pkg, owner_key, params, id, std::move(bovw),
-                             std::move(image_data));
+  // The captures stay intact across retry attempts: core::InsertImage takes
+  // its arguments by value, so each call below copies from the captures
+  // rather than consuming them.
+  return ApplyUpdate([&owner_key, id, bovw = std::move(bovw),
+                      image_data = std::move(image_data)](
+                         SpPackage* pkg, PublicParams* params) {
+    return core::InsertImage(pkg, owner_key, params, id, bovw, image_data);
   });
 }
 
@@ -124,11 +283,16 @@ Result<UpdateStats> QueryEngine::DeleteImage(
 EngineStats QueryEngine::Stats() const {
   EngineStats s;
   s.queries_served = queries_served_.Value();
+  s.queries_shed = queries_shed_.Value();
+  s.deadline_exceeded = deadline_exceeded_.Value();
+  s.rejected_unavailable = rejected_unavailable_.Value();
   s.updates_applied = updates_applied_.Value();
   s.update_failures = update_failures_.Value();
+  s.update_retries = update_retries_.Value();
   s.in_flight = static_cast<uint64_t>(std::max<int64_t>(in_flight_.Value(), 0));
   s.queue_depth = pool_.QueueDepth();
   s.snapshot_version = CurrentSnapshot()->version;
+  s.stopped = stopped();
   obs::HistogramSnapshot lat = latency_us_.Snapshot();
   if (lat.count > 0) {
     s.p50_latency_ms = lat.p50 / 1000.0;
@@ -147,9 +311,14 @@ std::string QueryEngine::MetricsSnapshot() const {
   w.Key("snapshot_version").U64(CurrentSnapshot()->version);
   w.Key("queue_depth").U64(pool_.QueueDepth());
   w.Key("in_flight").I64(in_flight_.Value());
+  w.Key("stopped").Bool(stopped());
   w.Key("queries_served").U64(queries_served_.Value());
+  w.Key("shed").U64(queries_shed_.Value());
+  w.Key("deadline_exceeded").U64(deadline_exceeded_.Value());
+  w.Key("rejected_unavailable").U64(rejected_unavailable_.Value());
   w.Key("updates_applied").U64(updates_applied_.Value());
   w.Key("update_failures").U64(update_failures_.Value());
+  w.Key("update_retries").U64(update_retries_.Value());
   w.Key("per_worker_queries").BeginArray();
   for (unsigned i = 0; i < num_workers_; ++i) {
     w.U64(per_worker_queries_[i].Value());

@@ -1,4 +1,5 @@
-// Concurrent query-serving engine with snapshot isolation.
+// Concurrent query-serving engine with snapshot isolation and explicit
+// fault tolerance.
 //
 // The paper's SP is a single verifier-facing endpoint, but the workload it
 // targets — large-scale image retrieval — is many clients hitting one
@@ -8,13 +9,21 @@
 //
 //   * Inter-query parallelism: a fixed-size worker pool (common/
 //     thread_pool.h) with a bounded submission queue. Submit() returns a
-//     future; QueryBatch() is the blocking convenience. When the queue is
-//     full, Submit() blocks — backpressure instead of unbounded backlog.
+//     future; QueryBatch() is the blocking convenience.
 //   * Intra-query parallelism: each worker runs Query with
 //     QueryParallelism{intra_query_threads}, splitting the per-feature AKM
 //     loop, the per-tree MRKD searches, and the exact-nearest scan across
 //     ParallelFor workers. Single-query latency drops without changing a
 //     single VO byte (see below).
+//   * Load shedding instead of unbounded blocking: under the default
+//     OverloadPolicy::kShed, a Submit() against a full queue resolves
+//     immediately with Status kOverloaded (counted in `engine.shed`);
+//     kBlock restores the PR-1 backpressure behavior. Per-query deadlines
+//     (SubmitOptions::deadline) are enforced at worker pickup and between
+//     query stages (core::QueryControl), resolving as kDeadlineExceeded.
+//     A stopped engine (Shutdown()) resolves every later Submit() as
+//     kUnavailable. The engine degrades to *explicit errors*; it never
+//     blocks a caller indefinitely and never crashes on overload.
 //   * Snapshot isolation for updates: the engine serves from an immutable
 //     `shared_ptr<const Snapshot>` (package + the PublicParams whose root
 //     signature covers it). InsertImage/DeleteImage clone the current
@@ -24,17 +33,33 @@
 //     verifying against the root they started under; their responses carry
 //     that snapshot so clients check the matching signature. Writers are
 //     serialized; readers never block writers or each other.
+//   * Update validation + rollback: before publishing, the engine checks
+//     (1) the clone's root digest equals the served snapshot's (a storage
+//     bit flip that survives parsing cannot sneak into a fresh signature)
+//     and (2) the freshly signed root signature actually verifies over the
+//     cloned package's new root. Any corruption (kCorrupted) is retried
+//     with exponential backoff up to EngineOptions::update_max_attempts;
+//     logical failures (duplicate id, ...) are returned immediately. On
+//     every failure path the old snapshot stays published — queries racing
+//     a faulty update always verify against a consistently signed root.
+//     Fault-injection tests (tests/fault_test.cc + common/fault.h) drive
+//     storage bit flips, truncations, clone/sign failures, and latency
+//     through these paths.
 //
 // Determinism invariant: for a fixed snapshot, the engine's response —
 // VO bytes and top-k — is byte-identical to the serial
 // ServiceProvider::Query at ANY worker count and ANY intra-query thread
 // count. Every parallel loop writes disjoint per-index slots and merges in
 // index order; there are no cross-thread floating-point reductions. The
-// golden determinism tests (tests/golden_test.cc) lock this in.
+// golden determinism tests (tests/golden_test.cc) lock this in. Shedding
+// never alters accepted queries' bytes: a shed/expired query returns no VO
+// at all.
 
 #ifndef IMAGEPROOF_CORE_QUERY_ENGINE_H_
 #define IMAGEPROOF_CORE_QUERY_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -48,10 +73,25 @@
 
 namespace imageproof::core {
 
+// What Submit() does when the bounded queue is full: shed (resolve the
+// future immediately with kOverloaded) or block until space frees up.
+enum class OverloadPolicy { kShed, kBlock };
+
 struct EngineOptions {
   unsigned num_workers = 4;          // pool size (inter-query parallelism)
   size_t queue_capacity = 128;       // bounded submission queue, 0 = unbounded
   unsigned intra_query_threads = 1;  // ParallelFor width inside one query
+  OverloadPolicy overload_policy = OverloadPolicy::kShed;
+  // Update fault tolerance: total attempts per InsertImage/DeleteImage when
+  // the failure is kCorrupted (transient storage/signing faults), and the
+  // first retry's backoff (doubled per subsequent attempt).
+  int update_max_attempts = 3;
+  std::chrono::milliseconds update_retry_backoff{1};
+};
+
+// Per-submission options. A zero deadline means none.
+struct SubmitOptions {
+  std::chrono::milliseconds deadline{0};
 };
 
 // One immutable published state of the deployment. `params.root_signature`
@@ -63,26 +103,37 @@ struct Snapshot {
   uint64_t version = 0;  // 0 = the snapshot the engine was constructed with
 };
 
-// A query response plus the snapshot it was served under. Verification must
-// use `snapshot->params` — a response served before an update is only valid
+// A query response plus the snapshot it was served under, plus the serving
+// outcome. `status` is OK for served queries; kOverloaded /
+// kDeadlineExceeded / kUnavailable responses carry no VO (and a shed or
+// unavailable response also no snapshot). Verification must use
+// `snapshot->params` — a response served before an update is only valid
 // against the root signature of its own snapshot.
 struct EngineResponse {
+  Status status;
   QueryResponse response;
   std::shared_ptr<const Snapshot> snapshot;
+
+  bool ok() const { return status.ok(); }
 };
 
 // Point-in-time engine counters (Stats()). Latency percentiles come from a
 // fixed log-scale histogram (obs::Histogram) and are upper-bound bucket
-// estimates. In an IMAGEPROOF_NO_METRICS build, snapshot_version and
-// queue_depth remain live (they are engine state, not metrics) while every
-// other field reads zero.
+// estimates. In an IMAGEPROOF_NO_METRICS build, snapshot_version,
+// queue_depth, and stopped remain live (they are engine state, not
+// metrics) while every other field reads zero.
 struct EngineStats {
   uint64_t queries_served = 0;
+  uint64_t queries_shed = 0;        // kOverloaded at admission
+  uint64_t deadline_exceeded = 0;   // expired in queue or between stages
+  uint64_t rejected_unavailable = 0;  // submitted against a stopped engine
   uint64_t updates_applied = 0;
   uint64_t update_failures = 0;
+  uint64_t update_retries = 0;      // transient-fault attempts that repeated
   uint64_t in_flight = 0;      // queries currently executing
   uint64_t queue_depth = 0;    // submitted, not yet picked up by a worker
   uint64_t snapshot_version = 0;
+  bool stopped = false;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
 };
@@ -93,29 +144,53 @@ class QueryEngine {
   // parameters published for exactly this package state.
   QueryEngine(std::shared_ptr<const SpPackage> package, PublicParams params,
               EngineOptions options = {});
-  ~QueryEngine() = default;  // pool drains all submitted queries
+  ~QueryEngine();  // equivalent to Shutdown(): drains all submitted queries
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  // Enqueues one query; blocks only when the submission queue is full.
+  // Enqueues one query. Under OverloadPolicy::kShed this never blocks: the
+  // returned future is immediately ready with kOverloaded when the queue is
+  // full, or kUnavailable after Shutdown(). With a deadline set, the future
+  // resolves with kDeadlineExceeded if the deadline passes before a worker
+  // picks the query up or between query stages.
   std::future<EngineResponse> Submit(std::vector<std::vector<float>> features,
-                                     size_t k);
+                                     size_t k, SubmitOptions submit_options);
+  std::future<EngineResponse> Submit(std::vector<std::vector<float>> features,
+                                     size_t k) {
+    return Submit(std::move(features), k, SubmitOptions{});
+  }
 
   // Submits every query, then blocks until all are served. Results are in
-  // input order.
+  // input order. Since the caller waits for every result anyway, a full
+  // queue applies backpressure (blocks the submitter) rather than shedding,
+  // regardless of the engine's overload policy; per-query deadlines still
+  // apply, so entries may carry kDeadlineExceeded.
   std::vector<EngineResponse> QueryBatch(
-      const std::vector<std::vector<std::vector<float>>>& queries, size_t k);
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      SubmitOptions submit_options = {});
 
   // Owner-side updates. Each clones the current package, applies the
-  // update, re-signs, and publishes a new snapshot; concurrent queries are
-  // unaffected (they finish on the snapshot they started with). On failure
-  // nothing is published. Writers are serialized with each other.
+  // update, re-signs, validates the signed root against the clone, and
+  // publishes a new snapshot; concurrent queries are unaffected (they
+  // finish on the snapshot they started with). On failure nothing is
+  // published and the old snapshot keeps serving; kCorrupted failures are
+  // retried with exponential backoff (see EngineOptions). Writers are
+  // serialized with each other.
   Result<UpdateStats> InsertImage(const crypto::RsaPrivateKey& owner_key,
                                   ImageId id, bovw::BovwVector bovw,
                                   Bytes image_data);
   Result<UpdateStats> DeleteImage(const crypto::RsaPrivateKey& owner_key,
                                   ImageId id);
+
+  // Stops admission and drains: already-accepted queries finish (their
+  // futures are satisfied), then the workers join. Every Submit() at or
+  // after this point resolves immediately with kUnavailable; updates
+  // return kUnavailable as well. Idempotent and safe to call concurrently
+  // with Submit() from any thread.
+  void Shutdown();
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
   // The snapshot new queries will be served under.
   std::shared_ptr<const Snapshot> CurrentSnapshot() const;
@@ -123,38 +198,61 @@ class QueryEngine {
   EngineStats Stats() const;
 
   // Full observability dump as stable JSON: the engine's own metrics
-  // (serving/queue-wait/update latency histograms, per-worker query
-  // counts, in-flight gauge, snapshot version) plus the process-wide
-  // registry (sp.* stage timers, client.* verify metrics) under "process".
-  // Safe to call concurrently with serving; values are relaxed-atomic
-  // reads. Under IMAGEPROOF_NO_METRICS the histograms/counters read zero
-  // and "process" is {}.
+  // (serving/queue-wait/update latency histograms, shed and deadline
+  // counters, per-worker query counts, in-flight gauge, snapshot version)
+  // plus the process-wide registry (sp.* stage timers, client.* verify
+  // metrics) under "process". Safe to call concurrently with serving;
+  // values are relaxed-atomic reads. Under IMAGEPROOF_NO_METRICS the
+  // histograms/counters read zero and "process" is {}.
   std::string MetricsSnapshot() const;
 
   const EngineOptions& options() const { return options_; }
 
  private:
+  using Clock = QueryControl::Clock;
+
   // Executes one query on a worker thread against `snap`. `enqueued` is
-  // the Submit() timestamp, for the queue-wait histogram.
+  // the Submit() timestamp, for the queue-wait histogram; `deadline` is
+  // the absolute per-query deadline (time_point{} = none).
   EngineResponse Serve(const std::shared_ptr<const Snapshot>& snap,
                        const std::vector<std::vector<float>>& features,
-                       size_t k, obs::TimePoint enqueued);
+                       size_t k, obs::TimePoint enqueued,
+                       Clock::time_point deadline);
 
-  // Clone-apply-swap core of both update entry points. `apply` receives the
-  // cloned package and the params copy to update in place.
+  // Clone-apply-validate-swap core of both update entry points, with the
+  // transient-fault retry loop. `apply` receives the cloned package and the
+  // params copy to update in place.
   template <typename Apply>
   Result<UpdateStats> ApplyUpdate(Apply&& apply);
+
+  // One clone-apply-validate attempt; publishes on success.
+  template <typename Apply>
+  Result<UpdateStats> TryApplyUpdate(
+      const std::shared_ptr<const Snapshot>& base, Apply&& apply);
+
+  // An immediately-ready response for shed/expired/unavailable outcomes.
+  static std::future<EngineResponse> ReadyResponse(Status status);
+
+  // Submit with an explicit overload policy (QueryBatch always blocks).
+  std::future<EngineResponse> SubmitWithPolicy(
+      std::vector<std::vector<float>> features, size_t k,
+      SubmitOptions submit_options, OverloadPolicy policy);
 
   EngineOptions options_;
   unsigned num_workers_;            // options_.num_workers, 0 resolved to 1
   mutable std::mutex snapshot_mu_;  // guards snapshot_ swaps/reads
   std::shared_ptr<const Snapshot> snapshot_;
   std::mutex update_mu_;  // serializes writers (clone → apply → swap)
+  std::atomic<bool> stopped_{false};
 
   // Engine-scoped metrics (obs/metrics.h; no-ops when compiled out).
   obs::Counter queries_served_;
+  obs::Counter queries_shed_;
+  obs::Counter deadline_exceeded_;
+  obs::Counter rejected_unavailable_;
   obs::Counter updates_applied_;
   obs::Counter update_failures_;
+  obs::Counter update_retries_;
   obs::Gauge in_flight_;
   obs::Histogram latency_us_;     // Serve() wall time
   obs::Histogram queue_wait_us_;  // Submit() -> worker pickup

@@ -53,6 +53,16 @@ QueryResponse ServiceProvider::Query(
     const std::vector<std::vector<float>>& features, size_t k,
     const QueryParallelism& par) const {
   QueryResponse resp;
+  // A default QueryControl never expires, so this cannot fail.
+  (void)Query(features, k, par, QueryControl(), &resp);
+  return resp;
+}
+
+Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
+                              size_t k, const QueryParallelism& par,
+                              const QueryControl& control,
+                              QueryResponse* out) const {
+  QueryResponse& resp = *out;
   const Config& config = pkg_->config;
   const ann::PointSet& codebook = pkg_->codebook;
   const size_t dims = codebook.dims();
@@ -65,6 +75,10 @@ QueryResponse ServiceProvider::Query(
   SpMetrics& met = SpMetrics::Get();
   met.queries.Add();
   met.features.Add(nq);
+
+  if (control.Expired()) {
+    return Status::DeadlineExceeded("sp: deadline expired before query start");
+  }
 
   // Step 1: AKM search for thresholds.
   obs::ScopedTimer akm_timer(met.akm_threshold_us);
@@ -80,6 +94,10 @@ QueryResponse ServiceProvider::Query(
       threads, /*grain=*/1);
   resp.vo.thresholds_sq = thresholds_sq;
   akm_timer.Stop();
+
+  if (control.Expired()) {
+    return Status::DeadlineExceeded("sp: deadline expired after AKM stage");
+  }
 
   // Step 2: MRKDSearch over every tree, in parallel across trees; outputs
   // are merged in tree order afterwards.
@@ -108,6 +126,10 @@ QueryResponse ServiceProvider::Query(
   }
 
   mrkd_timer.Stop();
+
+  if (control.Expired()) {
+    return Status::DeadlineExceeded("sp: deadline expired after MRKD stage");
+  }
 
   // Step 3: assignments = exact nearest among candidates, then the shared
   // candidate-reveal section.
@@ -177,6 +199,10 @@ QueryResponse ServiceProvider::Query(
   for (const Bytes& t : resp.vo.tree_vos) resp.stats.bovw_vo_bytes += t.size();
   met.bovw_vo_bytes.Record(resp.stats.bovw_vo_bytes);
 
+  if (control.Expired()) {
+    return Status::DeadlineExceeded("sp: deadline expired after BoVW stage");
+  }
+
   // Step 5: inverted-index search.
   Stopwatch inv_timer;
   obs::ScopedTimer inv_stage_timer(met.inv_search_us);
@@ -201,6 +227,10 @@ QueryResponse ServiceProvider::Query(
   resp.stats.inv_vo_bytes = resp.vo.inv_vo.size();
   met.inv_vo_bytes.Record(resp.stats.inv_vo_bytes);
 
+  if (control.Expired()) {
+    return Status::DeadlineExceeded("sp: deadline expired after inv stage");
+  }
+
   // Step 6: result payloads + signatures.
   obs::ScopedTimer vo_timer(met.vo_assemble_us);
   for (const auto& si : resp.topk) {
@@ -212,7 +242,7 @@ QueryResponse ServiceProvider::Query(
     if (sig_it != pkg_->image_signatures.end()) ri.signature = sig_it->second;
     resp.vo.results.push_back(std::move(ri));
   }
-  return resp;
+  return Status::Ok();
 }
 
 }  // namespace imageproof::core

@@ -16,6 +16,7 @@
 #ifndef IMAGEPROOF_CORE_SERVER_H_
 #define IMAGEPROOF_CORE_SERVER_H_
 
+#include <chrono>
 #include <vector>
 
 #include "core/owner.h"
@@ -48,6 +49,31 @@ struct QueryParallelism {
   unsigned threads = 1;
 };
 
+// Cooperative per-query cancellation. Query() checks Expired() between its
+// pipeline stages (never inside a parallel loop), so a deadlined query stops
+// within one stage granule and returns kDeadlineExceeded instead of burning
+// the rest of its CPU budget. A default-constructed control never expires.
+// The checks read the clock but never alter any produced byte: a query that
+// finishes in time is bit-identical with or without a deadline.
+class QueryControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryControl() = default;
+  explicit QueryControl(Clock::time_point deadline)
+      : deadline_(deadline), has_deadline_(true) {}
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+  bool Expired() const {
+    return has_deadline_ && Clock::now() > deadline_;
+  }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
 class ServiceProvider {
  public:
   // Borrows the package; the owner output must outlive the SP.
@@ -61,6 +87,14 @@ class ServiceProvider {
 
   QueryResponse Query(const std::vector<std::vector<float>>& features,
                       size_t k, const QueryParallelism& par = {}) const;
+
+  // Deadline-aware variant: identical output when the control never
+  // expires; returns kDeadlineExceeded (and leaves *out unspecified) when
+  // the deadline passes between stages. The engine's serving path uses
+  // this so in-flight queries honor their submission deadline.
+  Status Query(const std::vector<std::vector<float>>& features, size_t k,
+               const QueryParallelism& par, const QueryControl& control,
+               QueryResponse* out) const;
 
   const SpPackage& package() const { return *pkg_; }
 

@@ -33,13 +33,18 @@ Bytes QueryVO::Serialize() const {
   return w.Take();
 }
 
+// Every count read below is capped against the bytes actually remaining
+// (each element has a known minimum wire size) BEFORE the resize, so an
+// adversarial length prefix can never drive an allocation larger than the
+// input itself — a truncated, spliced, or bit-flipped VO costs at most one
+// linear parse and yields kCorrupted.
 Status QueryVO::Deserialize(const Bytes& data, QueryVO* out) {
   ByteReader r(data);
   uint64_t n;
   Status s = r.GetVarint(&n);
   if (!s.ok()) return s;
   if (n > r.remaining() / 8) {
-    return Status::Error("vo: threshold count exceeds input size");
+    return Status::Corrupted("vo: threshold count exceeds input size");
   }
   out->thresholds_sq.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -47,15 +52,18 @@ Status QueryVO::Deserialize(const Bytes& data, QueryVO* out) {
   }
   if (!(s = r.GetBlob(&out->reveal_section)).ok()) return s;
   if (!(s = r.GetVarint(&n)).ok()) return s;
-  if (n > 256) return Status::Error("vo: absurd tree count");
+  if (n > 256) return Status::Corrupted("vo: absurd tree count");
+  if (n > r.remaining()) {  // each tree VO is at least a 1-byte length
+    return Status::Corrupted("vo: tree count exceeds input size");
+  }
   out->tree_vos.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     if (!(s = r.GetBlob(&out->tree_vos[i])).ok()) return s;
   }
   if (!(s = r.GetBlob(&out->inv_vo)).ok()) return s;
   if (!(s = r.GetVarint(&n)).ok()) return s;
-  if (n > r.remaining() / 3) {
-    return Status::Error("vo: result count exceeds input size");
+  if (n > r.remaining() / 3) {  // id + two length prefixes minimum
+    return Status::Corrupted("vo: result count exceeds input size");
   }
   out->results.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -65,7 +73,7 @@ Status QueryVO::Deserialize(const Bytes& data, QueryVO* out) {
     if (!(s = r.GetBlob(&out->results[i].data)).ok()) return s;
     if (!(s = r.GetBlob(&out->results[i].signature)).ok()) return s;
   }
-  if (!r.AtEnd()) return Status::Error("vo: trailing bytes");
+  if (!r.AtEnd()) return Status::Corrupted("vo: trailing bytes");
   return Status::Ok();
 }
 

@@ -104,7 +104,8 @@ FgInvertedIndex FgInvertedIndex::Build(
     size_t num_clusters,
     const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
     const bovw::ClusterWeights& weights, bool with_filters,
-    uint32_t fingerprint_bits, uint64_t filter_seed) {
+    uint32_t fingerprint_bits, uint64_t filter_seed,
+    std::optional<cuckoo::CuckooParams> geometry) {
   FgInvertedIndex index;
   index.with_filters_ = with_filters;
   index.lists_.resize(num_clusters);
@@ -125,7 +126,10 @@ FgInvertedIndex FgInvertedIndex::Build(
     max_len = std::max(max_len, lengths[c]);
   }
   index.filter_params_ =
-      cuckoo::CuckooParams::ForMaxItems(max_len, fingerprint_bits, filter_seed);
+      geometry.has_value()
+          ? *geometry
+          : cuckoo::CuckooParams::ForMaxItems(max_len, fingerprint_bits,
+                                              filter_seed);
   const cuckoo::CuckooParams& filter_params = index.filter_params_;
 
   // Per-list builds are independent; parallelize with identical results.

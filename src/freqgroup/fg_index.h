@@ -69,15 +69,20 @@ struct FgList {
 
 class FgInvertedIndex {
  public:
+  // `geometry` pins the shared CuckooParams instead of re-deriving them
+  // from the longest list — required when reloading a package whose lists
+  // changed through incremental updates (the geometry is committed state).
   static FgInvertedIndex Build(
       size_t num_clusters,
       const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
       const bovw::ClusterWeights& weights, bool with_filters,
-      uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2);
+      uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2,
+      std::optional<cuckoo::CuckooParams> geometry = std::nullopt);
 
   bool with_filters() const { return with_filters_; }
   size_t num_clusters() const { return lists_.size(); }
   const FgList& list(ClusterId c) const { return lists_[c]; }
+  const cuckoo::CuckooParams& filter_params() const { return filter_params_; }
   std::vector<Digest> ListDigests() const;
   size_t TotalGroups() const;
   size_t TotalImageEntries() const;

@@ -104,7 +104,8 @@ MerkleInvertedIndex MerkleInvertedIndex::Build(
     size_t num_clusters,
     const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
     const bovw::ClusterWeights& weights, bool with_filters,
-    uint32_t fingerprint_bits, uint64_t filter_seed) {
+    uint32_t fingerprint_bits, uint64_t filter_seed,
+    std::optional<cuckoo::CuckooParams> geometry) {
   MerkleInvertedIndex index;
   index.with_filters_ = with_filters;
   index.lists_.resize(num_clusters);
@@ -120,10 +121,14 @@ MerkleInvertedIndex MerkleInvertedIndex::Build(
     }
   }
 
-  size_t max_len = 1;
-  for (const auto& r : raw) max_len = std::max(max_len, r.size());
-  index.filter_params_ =
-      cuckoo::CuckooParams::ForMaxItems(max_len, fingerprint_bits, filter_seed);
+  if (geometry.has_value()) {
+    index.filter_params_ = *geometry;
+  } else {
+    size_t max_len = 1;
+    for (const auto& r : raw) max_len = std::max(max_len, r.size());
+    index.filter_params_ = cuckoo::CuckooParams::ForMaxItems(
+        max_len, fingerprint_bits, filter_seed);
+  }
   const cuckoo::CuckooParams& filter_params = index.filter_params_;
 
   // Every list is built independently (sort, filter, digest chain), so the

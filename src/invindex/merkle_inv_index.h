@@ -65,12 +65,17 @@ class MerkleInvertedIndex {
  public:
   // Builds the full index over a corpus of (image id, BoVW vector) pairs.
   // All filters share one geometry derived from the longest posting list
-  // (the paper's 60% sizing rule) and `filter_seed`.
+  // (the paper's 60% sizing rule) and `filter_seed` — unless `geometry` is
+  // given, which pins the exact shared CuckooParams. The geometry is part
+  // of the committed (signed) state: a reload of a package whose lists
+  // grew through incremental updates must rebuild under the geometry the
+  // digests were derived with, not one re-sized from the current lists.
   static MerkleInvertedIndex Build(
       size_t num_clusters,
       const std::vector<std::pair<ImageId, bovw::BovwVector>>& corpus,
       const bovw::ClusterWeights& weights, bool with_filters,
-      uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2);
+      uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2,
+      std::optional<cuckoo::CuckooParams> geometry = std::nullopt);
 
   bool with_filters() const { return with_filters_; }
   size_t num_clusters() const { return lists_.size(); }

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
+
 namespace imageproof::storage {
 
 namespace {
@@ -38,14 +40,21 @@ Status GetConfig(ByteReader& r, core::Config* c) {
   if (!(s = r.GetU32(&u32)).ok()) return s;
   c->forest.max_leaf_checks = static_cast<int>(u32);
   if (!(s = r.GetU64(&c->forest.seed)).ok()) return s;
+  // Bools decode strictly (0 or 1 only). Accepting any nonzero byte as
+  // "true" would leave 7 dead bits per flag — bytes a storage fault can
+  // corrupt without changing the parsed package, which the update path's
+  // clone-vs-base validation could then never detect.
   if (!(s = r.GetU8(&u8)).ok()) return s;
+  if (u8 > 1) return Status::Corrupted("storage: bad bool encoding");
   c->share_nodes = u8 != 0;
   if (!(s = r.GetU8(&u8)).ok()) return s;
-  if (u8 > 1) return Status::Error("storage: bad reveal mode");
+  if (u8 > 1) return Status::Corrupted("storage: bad reveal mode");
   c->reveal_mode = static_cast<mrkd::RevealMode>(u8);
   if (!(s = r.GetU8(&u8)).ok()) return s;
+  if (u8 > 1) return Status::Corrupted("storage: bad bool encoding");
   c->with_filters = u8 != 0;
   if (!(s = r.GetU8(&u8)).ok()) return s;
+  if (u8 > 1) return Status::Corrupted("storage: bad bool encoding");
   c->freq_grouped = u8 != 0;
   if (!(s = r.GetU32(&c->fingerprint_bits)).ok()) return s;
   if (!(s = r.GetU64(&c->filter_seed)).ok()) return s;
@@ -54,10 +63,16 @@ Status GetConfig(ByteReader& r, core::Config* c) {
   if (!(s = r.GetU32(&u32)).ok()) return s;
   c->rsa_bits = static_cast<int>(u32);
   if (!(s = r.GetU8(&u8)).ok()) return s;
+  if (u8 > 1) return Status::Corrupted("storage: bad bool encoding");
   c->sign_images = u8 != 0;
   if (c->forest.num_trees <= 0 || c->forest.num_trees > 256 ||
       c->forest.max_leaf_size <= 0) {
-    return Status::Error("storage: implausible forest parameters");
+    return Status::Corrupted("storage: implausible forest parameters");
+  }
+  // The cuckoo-filter geometry shifts by fingerprint_bits; out-of-range
+  // values from a corrupted config would be undefined behavior downstream.
+  if (c->fingerprint_bits == 0 || c->fingerprint_bits > 16) {
+    return Status::Corrupted("storage: fingerprint bits out of range");
   }
   return Status::Ok();
 }
@@ -77,7 +92,12 @@ Status GetPointSet(ByteReader& r, ann::PointSet* out) {
   if (!(s = r.GetVarint(&dims)).ok()) return s;
   if (!(s = r.GetVarint(&count)).ok()) return s;
   if (dims == 0 || dims > 4096 || count > (1u << 26)) {
-    return Status::Error("storage: implausible point set shape");
+    return Status::Corrupted("storage: implausible point set shape");
+  }
+  // Cap the allocation against the bytes actually present: dims*count f32s
+  // must fit in what remains, so a forged header cannot demand gigabytes.
+  if (dims * count > r.remaining() / 4) {
+    return Status::Corrupted("storage: point set exceeds input size");
   }
   *out = ann::PointSet(dims, count);
   for (size_t i = 0; i < count; ++i) {
@@ -102,7 +122,7 @@ Status GetBovw(ByteReader& r, bovw::BovwVector* out) {
   Status s = r.GetVarint(&n);
   if (!s.ok()) return s;
   if (n > r.remaining() / 2) {
-    return Status::Error("storage: BoVW size exceeds input");
+    return Status::Corrupted("storage: BoVW size exceeds input");
   }
   out->entries.resize(n);
   uint64_t prev = 0;
@@ -110,8 +130,13 @@ Status GetBovw(ByteReader& r, bovw::BovwVector* out) {
     uint64_t c = 0, f = 0;
     if (!(s = r.GetVarint(&c)).ok()) return s;
     if (!(s = r.GetVarint(&f)).ok()) return s;
-    if (i > 0 && c <= prev) return Status::Error("storage: BoVW not sorted");
-    if (f == 0) return Status::Error("storage: zero frequency");
+    if (i > 0 && c <= prev) return Status::Corrupted("storage: BoVW not sorted");
+    if (f == 0) return Status::Corrupted("storage: zero frequency");
+    // Both fields narrow to 32 bits in memory; a varint whose high bits a
+    // fault set would otherwise truncate silently to the same value.
+    if (c > 0xFFFFFFFFull || f > 0xFFFFFFFFull) {
+      return Status::Corrupted("storage: BoVW entry out of range");
+    }
     prev = c;
     out->entries[i] = {static_cast<bovw::ClusterId>(c),
                        static_cast<uint32_t>(f)};
@@ -119,16 +144,28 @@ Status GetBovw(ByteReader& r, bovw::BovwVector* out) {
   return Status::Ok();
 }
 
+// Tree nodes are written with a kind byte and ONLY the fields that kind
+// uses: a leaf's split plane and an internal node's point span are dead
+// state that search and the digest tree never read. Dead wire bytes would
+// be bytes a storage fault can flip without any detectable consequence —
+// keeping every serialized byte live is what lets the engine's update
+// validation promise "any corruption of committed state is caught".
+// (The per-tree max_leaf_size is likewise omitted: it is build-time
+// metadata already present in the config header.)
 void PutTree(ByteWriter& w, const ann::RkdTree& tree) {
-  w.PutVarint(tree.max_leaf_size());
   w.PutVarint(tree.nodes().size());
   for (const ann::RkdNode& n : tree.nodes()) {
-    w.PutU32(static_cast<uint32_t>(n.split_dim));
-    w.PutF32(n.split_value);
-    w.PutU32(static_cast<uint32_t>(n.left));
-    w.PutU32(static_cast<uint32_t>(n.right));
-    w.PutU32(static_cast<uint32_t>(n.begin));
-    w.PutU32(static_cast<uint32_t>(n.end));
+    if (n.IsLeaf()) {
+      w.PutU8(1);
+      w.PutU32(static_cast<uint32_t>(n.begin));
+      w.PutU32(static_cast<uint32_t>(n.end));
+    } else {
+      w.PutU8(0);
+      w.PutU32(static_cast<uint32_t>(n.split_dim));
+      w.PutF32(n.split_value);
+      w.PutU32(static_cast<uint32_t>(n.left));
+      w.PutU32(static_cast<uint32_t>(n.right));
+    }
   }
   w.PutVarint(tree.point_indices().size());
   for (int32_t i : tree.point_indices()) {
@@ -136,36 +173,46 @@ void PutTree(ByteWriter& w, const ann::RkdTree& tree) {
   }
 }
 
-Status GetTree(ByteReader& r, const ann::PointSet& points,
+Status GetTree(ByteReader& r, const ann::PointSet& points, int max_leaf,
                std::unique_ptr<ann::RkdTree>* out) {
-  uint64_t max_leaf, num_nodes;
+  uint64_t num_nodes;
   Status s;
-  if (!(s = r.GetVarint(&max_leaf)).ok()) return s;
   if (!(s = r.GetVarint(&num_nodes)).ok()) return s;
-  if (max_leaf == 0 || num_nodes > (1u << 27)) {
-    return Status::Error("storage: implausible tree shape");
+  if (num_nodes > (1u << 27)) {
+    return Status::Corrupted("storage: implausible tree shape");
+  }
+  // A leaf occupies 9 wire bytes (the smaller node kind); cap the
+  // allocation against what is actually present before resizing.
+  if (num_nodes > r.remaining() / 9) {
+    return Status::Corrupted("storage: tree node count exceeds input size");
   }
   std::vector<ann::RkdNode> nodes(num_nodes);
   for (auto& n : nodes) {
+    uint8_t kind = 0;
     uint32_t u = 0;
     float f = 0;
-    if (!(s = r.GetU32(&u)).ok()) return s;
-    n.split_dim = static_cast<int32_t>(u);
-    if (!(s = r.GetF32(&f)).ok()) return s;
-    n.split_value = f;
-    if (!(s = r.GetU32(&u)).ok()) return s;
-    n.left = static_cast<int32_t>(u);
-    if (!(s = r.GetU32(&u)).ok()) return s;
-    n.right = static_cast<int32_t>(u);
-    if (!(s = r.GetU32(&u)).ok()) return s;
-    n.begin = static_cast<int32_t>(u);
-    if (!(s = r.GetU32(&u)).ok()) return s;
-    n.end = static_cast<int32_t>(u);
+    if (!(s = r.GetU8(&kind)).ok()) return s;
+    if (kind > 1) return Status::Corrupted("storage: bad tree node kind");
+    if (kind == 1) {  // leaf: span only; RkdNode defaults mark it a leaf
+      if (!(s = r.GetU32(&u)).ok()) return s;
+      n.begin = static_cast<int32_t>(u);
+      if (!(s = r.GetU32(&u)).ok()) return s;
+      n.end = static_cast<int32_t>(u);
+    } else {  // internal: split plane + children
+      if (!(s = r.GetU32(&u)).ok()) return s;
+      n.split_dim = static_cast<int32_t>(u);
+      if (!(s = r.GetF32(&f)).ok()) return s;
+      n.split_value = f;
+      if (!(s = r.GetU32(&u)).ok()) return s;
+      n.left = static_cast<int32_t>(u);
+      if (!(s = r.GetU32(&u)).ok()) return s;
+      n.right = static_cast<int32_t>(u);
+    }
   }
   uint64_t num_indices;
   if (!(s = r.GetVarint(&num_indices)).ok()) return s;
   if (num_indices != points.size()) {
-    return Status::Error("storage: tree index count mismatch");
+    return Status::Corrupted("storage: tree index count mismatch");
   }
   std::vector<int32_t> indices(num_indices);
   std::vector<bool> seen(points.size(), false);
@@ -173,29 +220,36 @@ Status GetTree(ByteReader& r, const ann::PointSet& points,
     uint32_t u = 0;
     if (!(s = r.GetU32(&u)).ok()) return s;
     if (u >= points.size() || seen[u]) {
-      return Status::Error("storage: tree indices not a permutation");
+      return Status::Corrupted("storage: tree indices not a permutation");
     }
     seen[u] = true;
     i = static_cast<int32_t>(u);
   }
-  // Structural sanity: children in range, leaves with valid spans.
-  for (const auto& n : nodes) {
+  // Structural sanity: children in range, leaves with valid spans. Children
+  // must additionally sit at strictly larger indices than their parent (the
+  // builder's preorder layout guarantees this), which rules out cycles — a
+  // forged cyclic tree would otherwise recurse forever during the digest
+  // rebuild and every later traversal.
+  for (size_t ni = 0; ni < nodes.size(); ++ni) {
+    const auto& n = nodes[ni];
     if (n.IsLeaf()) {
       if (n.begin < 0 || n.end < n.begin ||
           static_cast<size_t>(n.end) > points.size()) {
-        return Status::Error("storage: bad leaf span");
+        return Status::Corrupted("storage: bad leaf span");
       }
     } else {
       if (n.left < 0 || n.right < 0 ||
           static_cast<size_t>(n.left) >= nodes.size() ||
           static_cast<size_t>(n.right) >= nodes.size() ||
+          static_cast<size_t>(n.left) <= ni ||
+          static_cast<size_t>(n.right) <= ni ||
           n.split_dim < 0 || static_cast<size_t>(n.split_dim) >= points.dims()) {
-        return Status::Error("storage: bad internal node");
+        return Status::Corrupted("storage: bad internal node");
       }
     }
   }
-  *out = std::make_unique<ann::RkdTree>(points, static_cast<int>(max_leaf),
-                                        std::move(nodes), std::move(indices));
+  *out = std::make_unique<ann::RkdTree>(points, max_leaf, std::move(nodes),
+                                        std::move(indices));
   return Status::Ok();
 }
 
@@ -207,7 +261,7 @@ Status GetBigInt(ByteReader& r, crypto::BigInt* out) {
   Bytes b;
   Status s = r.GetBlob(&b);
   if (!s.ok()) return s;
-  if (b.size() > 4096) return Status::Error("storage: absurd bigint");
+  if (b.size() > 4096) return Status::Corrupted("storage: absurd bigint");
   *out = crypto::BigInt::FromBytes(b);
   return Status::Ok();
 }
@@ -245,11 +299,29 @@ Bytes SerializeSpPackage(const core::SpPackage& package) {
     w.PutF64(weight);
   }
 
+  // The shared cuckoo-filter geometry is committed state too: it was sized
+  // from the longest list at build time and stays frozen across incremental
+  // updates, so a reload must NOT re-derive it from the (possibly grown)
+  // current lists — that would change every theta digest and the root.
+  const cuckoo::CuckooParams& geo = package.config.freq_grouped
+                                        ? package.fg_index->filter_params()
+                                        : package.inv_index->filter_params();
+  w.PutU32(geo.num_buckets);
+  w.PutU32(geo.slots_per_bucket);
+  w.PutU32(geo.max_kicks);
+
   w.PutVarint(package.mrkd_trees.size());
   for (const auto& tree : package.forest->trees()) {
     PutTree(w, *tree);
   }
-  return w.Take();
+  Bytes out = w.Take();
+  // Robustness-test hook: when the fault injector arms the
+  // storage.serialize.* sites, the emitted bytes are bit-flipped or
+  // truncated here — the load path (which re-derives every digest) must
+  // turn any such corruption into kCorrupted, never a crash or a silently
+  // wrong package. No-op (one relaxed load) when nothing is armed.
+  fault::InjectByteFaults(&out);
+  return out;
 }
 
 Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data) {
@@ -257,9 +329,13 @@ Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data)
   uint32_t magic = 0, version = 0;
   Status s;
   if (!(s = r.GetU32(&magic)).ok()) return s;
-  if (magic != kPackageMagic) return Status::Error("storage: bad package magic");
+  if (magic != kPackageMagic) {
+    return Status::Corrupted("storage: bad package magic");
+  }
   if (!(s = r.GetU32(&version)).ok()) return s;
-  if (version != kFormatVersion) return Status::Error("storage: unknown version");
+  if (version != kFormatVersion) {
+    return Status::Corrupted("storage: unknown version");
+  }
 
   auto pkg = std::make_unique<core::SpPackage>();
   if (!(s = GetConfig(r, &pkg->config)).ok()) return s;
@@ -268,7 +344,7 @@ Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data)
   uint64_t n;
   if (!(s = r.GetVarint(&n)).ok()) return s;
   if (n > r.remaining() / 2) {
-    return Status::Error("storage: corpus size exceeds input");
+    return Status::Corrupted("storage: corpus size exceeds input");
   }
   pkg->corpus.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -279,7 +355,10 @@ Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data)
   }
 
   if (!(s = r.GetVarint(&n)).ok()) return s;
-  if (n > (1u << 26)) return Status::Error("storage: absurd image count");
+  // id + empty blob + empty signature = 3 wire bytes minimum per image.
+  if (n > r.remaining() / 3) {
+    return Status::Corrupted("storage: image count exceeds input size");
+  }
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t id;
     Bytes blob, sig;
@@ -296,33 +375,54 @@ Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data)
   uint64_t num_weights;
   if (!(s = r.GetVarint(&num_weights)).ok()) return s;
   if (num_weights != pkg->codebook.size()) {
-    return Status::Error("storage: weight count mismatch");
+    return Status::Corrupted("storage: weight count mismatch");
   }
   std::vector<double> raw_weights(num_weights);
   for (auto& weight : raw_weights) {
     if (!(s = r.GetF64(&weight)).ok()) return s;
   }
   bovw::ClusterWeights weights = bovw::ClusterWeights::FromRaw(std::move(raw_weights));
+
+  // The stored filter geometry (frozen at the original build; see the
+  // serializer above). Validated before use: num_buckets must be a power of
+  // two for XOR partial-key hashing, and the table allocation
+  // (num_buckets * slots_per_bucket) is capped so a forged header cannot
+  // demand gigabytes.
+  cuckoo::CuckooParams geo;
+  geo.fingerprint_bits = pkg->config.fingerprint_bits;
+  geo.seed = pkg->config.filter_seed;
+  if (!(s = r.GetU32(&geo.num_buckets)).ok()) return s;
+  if (!(s = r.GetU32(&geo.slots_per_bucket)).ok()) return s;
+  if (!(s = r.GetU32(&geo.max_kicks)).ok()) return s;
+  if (geo.num_buckets == 0 || (geo.num_buckets & (geo.num_buckets - 1)) != 0 ||
+      geo.num_buckets > (1u << 26)) {
+    return Status::Corrupted("storage: filter bucket count not a small power of two");
+  }
+  if (geo.slots_per_bucket == 0 || geo.slots_per_bucket > 16 ||
+      geo.max_kicks == 0 || geo.max_kicks > 100000) {
+    return Status::Corrupted("storage: implausible filter geometry");
+  }
+
   if (pkg->config.freq_grouped) {
     pkg->fg_index = std::make_unique<freqgroup::FgInvertedIndex>(
         freqgroup::FgInvertedIndex::Build(
             pkg->codebook.size(), pkg->corpus, weights,
             pkg->config.with_filters, pkg->config.fingerprint_bits,
-            pkg->config.filter_seed));
+            pkg->config.filter_seed, geo));
     pkg->list_digests = pkg->fg_index->ListDigests();
   } else {
     pkg->inv_index = std::make_unique<invindex::MerkleInvertedIndex>(
         invindex::MerkleInvertedIndex::Build(
             pkg->codebook.size(), pkg->corpus, weights,
             pkg->config.with_filters, pkg->config.fingerprint_bits,
-            pkg->config.filter_seed));
+            pkg->config.filter_seed, geo));
     pkg->list_digests = pkg->inv_index->ListDigests();
   }
 
   uint64_t num_trees;
   if (!(s = r.GetVarint(&num_trees)).ok()) return s;
   if (num_trees != static_cast<uint64_t>(pkg->config.forest.num_trees)) {
-    return Status::Error("storage: tree count does not match config");
+    return Status::Corrupted("storage: tree count does not match config");
   }
   // The forest wrapper owns the trees; rebuild it around the stored shapes.
   pkg->forest = std::make_unique<ann::RkdForest>(pkg->codebook,
@@ -333,7 +433,11 @@ Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data)
   std::vector<std::unique_ptr<ann::RkdTree>> trees;
   for (uint64_t i = 0; i < num_trees; ++i) {
     std::unique_ptr<ann::RkdTree> tree;
-    if (!(s = GetTree(r, pkg->codebook, &tree)).ok()) return s;
+    if (!(s = GetTree(r, pkg->codebook, pkg->config.forest.max_leaf_size,
+                      &tree))
+             .ok()) {
+      return s;
+    }
     trees.push_back(std::move(tree));
   }
   pkg->forest->ReplaceTrees(std::move(trees));
@@ -342,7 +446,7 @@ Result<std::unique_ptr<core::SpPackage>> DeserializeSpPackage(const Bytes& data)
     pkg->mrkd_trees.push_back(std::make_unique<mrkd::MrkdTree>(
         tree.get(), pkg->config.reveal_mode, pkg->list_digests));
   }
-  if (!r.AtEnd()) return Status::Error("storage: trailing bytes");
+  if (!r.AtEnd()) return Status::Corrupted("storage: trailing bytes");
   return pkg;
 }
 
@@ -364,9 +468,11 @@ Result<core::PublicParams> DeserializePublicParams(const Bytes& data) {
   uint32_t magic = 0, version = 0;
   Status s;
   if (!(s = r.GetU32(&magic)).ok()) return s;
-  if (magic != kParamsMagic) return Status::Error("storage: bad params magic");
+  if (magic != kParamsMagic) return Status::Corrupted("storage: bad params magic");
   if (!(s = r.GetU32(&version)).ok()) return s;
-  if (version != kFormatVersion) return Status::Error("storage: unknown version");
+  if (version != kFormatVersion) {
+    return Status::Corrupted("storage: unknown version");
+  }
   core::PublicParams params;
   if (!(s = GetConfig(r, &params.config)).ok()) return s;
   if (!(s = GetBigInt(r, &params.public_key.n)).ok()) return s;
@@ -377,7 +483,7 @@ Result<core::PublicParams> DeserializePublicParams(const Bytes& data) {
   params.dims = v;
   if (!(s = r.GetVarint(&v)).ok()) return s;
   params.num_clusters = v;
-  if (!r.AtEnd()) return Status::Error("storage: trailing bytes");
+  if (!r.AtEnd()) return Status::Corrupted("storage: trailing bytes");
   return params;
 }
 

@@ -124,6 +124,39 @@ TEST(StatusTest, OkAndError) {
   EXPECT_EQ(err.message(), "boom");
 }
 
+TEST(StatusTest, CodesAndToString) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kError), "ERROR");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOverloaded), "OVERLOADED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorrupted), "CORRUPTED");
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(250)), "UNKNOWN");
+}
+
+TEST(StatusTest, NamedConstructors) {
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::Error("e").code(), StatusCode::kError);
+  Status over = Status::Overloaded("full");
+  EXPECT_EQ(over.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(over.message(), "full");
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("down").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Corrupted("bits").code(), StatusCode::kCorrupted);
+}
+
+TEST(StatusTest, WithCodePreservesAndSanitizes) {
+  Status s = Status::WithCode(StatusCode::kCorrupted, "wrapped");
+  EXPECT_EQ(s.code(), StatusCode::kCorrupted);
+  EXPECT_EQ(s.message(), "wrapped");
+  // A non-OK status can never carry kOk: WithCode maps it to kError.
+  EXPECT_EQ(Status::WithCode(StatusCode::kOk, "bad").code(),
+            StatusCode::kError);
+}
+
 TEST(ResultTest, ValueAndError) {
   Result<int> good(7);
   ASSERT_TRUE(good.ok());

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 
 #include "core/client.h"
@@ -462,6 +463,68 @@ TEST_F(EngineAdversaryTest, TamperMatrixRejected) {
       continue;
     }
     EXPECT_FALSE(Accepts(tampered)) << "accepted tampered VO: " << tc.name;
+  }
+}
+
+TEST_F(EngineAdversaryTest, TruncatedSerializedVoRejected) {
+  // A network- or SP-truncated VO: every strict prefix of the serialized
+  // honest response must be rejected with a specific error — either the
+  // parser reports kCorrupted or the parsed remains fail verification.
+  // Never a crash, never an accept.
+  Bytes wire = honest_.response.vo.Serialize();
+  ASSERT_GT(wire.size(), 16u);
+  for (size_t len : {wire.size() - 1, wire.size() - 7, wire.size() / 2,
+                     wire.size() / 4, size_t{16}, size_t{1}, size_t{0}}) {
+    Bytes truncated(wire.begin(), wire.begin() + len);
+    core::QueryVO vo;
+    Status s = core::QueryVO::Deserialize(truncated, &vo);
+    if (s.ok()) {
+      EXPECT_FALSE(Accepts(vo)) << "accepted VO truncated to " << len;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kCorrupted) << s.message();
+    }
+  }
+}
+
+TEST_F(EngineAdversaryTest, SplicedVoRejected) {
+  // Splice attack: a valid header/prefix from the honest response combined
+  // with the body of a DIFFERENT query's response, served by the same
+  // engine. Both messages are individually authentic, so every digest in
+  // each half is genuine — only the cross-binding to this query's features
+  // can reject the hybrid.
+  auto foreign_features =
+      workload::GenerateQueryFeatures(package_->codebook, 10, 0.3, 77);
+  core::EngineResponse foreign = engine_->Submit(foreign_features, 5).get();
+  ASSERT_TRUE(foreign.ok());
+
+  // Field-level splices: swap one VO section wholesale.
+  {
+    core::QueryVO hybrid = honest_.response.vo;
+    hybrid.inv_vo = foreign.response.vo.inv_vo;
+    EXPECT_FALSE(Accepts(hybrid)) << "accepted foreign inverted-index proof";
+  }
+  {
+    core::QueryVO hybrid = honest_.response.vo;
+    hybrid.reveal_section = foreign.response.vo.reveal_section;
+    hybrid.tree_vos = foreign.response.vo.tree_vos;
+    EXPECT_FALSE(Accepts(hybrid)) << "accepted foreign BoVW proof";
+  }
+
+  // Byte-level splices: honest prefix + foreign suffix at several cuts.
+  Bytes a = honest_.response.vo.Serialize();
+  Bytes b = foreign.response.vo.Serialize();
+  for (size_t cut : {size_t{8}, a.size() / 4, a.size() / 2, 3 * a.size() / 4}) {
+    ASSERT_LT(cut, a.size());
+    size_t fcut = std::min(cut, b.size());
+    Bytes spliced(a.begin(), a.begin() + cut);
+    spliced.insert(spliced.end(), b.begin() + fcut, b.end());
+    core::QueryVO vo;
+    Status s = core::QueryVO::Deserialize(spliced, &vo);
+    if (s.ok()) {
+      EXPECT_FALSE(Accepts(vo)) << "accepted splice at " << cut;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kCorrupted) << s.message();
+    }
   }
 }
 
