@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "common/random.h"
 #include "crypto/hasher.h"
 #include "crypto/rsa.h"
@@ -81,4 +83,4 @@ BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IMAGEPROOF_MICRO_BENCH_MAIN("micro_crypto");

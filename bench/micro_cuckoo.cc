@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include <vector>
 
 #include "common/random.h"
@@ -104,4 +106,4 @@ BENCHMARK(BM_MaxCountTrackerDeletes)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IMAGEPROOF_MICRO_BENCH_MAIN("micro_cuckoo");

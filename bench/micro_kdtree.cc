@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "ann/rkd_forest.h"
 #include "crypto/sha3.h"
 #include "mrkd/mrkd_tree.h"
@@ -76,4 +78,4 @@ BENCHMARK(BM_MrkdDecoration)->Arg(1024)->Arg(8192);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IMAGEPROOF_MICRO_BENCH_MAIN("micro_kdtree");

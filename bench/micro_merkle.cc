@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "common/random.h"
 #include "merkle/merkle_tree.h"
 
@@ -57,4 +59,4 @@ BENCHMARK(BM_SubsetVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IMAGEPROOF_MICRO_BENCH_MAIN("micro_merkle");

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "image/synth.h"
 #include "sift/extractor.h"
 #include "sift/gaussian.h"
@@ -60,4 +62,4 @@ BENCHMARK(BM_Rotate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IMAGEPROOF_MICRO_BENCH_MAIN("micro_sift");

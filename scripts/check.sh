@@ -53,7 +53,7 @@ if [[ "$MODE" == "--tsan" ]]; then
   # TSan adds time but no extra thread coverage. --no-tests=error: an empty
   # selection is a broken regex, not a pass.
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
-    -R 'concurrency_test|golden_test|security_test|obs_test|merkle_test'
+    -R 'concurrency_test|golden_test|security_test|obs_test|merkle_test|kernels_test'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error
 fi
@@ -103,9 +103,13 @@ if [[ "$MODE" == "--bench" ]]; then
     echo "===== $name ====="
     case "$name" in
       fig*|abl_*)
-        # These accept the BenchReport flags; micro_* are google-benchmark
-        # binaries and reject unknown flags.
         "$b" --json "$REPORT_DIR/BENCH_$name.json" \
+          || fail "bench $name exited $?"
+        ;;
+      micro_*)
+        # google-benchmark binaries wrapped by bench/micro_util.h: same
+        # --json report, --smoke keeps the full sweep short.
+        "$b" --smoke --json "$REPORT_DIR/BENCH_$name.json" \
           || fail "bench $name exited $?"
         ;;
       *)

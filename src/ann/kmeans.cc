@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/kernels.h"
 #include "common/random.h"
 
 namespace imageproof::ann {
@@ -21,10 +22,14 @@ AkmResult TrainCodebook(const PointSet& points, const AkmParams& params) {
   result.centers = PointSet(dims, 0);
   result.centers.set_dims(dims);
   result.centers.AppendRow(points.row(rng.NextBounded(n)));
+  // Batched distances: all points are contiguous rows, so one kernel call
+  // covers the whole sweep. SquaredL2 is symmetric bitwise (the per-dim
+  // differences are exact negations), so center-vs-points equals the
+  // written point-vs-center order.
   std::vector<double> nearest_sq(n);
-  for (size_t i = 0; i < n; ++i) {
-    nearest_sq[i] = SquaredL2(points.row(i), result.centers.row(0), dims);
-  }
+  kern::SquaredL2Batch(result.centers.row(0), points.row(0), dims, n, dims,
+                       nearest_sq.data());
+  std::vector<double> center_dist(n);
   while (result.centers.size() < k) {
     double total = 0;
     for (double d : nearest_sq) total += d;
@@ -45,13 +50,15 @@ AkmResult TrainCodebook(const PointSet& points, const AkmParams& params) {
     }
     result.centers.AppendRow(points.row(chosen));
     const float* c = result.centers.row(result.centers.size() - 1);
+    kern::SquaredL2Batch(c, points.row(0), dims, n, dims, center_dist.data());
     for (size_t i = 0; i < n; ++i) {
-      nearest_sq[i] = std::min(nearest_sq[i], SquaredL2(points.row(i), c, dims));
+      nearest_sq[i] = std::min(nearest_sq[i], center_dist[i]);
     }
   }
 
   std::vector<double> sums(k * dims);
   std::vector<int64_t> counts(k);
+  kern::SearchScratch scratch;  // warm across assignment sweeps
 
   for (int iter = 0; iter < params.iterations; ++iter) {
     ForestParams fp = params.forest;
@@ -62,7 +69,7 @@ AkmResult TrainCodebook(const PointSet& points, const AkmParams& params) {
     std::fill(counts.begin(), counts.end(), 0);
     double total_err = 0;
     for (size_t i = 0; i < n; ++i) {
-      NearestResult nearest = forest.ApproxNearest(points.row(i));
+      NearestResult nearest = forest.ApproxNearest(points.row(i), &scratch);
       int32_t c = nearest.index;
       result.assignment[i] = c;
       total_err += nearest.dist_sq;

@@ -1,12 +1,22 @@
 // Flat row-major point storage shared by the ANN structures, the AKM
 // trainer, and the MRKD-tree. Keeping points in one contiguous buffer makes
-// tree construction and distance evaluation cache-friendly.
+// tree construction and distance evaluation cache-friendly; the buffer is
+// 32-byte aligned so the AVX2 distance kernels start every scan from an
+// aligned base (rows themselves are dims-strided — 128-d SIFT rows stay
+// aligned, odd dims fall back to unaligned loads inside the kernel).
 
 #ifndef IMAGEPROOF_ANN_POINTS_H_
 #define IMAGEPROOF_ANN_POINTS_H_
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "common/kernels.h"
+#include "common/status.h"
 
 namespace imageproof::ann {
 
@@ -15,13 +25,35 @@ class PointSet {
   PointSet() = default;
   PointSet(size_t dims, size_t count) : dims_(dims), data_(dims * count) {}
 
+  // Builds from per-point rows. Every row must have the same dimension as
+  // the first; a ragged input would silently corrupt row-major indexing,
+  // so it aborts (all in-tree callers construct rows programmatically —
+  // untrusted input goes through TryFromRows).
   static PointSet FromRows(const std::vector<std::vector<float>>& rows) {
+    Result<PointSet> out = TryFromRows(rows);
+    if (!out.ok()) {
+      std::fprintf(stderr, "PointSet::FromRows: %s\n",
+                   out.status().message().c_str());
+      std::abort();
+    }
+    return std::move(out).value();
+  }
+
+  // Validating variant for untrusted input: rejects ragged rows instead of
+  // aborting.
+  static Result<PointSet> TryFromRows(
+      const std::vector<std::vector<float>>& rows) {
     PointSet out;
     if (rows.empty()) return out;
     out.dims_ = rows[0].size();
     out.data_.reserve(rows.size() * out.dims_);
-    for (const auto& r : rows) {
-      out.data_.insert(out.data_.end(), r.begin(), r.end());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].size() != out.dims_) {
+        return Status::Error("ragged point rows: row " + std::to_string(i) +
+                             " has " + std::to_string(rows[i].size()) +
+                             " dims, expected " + std::to_string(out.dims_));
+      }
+      out.data_.insert(out.data_.end(), rows[i].begin(), rows[i].end());
     }
     return out;
   }
@@ -44,17 +76,16 @@ class PointSet {
 
  private:
   size_t dims_ = 0;
-  std::vector<float> data_;
+  kern::AlignedVector<float> data_;
 };
 
-// Squared Euclidean distance between two d-dimensional points.
+// Squared Euclidean distance between two d-dimensional points, in the
+// canonical reduction order of common/kernels.h (AVX2 when available). All
+// retrieval distance comparisons — server side and client verification
+// alike — route through this one function, so both sides always agree
+// bitwise.
 inline double SquaredL2(const float* a, const float* b, size_t d) {
-  double acc = 0;
-  for (size_t i = 0; i < d; ++i) {
-    double diff = static_cast<double>(a[i]) - b[i];
-    acc += diff * diff;
-  }
-  return acc;
+  return kern::SquaredL2(a, b, d);
 }
 
 }  // namespace imageproof::ann

@@ -1,7 +1,7 @@
 #include "ann/rkd_forest.h"
 
+#include <algorithm>
 #include <limits>
-#include <queue>
 
 namespace imageproof::ann {
 
@@ -14,32 +14,33 @@ RkdForest::RkdForest(const PointSet& points, ForestParams params)
   }
 }
 
-namespace {
-
-struct Branch {
-  double min_dist;
-  int tree;
-  int node;
-  bool operator>(const Branch& o) const { return min_dist > o.min_dist; }
-};
-
-}  // namespace
-
-NearestResult RkdForest::ApproxNearest(const float* query) const {
+NearestResult RkdForest::ApproxNearest(const float* query,
+                                       kern::SearchScratch* scratch) const {
   NearestResult best;
   best.dist_sq = std::numeric_limits<double>::infinity();
   if (points_->empty()) return best;
 
-  std::priority_queue<Branch, std::vector<Branch>, std::greater<Branch>> queue;
+  // Min-heap on min_dist over the caller's reusable buffer (or a local one):
+  // push_heap/pop_heap with BranchGreater pop the closest pending subtree
+  // first, exactly like the std::priority_queue this replaces.
+  std::vector<kern::BestBinBranch> local_heap;
+  std::vector<kern::BestBinBranch>& heap =
+      scratch ? scratch->branch_heap : local_heap;
+  heap.clear();
+  auto heap_push = [&heap](kern::BestBinBranch b) {
+    heap.push_back(b);
+    std::push_heap(heap.begin(), heap.end(), kern::BranchGreater);
+  };
   for (int t = 0; t < static_cast<int>(trees_.size()); ++t) {
-    queue.push(Branch{0.0, t, trees_[t]->root()});
+    heap_push(kern::BestBinBranch{0.0, t, trees_[t]->root()});
   }
 
   const size_t dims = points_->dims();
   int leaves_checked = 0;
-  while (!queue.empty() && leaves_checked < params_.max_leaf_checks) {
-    Branch branch = queue.top();
-    queue.pop();
+  while (!heap.empty() && leaves_checked < params_.max_leaf_checks) {
+    std::pop_heap(heap.begin(), heap.end(), kern::BranchGreater);
+    kern::BestBinBranch branch = heap.back();
+    heap.pop_back();
     if (branch.min_dist >= best.dist_sq) continue;
 
     const RkdTree& tree = *trees_[branch.tree];
@@ -52,9 +53,12 @@ NearestResult RkdForest::ApproxNearest(const float* query) const {
       if (node.IsLeaf()) {
         for (int32_t i = node.begin; i < node.end; ++i) {
           int32_t pi = tree.point_indices()[i];
-          double d = SquaredL2(query, points_->row(pi), dims);
-          if (d < best.dist_sq ||
-              (d == best.dist_sq && pi < best.index)) {
+          // The pruned kernel may return any partial sum >= the bound for a
+          // point that cannot win, so only a strictly smaller value — which
+          // is always an exactly computed distance — may update the best.
+          double d = kern::SquaredL2Pruned(query, points_->row(pi), dims,
+                                           best.dist_sq);
+          if (d < best.dist_sq) {
             best.dist_sq = d;
             best.index = pi;
           }
@@ -65,7 +69,8 @@ NearestResult RkdForest::ApproxNearest(const float* query) const {
       double diff = static_cast<double>(query[node.split_dim]) - node.split_value;
       int near_child = diff < 0 ? node.left : node.right;
       int far_child = diff < 0 ? node.right : node.left;
-      queue.push(Branch{min_dist + diff * diff, branch.tree, far_child});
+      heap_push(
+          kern::BestBinBranch{min_dist + diff * diff, branch.tree, far_child});
       node_index = near_child;
     }
   }

@@ -7,10 +7,12 @@
 // the best cluster found so far, exactly as in Philbin et al. (CVPR'07) and
 // Muja & Lowe (VISSAPP'09).
 //
-// Thread safety: ApproxNearest is const and allocates its priority queue on
-// the stack, so concurrent searches over one forest are safe. ReplaceTrees
-// mutates and requires external exclusion (it only runs on freshly
-// deserialized, not-yet-shared packages).
+// Thread safety: ApproxNearest is const; without a scratch it allocates its
+// priority queue locally, so concurrent searches over one forest are safe.
+// A kern::SearchScratch passed in is the *caller's* single-owner state — one
+// scratch per concurrent searcher. ReplaceTrees mutates and requires
+// external exclusion (it only runs on freshly deserialized, not-yet-shared
+// packages).
 
 #ifndef IMAGEPROOF_ANN_RKD_FOREST_H_
 #define IMAGEPROOF_ANN_RKD_FOREST_H_
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "ann/rkd_tree.h"
+#include "common/kernels.h"
 
 namespace imageproof::ann {
 
@@ -42,8 +45,15 @@ class RkdForest {
   // Builds `params.num_trees` randomized trees over `points` (borrowed).
   RkdForest(const PointSet& points, ForestParams params);
 
-  // Approximate nearest neighbor of `query` (AKM step).
-  NearestResult ApproxNearest(const float* query) const;
+  // Approximate nearest neighbor of `query` (AKM step). With a scratch the
+  // best-bin-first queue lives in (and warms) the caller's buffers, so a
+  // steady-state search allocates nothing; without one a local queue is
+  // used. Results are identical either way. Leaf scans use the pruned
+  // squared-L2 kernel against the best-so-far bound, with strictly-smaller
+  // updates — among exactly tied candidates the first one reached in
+  // traversal order wins (deterministic: traversal order is fixed).
+  NearestResult ApproxNearest(const float* query,
+                              kern::SearchScratch* scratch = nullptr) const;
 
   const std::vector<std::unique_ptr<RkdTree>>& trees() const { return trees_; }
 

@@ -1,0 +1,180 @@
+// Portable canonical-order kernels and the runtime dispatch point.
+//
+// This TU is compiled with -ffp-contract=off and WITHOUT -mavx2/-mfma: the
+// per-lane mul+add sequences below must execute as written (no FMA
+// contraction) or the bit-exactness contract with kernels_avx2.cc breaks.
+// The loops are written lane-parallel on purpose — an auto-vectorizer may
+// turn them into SIMD, which is fine: lanes are independent accumulators,
+// so vectorization cannot reassociate within a lane.
+
+#include "common/kernels.h"
+
+#include <cstdlib>
+
+namespace imageproof::kern {
+
+namespace {
+
+// --- portable canonical implementations ------------------------------------
+
+double SquaredL2Portable(const float* a, const float* b, size_t n) {
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      double diff =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      lanes[j] += diff * diff;
+    }
+  }
+  for (; i < n; ++i) {
+    double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    lanes[i & 7] += diff * diff;
+  }
+  return internal::ReduceLanes(lanes);
+}
+
+double SquaredL2PrunedPortable(const float* a, const float* b, size_t n,
+                               double bound) {
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      double diff =
+          static_cast<double>(a[i + j]) - static_cast<double>(b[i + j]);
+      lanes[j] += diff * diff;
+    }
+    if ((i + 8) % internal::kPruneCheckDims == 0) {
+      double partial = internal::ReduceLanes(lanes);
+      if (partial >= bound) return partial;
+    }
+  }
+  for (; i < n; ++i) {
+    double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    lanes[i & 7] += diff * diff;
+  }
+  return internal::ReduceLanes(lanes);
+}
+
+void SquaredL2BatchPortable(const float* q, const float* rows,
+                            size_t row_stride, size_t n_rows, size_t dims,
+                            double* out) {
+  for (size_t r = 0; r < n_rows; ++r) {
+    out[r] = SquaredL2Portable(q, rows + r * row_stride, dims);
+  }
+}
+
+double DotPortable(const float* a, const float* b, size_t n) {
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      lanes[j] +=
+          static_cast<double>(a[i + j]) * static_cast<double>(b[i + j]);
+    }
+  }
+  for (; i < n; ++i) {
+    lanes[i & 7] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return internal::ReduceLanes(lanes);
+}
+
+double SquaredNormPortable(const float* a, size_t n) {
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      double v = static_cast<double>(a[i + j]);
+      lanes[j] += v * v;
+    }
+  }
+  for (; i < n; ++i) {
+    double v = static_cast<double>(a[i]);
+    lanes[i & 7] += v * v;
+  }
+  return internal::ReduceLanes(lanes);
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+const internal::KernelImpls& ActiveImpls() {
+  static const internal::KernelImpls& impls = [&]() -> const auto& {
+    if (std::getenv("IMAGEPROOF_NO_AVX2") == nullptr) {
+      if (const internal::KernelImpls* avx2 = internal::Avx2()) return *avx2;
+    }
+    return internal::Portable();
+  }();
+  return impls;
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelImpls& Portable() {
+  static const KernelImpls impls = {
+      &SquaredL2Portable, &SquaredL2PrunedPortable, &SquaredL2BatchPortable,
+      &DotPortable,       &SquaredNormPortable,
+  };
+  return impls;
+}
+
+#ifdef IMAGEPROOF_KERNELS_AVX2
+// Defined in kernels_avx2.cc.
+const KernelImpls& Avx2Impls();
+#endif
+
+const KernelImpls* Avx2() {
+#ifdef IMAGEPROOF_KERNELS_AVX2
+  static const KernelImpls* impls =
+      __builtin_cpu_supports("avx2") ? &Avx2Impls() : nullptr;
+  return impls;
+#else
+  return nullptr;
+#endif
+}
+
+double SquaredL2ScalarRef(const float* a, const float* b, size_t n) {
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = static_cast<double>(a[i]) - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace internal
+
+double SquaredL2(const float* a, const float* b, size_t n) {
+  return ActiveImpls().squared_l2(a, b, n);
+}
+
+double SquaredL2Pruned(const float* a, const float* b, size_t n,
+                       double bound) {
+  return ActiveImpls().squared_l2_pruned(a, b, n, bound);
+}
+
+void SquaredL2Batch(const float* q, const float* rows, size_t row_stride,
+                    size_t n_rows, size_t dims, double* out) {
+  ActiveImpls().squared_l2_batch(q, rows, row_stride, n_rows, dims, out);
+}
+
+double Dot(const float* a, const float* b, size_t n) {
+  return ActiveImpls().dot(a, b, n);
+}
+
+double SquaredNorm(const float* a, size_t n) {
+  return ActiveImpls().squared_norm(a, n);
+}
+
+bool Avx2Active() { return &ActiveImpls() != &internal::Portable(); }
+
+bool Avx2Compiled() {
+#ifdef IMAGEPROOF_KERNELS_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace imageproof::kern

@@ -1,0 +1,336 @@
+// Vectorized retrieval kernels: the plain-FLOP core of the query path.
+//
+// Every distance the retrieval structures evaluate — AKM nearest-cluster
+// assignment (Alg. 1-2), randomized k-d forest leaf scans, MRKD-tree range
+// search, BoVW impact scoring — funnels through the squared-L2 / dot / norm
+// kernels declared here. Two implementations exist behind one dispatch
+// point: an AVX2 translation unit (kernels_avx2.cc, compiled with -mavx2)
+// and a portable fallback (kernels.cc). The AVX2 path is selected at
+// runtime via __builtin_cpu_supports("avx2") and can be disabled with the
+// IMAGEPROOF_NO_AVX2 environment variable or compiled out entirely with
+// -DIMAGEPROOF_NO_AVX2=ON, mirroring crypto/sha3_avx2.cc.
+//
+// Canonical reduction order
+// -------------------------
+// Query output must be byte-identical regardless of which path runs, so
+// both implementations commit to one fixed summation tree over 8
+// conceptual double-precision lanes:
+//
+//   lane[j] accumulates the terms of dimensions i with i % 8 == j,
+//   in increasing i order (the tail past the last full group of 8
+//   continues the same i % 8 mapping);
+//
+//   result = ((l0 + l4) + (l2 + l6)) + ((l1 + l5) + (l3 + l7))
+//
+// which is exactly the cheapest AVX2 ending: add the low-half and
+// high-half 4-lane accumulators, fold the 256-bit vector to 128 bits, add
+// the two remaining elements. Each float is widened to double before any
+// arithmetic, and both translation units are built with -ffp-contract=off
+// (and without -mfma) so no mul+add pair is ever contracted into an FMA.
+// The portable loop reproduces the identical operation sequence per lane,
+// making the two paths bit-exact by construction (locked in by
+// tests/kernels_test.cc over randomized dims, tails, and denormals).
+//
+// The pruned kernel checks the partial sum against a caller bound every 32
+// dimensions with the same cadence on both paths; when it prunes it
+// returns a partial sum that is >= the bound. Callers must therefore treat
+// the return value only as "the distance, or any value >= bound" — leaf
+// scans that update a strictly-smaller best-so-far do exactly that.
+
+#ifndef IMAGEPROOF_COMMON_KERNELS_H_
+#define IMAGEPROOF_COMMON_KERNELS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace imageproof::kern {
+
+// ---------------------------------------------------------------------------
+// Distance / scoring kernels (runtime-dispatched).
+
+// sum_i (a[i] - b[i])^2 in the canonical reduction order.
+double SquaredL2(const float* a, const float* b, size_t n);
+
+// Squared L2 with partial-distance early termination: once the partial sum
+// reaches `bound` (checked every 32 dims), gives up and returns the partial
+// sum, which is >= bound. If it never reaches the bound the exact canonical
+// distance is returned. Bit-identical across dispatch paths.
+double SquaredL2Pruned(const float* a, const float* b, size_t n, double bound);
+
+// Distances from one query to `n_rows` rows of a row-major matrix
+// (`rows + r * row_stride` is row r). out[r] is bitwise equal to
+// SquaredL2(q, rows + r * row_stride, dims).
+void SquaredL2Batch(const float* q, const float* rows, size_t row_stride,
+                    size_t n_rows, size_t dims, double* out);
+
+// sum_i a[i] * b[i] in the canonical reduction order.
+double Dot(const float* a, const float* b, size_t n);
+
+// sum_i a[i]^2 in the canonical reduction order.
+double SquaredNorm(const float* a, size_t n);
+
+// True when the AVX2 path was compiled in AND the CPU supports it AND the
+// IMAGEPROOF_NO_AVX2 environment variable is not set.
+bool Avx2Active();
+// True when kernels_avx2.cc was compiled into this binary.
+bool Avx2Compiled();
+
+// ---------------------------------------------------------------------------
+// Direct access to both implementations, for the bit-exactness property
+// tests and the speedup ablation bench. Null members mean "not available in
+// this build / on this CPU".
+namespace internal {
+
+struct KernelImpls {
+  double (*squared_l2)(const float*, const float*, size_t) = nullptr;
+  double (*squared_l2_pruned)(const float*, const float*, size_t,
+                              double) = nullptr;
+  void (*squared_l2_batch)(const float*, const float*, size_t, size_t, size_t,
+                           double*) = nullptr;
+  double (*dot)(const float*, const float*, size_t) = nullptr;
+  double (*squared_norm)(const float*, size_t) = nullptr;
+};
+
+// The portable canonical implementation (always available).
+const KernelImpls& Portable();
+
+// The AVX2 implementation, or nullptr when it is compiled out or the CPU
+// lacks AVX2. Ignores the IMAGEPROOF_NO_AVX2 environment override so tests
+// can compare both paths in one process.
+const KernelImpls* Avx2();
+
+// Naive sequential-order scalar loop — the pre-kernel baseline the
+// abl_kernels speedup is measured against. NOT bit-compatible with the
+// canonical order; never used by retrieval code.
+double SquaredL2ScalarRef(const float* a, const float* b, size_t n);
+
+// Canonical final reduction over the 8 lane accumulators (shared by both
+// implementations and by tests that build expected values by hand).
+inline double ReduceLanes(const double l[8]) {
+  return ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+}
+
+// Dimensions between bound checks in SquaredL2Pruned. Part of the kernel's
+// observable semantics (it decides where pruning can trigger), so both
+// implementations and the tests share this constant.
+inline constexpr size_t kPruneCheckDims = 32;
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// 32-byte-aligned storage for point data (AVX2-friendly row bases).
+
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+inline constexpr size_t kPointAlignment = 32;
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kPointAlignment>>;
+
+// ---------------------------------------------------------------------------
+// ScoreAccumulator: flat open-addressing u64 -> double map for posting-list
+// score accumulation. Unlike std::unordered_map, Clear() keeps all storage
+// (epoch-stamped slots), so a warm accumulator does zero heap allocation.
+// Entries are also kept in a dense first-touch-order array, giving
+// deterministic iteration independent of hashing.
+
+class ScoreAccumulator {
+ public:
+  // Drops all entries but keeps capacity. O(1) except once every 2^32
+  // clears, when the stamp array is rewritten.
+  void Clear() {
+    dense_n_ = 0;
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  // Grows the table so `n` entries fit without rehashing mid-accumulation.
+  void Reserve(size_t n) {
+    size_t want = 16;
+    while (want < 2 * n + 1) want <<= 1;
+    if (want > table_keys_.size()) Rehash(want);
+    if (dense_keys_.size() < n) {
+      dense_keys_.resize(n);
+      dense_vals_.resize(n);
+    }
+  }
+
+  void Add(uint64_t key, double delta) {
+    if ((dense_n_ + 1) * 2 > table_keys_.size()) {
+      Rehash(table_keys_.empty() ? 16 : table_keys_.size() * 2);
+    }
+    const size_t mask = table_keys_.size() - 1;
+    size_t slot = Mix(key) & mask;
+    while (stamps_[slot] == epoch_) {
+      if (table_keys_[slot] == key) {
+        dense_vals_[table_idx_[slot]] += delta;
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
+    stamps_[slot] = epoch_;
+    table_keys_[slot] = key;
+    table_idx_[slot] = static_cast<uint32_t>(dense_n_);
+    if (dense_n_ == dense_keys_.size()) {
+      dense_keys_.push_back(key);
+      dense_vals_.push_back(delta);
+    } else {
+      dense_keys_[dense_n_] = key;
+      dense_vals_[dense_n_] = delta;
+    }
+    ++dense_n_;
+  }
+
+  size_t size() const { return dense_n_; }
+  uint64_t key(size_t i) const { return dense_keys_[i]; }
+  double value(size_t i) const { return dense_vals_[i]; }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    // splitmix64 finalizer.
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  void Rehash(size_t new_size) {
+    table_keys_.assign(new_size, 0);
+    table_idx_.assign(new_size, 0);
+    stamps_.assign(new_size, 0);
+    epoch_ = 1;
+    const size_t mask = new_size - 1;
+    for (size_t i = 0; i < dense_n_; ++i) {
+      size_t slot = Mix(dense_keys_[i]) & mask;
+      while (stamps_[slot] == epoch_) slot = (slot + 1) & mask;
+      stamps_[slot] = epoch_;
+      table_keys_[slot] = dense_keys_[i];
+      table_idx_[slot] = static_cast<uint32_t>(i);
+    }
+  }
+
+  std::vector<uint64_t> table_keys_;
+  std::vector<uint32_t> table_idx_;
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+  std::vector<uint64_t> dense_keys_;  // first-touch order
+  std::vector<double> dense_vals_;
+  size_t dense_n_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Bounded top-k selection over (score desc, id asc). A size-k heap whose
+// root is the *worst* kept entry; strictly-better candidates evict it.
+// Operates on a caller-owned vector so a warm scratch allocates nothing.
+
+struct ScoredEntry {
+  double score;
+  uint64_t id;
+};
+
+// True when a ranks strictly worse than b under (score desc, id asc).
+inline bool ScoredWorse(const ScoredEntry& a, const ScoredEntry& b) {
+  return a.score != b.score ? a.score < b.score : a.id > b.id;
+}
+
+inline void TopKPush(std::vector<ScoredEntry>& heap, size_t k,
+                     ScoredEntry entry) {
+  if (k == 0) return;
+  // Heap property: the worst entry is at heap[0] ("min"-heap under the
+  // better-than order), so comparator = "a better than b".
+  auto better = [](const ScoredEntry& a, const ScoredEntry& b) {
+    return ScoredWorse(b, a);
+  };
+  if (heap.size() < k) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end(), better);
+    return;
+  }
+  if (ScoredWorse(entry, heap.front()) ||
+      (entry.score == heap.front().score && entry.id == heap.front().id)) {
+    return;
+  }
+  std::pop_heap(heap.begin(), heap.end(), better);
+  heap.back() = entry;
+  std::push_heap(heap.begin(), heap.end(), better);
+}
+
+// Sorts the kept entries best-first (score desc, id asc). In-place.
+inline void TopKFinish(std::vector<ScoredEntry>& heap) {
+  std::sort(heap.begin(), heap.end(),
+            [](const ScoredEntry& a, const ScoredEntry& b) {
+              return ScoredWorse(b, a);
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Reusable per-query search scratch. One instance per worker lane; holding
+// one across queries makes the steady-state search stages allocation-free
+// (buffers only grow, never shrink). Not thread-safe: one lane, one owner.
+
+struct BestBinBranch {
+  double min_dist;
+  int32_t tree;
+  int32_t node;
+};
+
+inline bool BranchGreater(const BestBinBranch& a, const BestBinBranch& b) {
+  return a.min_dist > b.min_dist;
+}
+
+struct SearchScratch {
+  // Best-bin-first priority queue (min-heap on min_dist via std::push_heap
+  // with BranchGreater), shared by all trees of a forest search.
+  std::vector<BestBinBranch> branch_heap;
+  // Batched distance outputs.
+  std::vector<double> dists;
+  // Candidate ids collected during posting-list walks.
+  std::vector<uint64_t> candidates;
+  // Bounded top-k heap of (score, id).
+  std::vector<ScoredEntry> score_heap;
+  // Posting-list score accumulation.
+  ScoreAccumulator scores;
+
+  void Reserve(size_t branches, size_t batch, size_t images) {
+    branch_heap.reserve(branches);
+    dists.reserve(batch);
+    candidates.reserve(images);
+    score_heap.reserve(images);
+    scores.Reserve(images);
+  }
+};
+
+}  // namespace imageproof::kern
+
+#endif  // IMAGEPROOF_COMMON_KERNELS_H_

@@ -1,0 +1,190 @@
+// AVX2 implementations of the retrieval kernels. Compiled with -mavx2 (and
+// -ffp-contract=off, no -mfma) in its own TU; reached only through the
+// runtime dispatch in kernels.cc.
+//
+// The lane layout realizes the canonical reduction order documented in
+// kernels.h: each group of 8 floats is widened to two 4-double halves, so
+// vector accumulator element k of the low half is canonical lane k
+// (dims i % 8 == k) and element k of the high half is lane k+4. Every
+// square/product is an explicit _mm256_mul_pd followed by _mm256_add_pd —
+// never an FMA — so each lane performs the identical IEEE double operation
+// sequence as the portable loop in kernels.cc.
+
+#include <immintrin.h>
+
+#include "common/kernels.h"
+
+namespace imageproof::kern::internal {
+
+namespace {
+
+struct Acc {
+  __m256d lo = _mm256_setzero_pd();  // canonical lanes 0..3
+  __m256d hi = _mm256_setzero_pd();  // canonical lanes 4..7
+};
+
+inline void AccumulateDiff8(Acc& acc, const float* a, const float* b,
+                            size_t i) {
+  __m256 av = _mm256_loadu_ps(a + i);
+  __m256 bv = _mm256_loadu_ps(b + i);
+  __m256d alo = _mm256_cvtps_pd(_mm256_castps256_ps128(av));
+  __m256d ahi = _mm256_cvtps_pd(_mm256_extractf128_ps(av, 1));
+  __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(bv));
+  __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1));
+  __m256d dlo = _mm256_sub_pd(alo, blo);
+  __m256d dhi = _mm256_sub_pd(ahi, bhi);
+  acc.lo = _mm256_add_pd(acc.lo, _mm256_mul_pd(dlo, dlo));
+  acc.hi = _mm256_add_pd(acc.hi, _mm256_mul_pd(dhi, dhi));
+}
+
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) — bitwise identical to
+// internal::ReduceLanes on the stored lane values (IEEE adds either way).
+inline double Reduce(const Acc& acc) {
+  __m256d v = _mm256_add_pd(acc.lo, acc.hi);
+  __m128d s = _mm_add_pd(_mm256_castpd256_pd128(v),
+                         _mm256_extractf128_pd(v, 1));
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+// Finishes a kernel whose tail dims [i, n) remain: spills the lanes and
+// continues the canonical i % 8 mapping in scalar code.
+template <typename Term>
+double FinishTail(const Acc& acc, size_t i, size_t n, Term term) {
+  double lanes[8];
+  _mm256_storeu_pd(lanes, acc.lo);
+  _mm256_storeu_pd(lanes + 4, acc.hi);
+  for (; i < n; ++i) lanes[i & 7] += term(i);
+  return ReduceLanes(lanes);
+}
+
+double SquaredL2Avx2(const float* a, const float* b, size_t n) {
+  Acc acc;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) AccumulateDiff8(acc, a, b, i);
+  if (i == n) return Reduce(acc);
+  return FinishTail(acc, i, n, [&](size_t d) {
+    double diff = static_cast<double>(a[d]) - static_cast<double>(b[d]);
+    return diff * diff;
+  });
+}
+
+double SquaredL2PrunedAvx2(const float* a, const float* b, size_t n,
+                           double bound) {
+  Acc acc;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    AccumulateDiff8(acc, a, b, i);
+    if ((i + 8) % kPruneCheckDims == 0) {
+      double partial = Reduce(acc);
+      if (partial >= bound) return partial;
+    }
+  }
+  if (i == n) return Reduce(acc);
+  return FinishTail(acc, i, n, [&](size_t d) {
+    double diff = static_cast<double>(a[d]) - static_cast<double>(b[d]);
+    return diff * diff;
+  });
+}
+
+// Batch kernel: four rows advance in lockstep so their accumulator add
+// chains overlap (the single-row kernel is latency-bound on the two
+// _mm256_add_pd dependency chains). Each row still accumulates its own
+// lanes in canonical per-row order — the interleave reorders nothing
+// within a row, so every out[r] is bitwise identical to the single-row
+// kernel. The widened query halves are loaded once per 8-dim group and
+// shared across the four rows.
+void SquaredL2BatchAvx2(const float* q, const float* rows, size_t row_stride,
+                        size_t n_rows, size_t dims, double* out) {
+  size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    const float* b0 = rows + (r + 0) * row_stride;
+    const float* b1 = rows + (r + 1) * row_stride;
+    const float* b2 = rows + (r + 2) * row_stride;
+    const float* b3 = rows + (r + 3) * row_stride;
+    Acc a0, a1, a2, a3;
+    size_t i = 0;
+    for (; i + 8 <= dims; i += 8) {
+      __m256 qv = _mm256_loadu_ps(q + i);
+      __m256d qlo = _mm256_cvtps_pd(_mm256_castps256_ps128(qv));
+      __m256d qhi = _mm256_cvtps_pd(_mm256_extractf128_ps(qv, 1));
+      auto step = [&](Acc& acc, const float* b) {
+        __m256 bv = _mm256_loadu_ps(b + i);
+        __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(bv));
+        __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1));
+        __m256d dlo = _mm256_sub_pd(qlo, blo);
+        __m256d dhi = _mm256_sub_pd(qhi, bhi);
+        acc.lo = _mm256_add_pd(acc.lo, _mm256_mul_pd(dlo, dlo));
+        acc.hi = _mm256_add_pd(acc.hi, _mm256_mul_pd(dhi, dhi));
+      };
+      step(a0, b0);
+      step(a1, b1);
+      step(a2, b2);
+      step(a3, b3);
+    }
+    if (i == dims) {
+      out[r + 0] = Reduce(a0);
+      out[r + 1] = Reduce(a1);
+      out[r + 2] = Reduce(a2);
+      out[r + 3] = Reduce(a3);
+    } else {
+      auto tail = [&](const Acc& acc, const float* b) {
+        return FinishTail(acc, i, dims, [&](size_t d) {
+          double diff = static_cast<double>(q[d]) - static_cast<double>(b[d]);
+          return diff * diff;
+        });
+      };
+      out[r + 0] = tail(a0, b0);
+      out[r + 1] = tail(a1, b1);
+      out[r + 2] = tail(a2, b2);
+      out[r + 3] = tail(a3, b3);
+    }
+  }
+  for (; r < n_rows; ++r) {
+    out[r] = SquaredL2Avx2(q, rows + r * row_stride, dims);
+  }
+}
+
+inline void AccumulateProd8(Acc& acc, const float* a, const float* b,
+                            size_t i) {
+  __m256 av = _mm256_loadu_ps(a + i);
+  __m256 bv = _mm256_loadu_ps(b + i);
+  __m256d alo = _mm256_cvtps_pd(_mm256_castps256_ps128(av));
+  __m256d ahi = _mm256_cvtps_pd(_mm256_extractf128_ps(av, 1));
+  __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(bv));
+  __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1));
+  acc.lo = _mm256_add_pd(acc.lo, _mm256_mul_pd(alo, blo));
+  acc.hi = _mm256_add_pd(acc.hi, _mm256_mul_pd(ahi, bhi));
+}
+
+double DotAvx2(const float* a, const float* b, size_t n) {
+  Acc acc;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) AccumulateProd8(acc, a, b, i);
+  if (i == n) return Reduce(acc);
+  return FinishTail(acc, i, n, [&](size_t d) {
+    return static_cast<double>(a[d]) * static_cast<double>(b[d]);
+  });
+}
+
+double SquaredNormAvx2(const float* a, size_t n) {
+  Acc acc;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) AccumulateProd8(acc, a, a, i);
+  if (i == n) return Reduce(acc);
+  return FinishTail(acc, i, n, [&](size_t d) {
+    double v = static_cast<double>(a[d]);
+    return v * v;
+  });
+}
+
+}  // namespace
+
+const KernelImpls& Avx2Impls() {
+  static const KernelImpls impls = {
+      &SquaredL2Avx2, &SquaredL2PrunedAvx2, &SquaredL2BatchAvx2,
+      &DotAvx2,       &SquaredNormAvx2,
+  };
+  return impls;
+}
+
+}  // namespace imageproof::kern::internal

@@ -15,6 +15,7 @@ QueryEngine::QueryEngine(std::shared_ptr<const SpPackage> package,
     : options_(options),
       num_workers_(options.num_workers == 0 ? 1 : options.num_workers),
       per_worker_queries_(new obs::Counter[num_workers_]),
+      worker_scratch_(new QueryScratch[num_workers_]),
       pool_(num_workers_, options.queue_capacity) {
   auto snap = std::make_shared<Snapshot>();
   snap->package = std::move(package);
@@ -62,8 +63,12 @@ EngineResponse QueryEngine::Serve(
   fault::InjectLatency("engine.query.latency");
   in_flight_.Add();
   int worker = ThreadPool::CurrentWorkerIndex();
+  QueryScratch* scratch = nullptr;
   if (worker >= 0 && static_cast<unsigned>(worker) < num_workers_) {
     per_worker_queries_[worker].Add();
+    // The worker's warm scratch: exclusively ours for the whole call (one
+    // query runs per worker at a time; inline fallback runs get none).
+    scratch = &worker_scratch_[worker];
   }
   obs::ScopedTimer latency_timer(latency_us_);
   ServiceProvider sp(snap->package.get());
@@ -71,7 +76,7 @@ EngineResponse QueryEngine::Serve(
   par.threads = options_.intra_query_threads;
   QueryControl control =
       has_deadline ? QueryControl(deadline) : QueryControl();
-  out.status = sp.Query(features, k, par, control, &out.response);
+  out.status = sp.Query(features, k, par, control, &out.response, scratch);
   latency_timer.Stop();
   in_flight_.Sub();
   if (out.status.ok()) {

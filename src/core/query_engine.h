@@ -258,6 +258,12 @@ class QueryEngine {
   obs::Histogram queue_wait_us_;  // Submit() -> worker pickup
   obs::Histogram update_us_;      // clone + apply + re-sign + swap
   std::unique_ptr<obs::Counter[]> per_worker_queries_;  // [num_workers_]
+  // One reusable search scratch per pool worker (indexed by
+  // ThreadPool::CurrentWorkerIndex()), so steady-state serving reuses warm
+  // buffers: after each worker's first query, the search stages of
+  // ServiceProvider::Query allocate nothing. Workers never share a scratch,
+  // and output is byte-identical with or without one.
+  std::unique_ptr<QueryScratch[]> worker_scratch_;  // [num_workers_]
 
   ThreadPool pool_;  // last member: destroyed (drained) first
 };

@@ -60,8 +60,8 @@ QueryResponse ServiceProvider::Query(
 
 Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
                               size_t k, const QueryParallelism& par,
-                              const QueryControl& control,
-                              QueryResponse* out) const {
+                              const QueryControl& control, QueryResponse* out,
+                              QueryScratch* scratch) const {
   QueryResponse& resp = *out;
   const Config& config = pkg_->config;
   const ann::PointSet& codebook = pkg_->codebook;
@@ -70,6 +70,16 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
   // Every parallel loop below writes disjoint per-index slots and is merged
   // in index order, so the response is byte-identical at any thread count.
   const unsigned threads = par.threads == 0 ? 1 : par.threads;
+
+  // A feature vector with the wrong dimensionality would read out of
+  // bounds in the distance kernels; reject it up front.
+  for (size_t i = 0; i < nq; ++i) {
+    if (features[i].size() != dims) {
+      return Status::Error("sp: query feature " + std::to_string(i) + " has " +
+                           std::to_string(features[i].size()) +
+                           " dims, codebook has " + std::to_string(dims));
+    }
+  }
 
   Stopwatch bovw_timer;
   SpMetrics& met = SpMetrics::Get();
@@ -80,18 +90,30 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
     return Status::DeadlineExceeded("sp: deadline expired before query start");
   }
 
-  // Step 1: AKM search for thresholds.
+  // Step 1: AKM search for thresholds. Chunked so each worker lane reuses
+  // one scratch queue across its features; the chunk size is a function of
+  // (nq, threads) alone and the kernel results do not depend on the
+  // scratch, so output stays byte-identical at any thread count.
   obs::ScopedTimer akm_timer(met.akm_threshold_us);
   std::vector<const float*> queries(nq);
   for (size_t i = 0; i < nq; ++i) queries[i] = features[i].data();
   std::vector<double> thresholds_sq(nq, 0.0);
-  ParallelFor(
-      nq,
-      [&](size_t i) {
-        ann::NearestResult r = pkg_->forest->ApproxNearest(queries[i]);
-        thresholds_sq[i] = r.dist_sq;
-      },
-      threads, /*grain=*/1);
+  const size_t num_trees = pkg_->mrkd_trees.size();
+  if (scratch != nullptr) scratch->EnsureLanes(threads, num_trees);
+  if (nq > 0) {
+    const size_t chunk = (nq + threads - 1) / threads;
+    ParallelChunks(
+        nq, chunk,
+        [&](size_t begin, size_t end) {
+          kern::SearchScratch* lane =
+              scratch ? &scratch->akm_lanes[begin / chunk] : nullptr;
+          for (size_t i = begin; i < end; ++i) {
+            ann::NearestResult r = pkg_->forest->ApproxNearest(queries[i], lane);
+            thresholds_sq[i] = r.dist_sq;
+          }
+        },
+        threads);
+  }
   resp.vo.thresholds_sq = thresholds_sq;
   akm_timer.Stop();
 
@@ -102,16 +124,19 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
   // Step 2: MRKDSearch over every tree, in parallel across trees; outputs
   // are merged in tree order afterwards.
   obs::ScopedTimer mrkd_timer(met.mrkd_search_us);
-  const size_t num_trees = pkg_->mrkd_trees.size();
   std::vector<mrkd::TreeSearchOutput> tree_outputs(num_trees);
   ParallelFor(
       num_trees,
       [&](size_t t) {
         const mrkd::MrkdTree& tree = *pkg_->mrkd_trees[t];
+        // Scratch is indexed by tree, not by worker, so the lane is
+        // exclusive at any thread count.
+        mrkd::MrkdSearchScratch* lane =
+            scratch ? &scratch->tree_lanes[t] : nullptr;
         tree_outputs[t] =
             config.share_nodes
-                ? mrkd::MrkdSearchShared(tree, queries, thresholds_sq)
-                : mrkd::MrkdSearchUnshared(tree, queries, thresholds_sq);
+                ? mrkd::MrkdSearchShared(tree, queries, thresholds_sq, lane)
+                : mrkd::MrkdSearchUnshared(tree, queries, thresholds_sq, lane);
       },
       threads, /*grain=*/1);
   std::vector<std::set<mrkd::ClusterId>> candidates(nq);
@@ -209,15 +234,16 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
   invindex::InvSearchParams params;
   params.k = k;
   params.check_batch = config.check_batch;
+  kern::SearchScratch* inv_scratch = scratch ? &scratch->inv : nullptr;
   if (config.freq_grouped) {
-    freqgroup::FgSearchResult r = freqgroup::FgSearch(*pkg_->fg_index,
-                                                      query_bovw, params);
+    freqgroup::FgSearchResult r = freqgroup::FgSearch(
+        *pkg_->fg_index, query_bovw, params, inv_scratch);
     resp.topk = std::move(r.topk);
     resp.vo.inv_vo = std::move(r.vo);
     resp.stats.inv = r.stats;
   } else {
     invindex::InvSearchResult r =
-        invindex::InvSearch(*pkg_->inv_index, query_bovw, params);
+        invindex::InvSearch(*pkg_->inv_index, query_bovw, params, inv_scratch);
     resp.topk = std::move(r.topk);
     resp.vo.inv_vo = std::move(r.vo);
     resp.stats.inv = r.stats;

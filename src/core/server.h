@@ -49,6 +49,26 @@ struct QueryParallelism {
   unsigned threads = 1;
 };
 
+// Reusable per-query search scratch for the allocation-heavy stages: the
+// AKM best-bin-first queues (one lane per intra-query worker), the per-tree
+// MRKD traversal frames, and the inverted-index score accumulator + top-k
+// heap. One scratch per concurrent Query caller (the engine keeps one per
+// pool worker); buffers only grow, so after the first query on a scratch
+// the search machinery of these stages performs zero heap allocation —
+// remaining allocations are proportional to the response payload (VO
+// bytes, candidate lists, result vectors), which is owned by the caller.
+// Output is byte-identical with or without a scratch.
+struct QueryScratch {
+  std::vector<kern::SearchScratch> akm_lanes;        // stage 1, per worker
+  std::vector<mrkd::MrkdSearchScratch> tree_lanes;   // stage 2, per tree
+  kern::SearchScratch inv;                           // stage 5 (serial)
+
+  void EnsureLanes(size_t workers, size_t trees) {
+    if (akm_lanes.size() < workers) akm_lanes.resize(workers);
+    if (tree_lanes.size() < trees) tree_lanes.resize(trees);
+  }
+};
+
 // Cooperative per-query cancellation. Query() checks Expired() between its
 // pipeline stages (never inside a parallel loop), so a deadlined query stops
 // within one stage granule and returns kDeadlineExceeded instead of burning
@@ -91,10 +111,12 @@ class ServiceProvider {
   // Deadline-aware variant: identical output when the control never
   // expires; returns kDeadlineExceeded (and leaves *out unspecified) when
   // the deadline passes between stages. The engine's serving path uses
-  // this so in-flight queries honor their submission deadline.
+  // this so in-flight queries honor their submission deadline. `scratch`
+  // (optional, single caller per instance) keeps the search stages
+  // allocation-free once warm.
   Status Query(const std::vector<std::vector<float>>& features, size_t k,
                const QueryParallelism& par, const QueryControl& control,
-               QueryResponse* out) const;
+               QueryResponse* out, QueryScratch* scratch = nullptr) const;
 
   const SpPackage& package() const { return *pkg_; }
 

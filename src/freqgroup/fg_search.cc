@@ -66,8 +66,11 @@ bool ConditionsHold(const BoundsEngine& engine,
 
 FgSearchResult FgSearch(const FgInvertedIndex& index,
                         const bovw::BovwVector& query_bovw,
-                        const invindex::InvSearchParams& params) {
+                        const invindex::InvSearchParams& params,
+                        kern::SearchScratch* scratch) {
   FgSearchResult result;
+  kern::SearchScratch local_scratch;
+  kern::SearchScratch& scr = scratch ? *scratch : local_scratch;
   const bool use_filters = index.with_filters();
   const double norm = query_bovw.L2Norm();
 
@@ -85,26 +88,29 @@ FgSearchResult FgSearch(const FgInvertedIndex& index,
     result.stats.relevant_postings += sl.list->TotalImages();
   }
 
-  // Exact top-k.
-  std::unordered_map<ImageId, double> exact;
+  // Exact top-k: reusable flat accumulator + bounded size-k heap under
+  // (score desc, id asc) — same selection as the full sort it replaces
+  // (see invindex/search.cc).
+  kern::ScoreAccumulator& exact = scr.scores;
+  exact.Clear();
   for (const SearchList& sl : relevant) {
     for (const FgPosting& p : sl.list->postings) {
       for (size_t m = 0; m < p.members.size(); ++m) {
-        exact[p.members[m].id] +=
-            sl.q_impact * p.MemberImpact(sl.list->weight, m);
+        exact.Add(p.members[m].id,
+                  sl.q_impact * p.MemberImpact(sl.list->weight, m));
       }
     }
   }
-  std::vector<bovw::ScoredImage> ranked;
-  ranked.reserve(exact.size());
-  for (const auto& [id, score] : exact) ranked.push_back({id, score});
-  std::sort(ranked.begin(), ranked.end(),
-            [](const bovw::ScoredImage& a, const bovw::ScoredImage& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
-  size_t k = std::min(params.k, ranked.size());
-  result.topk.assign(ranked.begin(), ranked.begin() + k);
+  scr.score_heap.clear();
+  for (size_t i = 0; i < exact.size(); ++i) {
+    kern::TopKPush(scr.score_heap, params.k, {exact.value(i), exact.key(i)});
+  }
+  kern::TopKFinish(scr.score_heap);
+  size_t k = scr.score_heap.size();
+  result.topk.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    result.topk[i] = {scr.score_heap[i].id, scr.score_heap[i].score};
+  }
   std::vector<ImageId> topk_ids;
   for (const auto& si : result.topk) topk_ids.push_back(si.id);
   std::unordered_set<ImageId> topk_set(topk_ids.begin(), topk_ids.end());

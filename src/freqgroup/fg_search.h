@@ -32,9 +32,12 @@ struct FgSearchResult {
   invindex::InvSearchStats stats;  // popped counts are *image entries*
 };
 
+// `scratch` (optional) supplies the reusable score accumulator and top-k
+// heap (see invindex::InvSearch); output is identical either way.
 FgSearchResult FgSearch(const FgInvertedIndex& index,
                         const bovw::BovwVector& query_bovw,
-                        const invindex::InvSearchParams& params);
+                        const invindex::InvSearchParams& params,
+                        kern::SearchScratch* scratch = nullptr);
 
 }  // namespace imageproof::freqgroup
 

@@ -62,8 +62,11 @@ bool ConditionsHold(const BoundsEngine& engine,
 
 InvSearchResult InvSearch(const MerkleInvertedIndex& index,
                           const bovw::BovwVector& query_bovw,
-                          const InvSearchParams& params) {
+                          const InvSearchParams& params,
+                          kern::SearchScratch* scratch) {
   InvSearchResult result;
+  kern::SearchScratch local_scratch;
+  kern::SearchScratch& scr = scratch ? *scratch : local_scratch;
   const bool use_filters = index.with_filters();
   const double norm = query_bovw.L2Norm();
 
@@ -83,23 +86,28 @@ InvSearchResult InvSearch(const MerkleInvertedIndex& index,
     result.stats.relevant_postings += sl.list->postings.size();
   }
 
-  // Exact top-k by full accumulation over the relevant lists.
-  std::unordered_map<ImageId, double> exact;
+  // Exact top-k by full accumulation over the relevant lists: flat
+  // open-addressing accumulator (zero-alloc when warm) + bounded size-k
+  // heap under the total order (score desc, id asc) — selects exactly what
+  // the full sort-and-truncate this replaces selected, without
+  // materializing or ordering the non-winners.
+  kern::ScoreAccumulator& exact = scr.scores;
+  exact.Clear();
   for (const SearchList& sl : relevant) {
     for (const MerklePosting& p : sl.list->postings) {
-      exact[p.id] += sl.q_impact * p.impact;
+      exact.Add(p.id, sl.q_impact * p.impact);
     }
   }
-  std::vector<bovw::ScoredImage> ranked;
-  ranked.reserve(exact.size());
-  for (const auto& [id, score] : exact) ranked.push_back({id, score});
-  std::sort(ranked.begin(), ranked.end(),
-            [](const bovw::ScoredImage& a, const bovw::ScoredImage& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
-  size_t k = std::min(params.k, ranked.size());
-  result.topk.assign(ranked.begin(), ranked.begin() + k);
+  scr.score_heap.clear();
+  for (size_t i = 0; i < exact.size(); ++i) {
+    kern::TopKPush(scr.score_heap, params.k, {exact.value(i), exact.key(i)});
+  }
+  kern::TopKFinish(scr.score_heap);
+  size_t k = scr.score_heap.size();
+  result.topk.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    result.topk[i] = {scr.score_heap[i].id, scr.score_heap[i].score};
+  }
   std::vector<ImageId> topk_ids;
   for (const auto& si : result.topk) topk_ids.push_back(si.id);
   std::unordered_set<ImageId> topk_set(topk_ids.begin(), topk_ids.end());

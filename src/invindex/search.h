@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/kernels.h"
 #include "invindex/bounds.h"
 #include "invindex/merkle_inv_index.h"
 
@@ -75,10 +76,14 @@ struct InvSearchResult {
 };
 
 // Runs the authenticated top-k search for a query BoVW vector. The bound
-// mode (filters vs. loose) follows index.with_filters().
+// mode (filters vs. loose) follows index.with_filters(). `scratch`
+// (optional) supplies the reusable score accumulator and top-k heap so a
+// warm exact-scoring pass allocates nothing; output is identical either
+// way.
 InvSearchResult InvSearch(const MerkleInvertedIndex& index,
                           const bovw::BovwVector& query_bovw,
-                          const InvSearchParams& params);
+                          const InvSearchParams& params,
+                          kern::SearchScratch* scratch = nullptr);
 
 }  // namespace imageproof::invindex
 

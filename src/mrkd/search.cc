@@ -7,19 +7,26 @@ namespace imageproof::mrkd {
 namespace {
 
 // Recursion state shared across the traversal. Offsets are maintained
-// mutate-and-restore so no per-branch copies are made.
+// mutate-and-restore so no per-branch copies are made; the per-depth
+// partition buffers live in the (possibly caller-provided) scratch, so a
+// warm traversal performs no heap allocation.
 struct SearchContext {
   const MrkdTree* mrkd;
   const std::vector<const float*>* queries;
   const std::vector<double>* thresholds_sq;
-  std::vector<std::vector<double>> offsets;  // [query][dim]
+  MrkdSearchScratch* scratch;
   ByteWriter* writer;
   TreeSearchOutput* out;
+
+  MrkdSearchScratch::Frame& FrameAt(size_t depth) {
+    while (depth >= scratch->frames.size()) scratch->frames.emplace_back();
+    return scratch->frames[depth];
+  }
 };
 
 // `active` holds query indices; `mindist` the exact squared min distance of
 // each active query to the current node's region.
-void SearchRec(SearchContext& ctx, int node_index,
+void SearchRec(SearchContext& ctx, int node_index, size_t depth,
                const std::vector<uint32_t>& active,
                const std::vector<double>& mindist) {
   const ann::RkdTree& tree = ctx.mrkd->tree();
@@ -51,16 +58,25 @@ void SearchRec(SearchContext& ctx, int node_index,
   ctx.writer->PutF32(node.split_value);
 
   const int d = node.split_dim;
-  std::vector<uint32_t> left_active, right_active;
-  std::vector<double> left_mindist, right_mindist;
-  // (query, saved offset) pairs to restore after each child.
-  std::vector<std::pair<uint32_t, double>> left_saved, right_saved;
+  MrkdSearchScratch::Frame& frame = ctx.FrameAt(depth);
+  std::vector<uint32_t>& left_active = frame.left_active;
+  std::vector<uint32_t>& right_active = frame.right_active;
+  std::vector<double>& left_mindist = frame.left_mindist;
+  std::vector<double>& right_mindist = frame.right_mindist;
+  std::vector<std::pair<uint32_t, double>>& left_saved = frame.left_saved;
+  std::vector<std::pair<uint32_t, double>>& right_saved = frame.right_saved;
+  left_active.clear();
+  right_active.clear();
+  left_mindist.clear();
+  right_mindist.clear();
+  left_saved.clear();
+  right_saved.clear();
 
   for (size_t k = 0; k < active.size(); ++k) {
     uint32_t q = active[k];
     double diff = static_cast<double>((*ctx.queries)[q][d]) - node.split_value;
     bool near_is_left = diff < 0;
-    double old_off = ctx.offsets[q][d];
+    double old_off = ctx.scratch->offsets[q][d];
     double far_dist = mindist[k] - old_off * old_off + diff * diff;
 
     double near_dist = mindist[k];
@@ -93,21 +109,32 @@ void SearchRec(SearchContext& ctx, int node_index,
     for (const auto& [q, old_off] : saved) {
       double diff =
           static_cast<double>((*ctx.queries)[q][d]) - node.split_value;
-      ctx.offsets[q][d] = std::abs(diff);
+      ctx.scratch->offsets[q][d] = std::abs(diff);
       (void)old_off;
     }
-    SearchRec(ctx, child, child_active, child_mindist);
-    for (const auto& [q, old_off] : saved) ctx.offsets[q][d] = old_off;
+    SearchRec(ctx, child, depth + 1, child_active, child_mindist);
+    for (const auto& [q, old_off] : saved) ctx.scratch->offsets[q][d] = old_off;
   };
 
   descend(node.left, left_active, left_mindist, left_saved);
   descend(node.right, right_active, right_mindist, right_saved);
 }
 
+// Grows (never shrinks) the per-query offset vectors and zeroes the live
+// prefix, reusing prior capacity.
+void PrepareOffsets(MrkdSearchScratch& scratch, size_t num_queries,
+                    size_t dims) {
+  if (scratch.offsets.size() < num_queries) scratch.offsets.resize(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    scratch.offsets[q].assign(dims, 0.0);
+  }
+}
+
 TreeSearchOutput RunSearch(const MrkdTree& tree,
                            const std::vector<const float*>& queries,
                            const std::vector<double>& thresholds_sq,
                            const std::vector<uint32_t>& initial_active,
+                           MrkdSearchScratch& scratch,
                            TreeSearchOutput* accumulate) {
   TreeSearchOutput local;
   TreeSearchOutput& out = accumulate ? *accumulate : local;
@@ -119,15 +146,16 @@ TreeSearchOutput RunSearch(const MrkdTree& tree,
   ctx.mrkd = &tree;
   ctx.queries = &queries;
   ctx.thresholds_sq = &thresholds_sq;
-  ctx.offsets.assign(queries.size(),
-                     std::vector<double>(tree.tree().points().dims(), 0.0));
+  ctx.scratch = &scratch;
+  PrepareOffsets(scratch, queries.size(), tree.tree().points().dims());
   ByteWriter writer;
   ctx.writer = &writer;
   ctx.out = &out;
 
-  std::vector<double> mindist(initial_active.size(), 0.0);
+  scratch.initial_mindist.assign(initial_active.size(), 0.0);
   if (!tree.tree().nodes().empty()) {
-    SearchRec(ctx, tree.tree().root(), initial_active, mindist);
+    SearchRec(ctx, tree.tree().root(), 0, initial_active,
+              scratch.initial_mindist);
   }
   Bytes vo = writer.Take();
   out.vo.insert(out.vo.end(), vo.begin(), vo.end());
@@ -138,19 +166,28 @@ TreeSearchOutput RunSearch(const MrkdTree& tree,
 
 TreeSearchOutput MrkdSearchShared(const MrkdTree& tree,
                                   const std::vector<const float*>& queries,
-                                  const std::vector<double>& thresholds_sq) {
-  std::vector<uint32_t> all(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) all[i] = static_cast<uint32_t>(i);
-  return RunSearch(tree, queries, thresholds_sq, all, nullptr);
+                                  const std::vector<double>& thresholds_sq,
+                                  MrkdSearchScratch* scratch) {
+  MrkdSearchScratch local;
+  MrkdSearchScratch& s = scratch ? *scratch : local;
+  s.initial_active.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    s.initial_active[i] = static_cast<uint32_t>(i);
+  }
+  return RunSearch(tree, queries, thresholds_sq, s.initial_active, s, nullptr);
 }
 
 TreeSearchOutput MrkdSearchUnshared(const MrkdTree& tree,
                                     const std::vector<const float*>& queries,
-                                    const std::vector<double>& thresholds_sq) {
+                                    const std::vector<double>& thresholds_sq,
+                                    MrkdSearchScratch* scratch) {
+  MrkdSearchScratch local;
+  MrkdSearchScratch& s = scratch ? *scratch : local;
   TreeSearchOutput out;
   out.candidates.resize(queries.size());
   for (uint32_t q = 0; q < queries.size(); ++q) {
-    RunSearch(tree, queries, thresholds_sq, {q}, &out);
+    s.initial_active.assign(1, q);
+    RunSearch(tree, queries, thresholds_sq, s.initial_active, s, &out);
   }
   return out;
 }

@@ -21,9 +21,10 @@
 //
 // Thread safety: both search entry points take the tree by const reference
 // and keep ALL traversal state (the recursion context, offset vectors, VO
-// writer, candidate sets) in per-call locals — no statics, no caches, no
-// mutable members. Any number of searches may therefore run concurrently
-// over one MrkdTree, across queries and across trees, provided no one
+// writer, candidate sets) in per-call locals or in the caller-owned
+// MrkdSearchScratch — no statics, no caches, no mutable members. Any number
+// of searches may therefore run concurrently over one MrkdTree (one scratch
+// per concurrent caller), across queries and across trees, provided no one
 // mutates the tree (MrkdTree::RefreshListDigest) meanwhile. The query
 // engine (core/query_engine.h) guarantees that by serving every query from
 // an immutable package snapshot.
@@ -32,6 +33,8 @@
 #define IMAGEPROOF_MRKD_SEARCH_H_
 
 #include <cstdint>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -62,17 +65,40 @@ struct TreeSearchOutput {
   MrkdSearchStats stats;
 };
 
+// Reusable traversal state: one Frame per recursion depth holding the
+// active-set partition buffers the traversal previously allocated fresh at
+// every internal node (six vectors per node visit). Frames live in a deque
+// so references stay stable while deeper levels are appended; buffers only
+// grow, so a warm scratch makes the traversal itself allocation-free (VO
+// bytes and candidate output still allocate — they are returned to the
+// caller). One scratch per (caller, concurrent search): not thread-safe.
+struct MrkdSearchScratch {
+  struct Frame {
+    std::vector<uint32_t> left_active, right_active;
+    std::vector<double> left_mindist, right_mindist;
+    // (query, saved offset) pairs to restore after each child.
+    std::vector<std::pair<uint32_t, double>> left_saved, right_saved;
+  };
+  std::deque<Frame> frames;                  // indexed by depth
+  std::vector<std::vector<double>> offsets;  // [query][dim]
+  std::vector<uint32_t> initial_active;
+  std::vector<double> initial_mindist;
+};
+
 // Shared-node MRKDSearch (the paper's scheme). `thresholds_sq` are squared
-// distances, one per query.
+// distances, one per query. `scratch` (optional) is reused across calls;
+// output is byte-identical with or without it.
 TreeSearchOutput MrkdSearchShared(const MrkdTree& tree,
                                   const std::vector<const float*>& queries,
-                                  const std::vector<double>& thresholds_sq);
+                                  const std::vector<double>& thresholds_sq,
+                                  MrkdSearchScratch* scratch = nullptr);
 
 // Baseline variant without node sharing: one independent traversal (and VO
 // stream) per query, concatenated. Candidate semantics are identical.
 TreeSearchOutput MrkdSearchUnshared(const MrkdTree& tree,
                                     const std::vector<const float*>& queries,
-                                    const std::vector<double>& thresholds_sq);
+                                    const std::vector<double>& thresholds_sq,
+                                    MrkdSearchScratch* scratch = nullptr);
 
 }  // namespace imageproof::mrkd
 
