@@ -1,0 +1,220 @@
+// Ablation/extension bench — network serving layer (src/net).
+//
+// Closed-loop multi-connection load generator against a live NetServer on
+// loopback: each connection runs its own NetClient issuing queries
+// back-to-back (a new query the moment the previous verified response —
+// or explicit rejection — arrives). Sweeps the connection count and
+// reports, per point:
+//
+//   qps        verified queries per second (wall clock)
+//   p50/p99    client-observed latency, request sent -> response VERIFIED
+//              (so the number includes framing, TCP, engine queueing, VO
+//              serialization, and the full Client::Verify replay)
+//   shed%      fraction of queries answered kOverloaded
+//   B/query    response frame bytes per successful query
+//
+// The overload point then drives offered concurrency at >= 2x the engine's
+// serving capacity (workers + queue slots) and must show a nonzero shed
+// rate with p99 of the *served* queries staying bounded — the explicit-
+// rejection contract, measured through the full network path.
+//
+// --smoke shrinks the deployment and query counts for CI; --json <path>
+// writes the BenchReport with every point as named values.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/query_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+
+namespace {
+
+struct LoadPoint {
+  size_t connections = 0;
+  size_t verified = 0;
+  size_t shed = 0;
+  size_t errors = 0;
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double bytes_per_query = 0;
+
+  double Qps() const {
+    return wall_ms > 0 ? verified / (wall_ms / 1000.0) : 0;
+  }
+  double ShedRate() const {
+    size_t total = verified + shed + errors;
+    return total > 0 ? static_cast<double>(shed) / total : 0;
+  }
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+// Runs `connections` closed-loop clients, each issuing `queries_per_conn`
+// queries, and aggregates client-observed outcomes.
+LoadPoint RunLoad(uint16_t port, const core::PublicParams& params,
+                  const std::vector<std::vector<std::vector<float>>>& queries,
+                  size_t connections, size_t queries_per_conn, size_t k) {
+  LoadPoint point;
+  point.connections = connections;
+  std::atomic<size_t> verified{0}, shed{0}, errors{0}, resp_bytes{0};
+  std::vector<std::vector<double>> latencies(connections);
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::NetClient::Connect("127.0.0.1", port, params);
+      if (!client.ok()) {
+        errors.fetch_add(queries_per_conn);
+        return;
+      }
+      for (size_t q = 0; q < queries_per_conn; ++q) {
+        const auto& features = queries[(c * queries_per_conn + q) %
+                                       queries.size()];
+        Stopwatch sw;
+        auto result = client->Query(features, k, /*deadline_ms=*/30000);
+        double ms = sw.ElapsedMillis();
+        if (result.ok()) {
+          verified.fetch_add(1);
+          resp_bytes.fetch_add(result->response_frame_bytes);
+          latencies[c].push_back(ms);
+        } else if (result.status().code() == StatusCode::kOverloaded) {
+          shed.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  point.wall_ms = wall.ElapsedMillis();
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  point.p50_ms = Percentile(all, 0.50);
+  point.p99_ms = Percentile(all, 0.99);
+  point.verified = verified.load();
+  point.shed = shed.load();
+  point.errors = errors.load();
+  point.bytes_per_query =
+      point.verified > 0
+          ? static_cast<double>(resp_bytes.load()) / point.verified
+          : 0;
+  return point;
+}
+
+void PrintPoint(const char* label, const LoadPoint& p) {
+  std::printf("%-10s %6zu | %8.1f %8.2f %8.2f %7.1f%% %10.0f %6zu %6zu\n",
+              label, p.connections, p.Qps(), p.p50_ms, p.p99_ms,
+              p.ShedRate() * 100.0, p.bytes_per_query, p.verified, p.shed);
+  auto& report = BenchReport::Global();
+  std::string prefix = std::string(label) + ".c" +
+                       std::to_string(p.connections) + ".";
+  report.AddValue(prefix + "qps", p.Qps());
+  report.AddValue(prefix + "p50_ms", p.p50_ms);
+  report.AddValue(prefix + "p99_ms", p.p99_ms);
+  report.AddValue(prefix + "shed_rate", p.ShedRate());
+  report.AddValue(prefix + "bytes_per_query", p.bytes_per_query);
+  report.AddValue(prefix + "verified", static_cast<double>(p.verified));
+  report.AddValue(prefix + "errors", static_cast<double>(p.errors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBench(argc, argv, "abl_net");
+  DeploymentSpec spec;
+  spec.num_images = SmokeMode() ? 1000 : 10000;
+  spec.num_clusters = SmokeMode() ? 1024 : 4096;
+  spec.dims = SmokeMode() ? 32 : 64;
+  Deployment d(core::Config::ImageProof(), spec);
+  core::PublicParams params = d.owner.public_params;
+  auto package =
+      std::shared_ptr<const core::SpPackage>(std::move(d.owner.package));
+
+  const size_t kFeatures = SmokeMode() ? 20 : 30;
+  const size_t kTopK = 10;
+  const size_t kQueriesPerConn = SmokeMode() ? 4 : 16;
+  std::vector<std::vector<std::vector<float>>> queries;
+  for (size_t q = 0; q < 16; ++q) {
+    const auto& corpus = package->corpus;
+    const auto& source = corpus[(q * 2654435761u) % corpus.size()].second;
+    queries.push_back(workload::FeaturesFromBovw(
+        package->codebook, source, kFeatures, 0.25, 0.2, 1000 + q));
+  }
+
+  std::printf("Extension — network serving (loopback, %zu features, k=%zu, "
+              "%zu queries/conn)\n",
+              kFeatures, kTopK, kQueriesPerConn);
+  std::printf("%-10s %6s | %8s %8s %8s %8s %10s %6s %6s\n", "mode", "conns",
+              "qps", "p50_ms", "p99_ms", "shed%", "B/query", "ok", "shed");
+  std::printf("--------------------------------------------------------------"
+              "-----------------\n");
+
+  int exit_code = 0;
+
+  // Capacity sweep: engine sized to the machine, connections 1 -> 2x
+  // workers. Shed rate should stay ~0 (closed loop, capacity-bound).
+  {
+    core::EngineOptions opts;
+    opts.num_workers = SmokeMode() ? 2 : 4;
+    opts.queue_capacity = 64;
+    core::QueryEngine engine(package, params, opts);
+    net::NetServer server(&engine);
+    if (!server.Start().ok()) return FinishBench(1);
+    for (size_t conns : SmokeMode() ? std::vector<size_t>{1, 4}
+                                    : std::vector<size_t>{1, 2, 4, 8}) {
+      LoadPoint p = RunLoad(server.port(), params, queries, conns,
+                            kQueriesPerConn, kTopK);
+      PrintPoint("sweep", p);
+      if (p.errors > 0) exit_code = 1;
+    }
+    server.Stop();
+  }
+
+  // Overload: 1 worker, tiny queue, offered concurrency >= 2x capacity
+  // (capacity = 1 in flight + queue slots). The engine must shed the
+  // excess explicitly — nonzero shed rate, zero errors, and the served
+  // queries still verify.
+  {
+    core::EngineOptions opts;
+    opts.num_workers = 1;
+    opts.queue_capacity = 2;
+    core::QueryEngine engine(package, params, opts);
+    net::NetServer server(&engine);
+    if (!server.Start().ok()) return FinishBench(1);
+    const size_t capacity = 1 + opts.queue_capacity;
+    const size_t conns = 2 * capacity + 2;  // >= 2x serving capacity
+    LoadPoint p = RunLoad(server.port(), params, queries, conns,
+                          kQueriesPerConn, kTopK);
+    PrintPoint("overload", p);
+    BenchReport::Global().AddValue("overload.offered_over_capacity",
+                                   static_cast<double>(conns) / capacity);
+    if (p.errors > 0) exit_code = 1;
+    if (p.shed == 0) {
+      std::fprintf(stderr, "abl_net: overload run shed nothing — offered "
+                           "load did not exceed capacity?\n");
+      exit_code = 1;
+    }
+    server.Stop();
+  }
+
+  return FinishBench(exit_code);
+}

@@ -8,6 +8,13 @@
 //   deployment_cli query <dir>    SP+client: answer a query from the stored
 //                                 package and verify it with stored params
 //
+// Exit codes follow the wire error taxonomy (net::ExitCodeForStatus), so a
+// wrapper script can tell operational failure modes apart: 0 OK, 11
+// rejected/bad input, 14 unavailable, 15 corrupted on-disk state, 16
+// internal; 2 is usage error. A verification REJECT is 11 (kError: the
+// check failed, the bytes were well-formed), a package that fails to parse
+// is 15 (kCorrupted).
+//
 // Run without arguments for a self-contained demo of all three steps.
 // Pass --metrics (any position) to dump the process metrics registry as
 // JSON to stdout after the command finishes — SP stage timings, client
@@ -21,6 +28,7 @@
 #include "core/client.h"
 #include "core/server.h"
 #include "core/update.h"
+#include "net/wire.h"
 #include "obs/registry.h"
 #include "storage/serializer.h"
 #include "workload/synthetic.h"
@@ -29,11 +37,21 @@ using namespace imageproof;
 
 namespace {
 
+// Prints the taxonomy code alongside the message and converts to the shared
+// exit-code mapping, so `deployment_cli query corrupt_dir; echo $?` is
+// distinguishable from a verification reject.
+int FailWith(const char* step, const Status& status) {
+  std::printf("%s: [%s] %s\n", step, StatusCodeToString(status.code()),
+              status.message().c_str());
+  return net::ExitCodeForStatus(status);
+}
+
 std::string PackagePath(const std::string& dir) { return dir + "/package.bin"; }
 std::string ParamsPath(const std::string& dir) { return dir + "/params.bin"; }
 std::string KeyPath(const std::string& dir) { return dir + "/owner.key"; }
 
 int Build(const std::string& dir) {
+  (void)system(("mkdir -p " + dir).c_str());
   core::Config config = core::Config::ImageProof();
   config.rsa_bits = 512;
   workload::CorpusParams cp;
@@ -49,10 +67,14 @@ int Build(const std::string& dir) {
       config, workload::GenerateCodebook(cbp), std::move(corpus),
       std::move(blobs));
 
-  if (!storage::SaveSpPackage(PackagePath(dir), *owner.package).ok() ||
-      !storage::SavePublicParams(ParamsPath(dir), owner.public_params).ok()) {
-    std::printf("build: failed to write %s\n", dir.c_str());
-    return 1;
+  if (Status st = storage::SaveSpPackage(PackagePath(dir), *owner.package);
+      !st.ok()) {
+    return FailWith("build: write package", st);
+  }
+  if (Status st = storage::SavePublicParams(ParamsPath(dir),
+                                            owner.public_params);
+      !st.ok()) {
+    return FailWith("build: write params", st);
   }
   // The private key stays with the owner (toy storage for the demo; a real
   // deployment would keep it in an HSM).
@@ -60,7 +82,7 @@ int Build(const std::string& dir) {
   w.PutBlob(owner.private_key.n.ToBytes());
   w.PutBlob(owner.private_key.d.ToBytes());
   FILE* f = std::fopen(KeyPath(dir).c_str(), "wb");
-  if (!f) return 1;
+  if (!f) return FailWith("build: write key", Status::Error("cannot open"));
   std::fwrite(w.bytes().data(), 1, w.size(), f);
   std::fclose(f);
   std::printf("build: %zu images, %zu words -> %s\n",
@@ -92,23 +114,22 @@ Result<crypto::RsaPrivateKey> LoadKey(const std::string& dir) {
 
 int Insert(const std::string& dir) {
   auto pkg = storage::LoadSpPackage(PackagePath(dir));
+  if (!pkg.ok()) return FailWith("insert: load package", pkg.status());
   auto params = storage::LoadPublicParams(ParamsPath(dir));
+  if (!params.ok()) return FailWith("insert: load params", params.status());
   auto key = LoadKey(dir);
-  if (!pkg.ok() || !params.ok() || !key.ok()) {
-    std::printf("insert: cannot load deployment from %s\n", dir.c_str());
-    return 1;
-  }
+  if (!key.ok()) return FailWith("insert: load key", key.status());
   bovw::ImageId new_id = 1000000 + (*pkg)->corpus.size();
   bovw::BovwVector v = (*pkg)->corpus[3].second;  // near-duplicate of image 3
   auto stats = core::InsertImage(pkg->get(), *key, &*params, new_id, v,
                                  workload::GenerateImageBlob(new_id));
-  if (!stats.ok()) {
-    std::printf("insert: %s\n", stats.status().message().c_str());
-    return 1;
+  if (!stats.ok()) return FailWith("insert", stats.status());
+  if (Status st = storage::SaveSpPackage(PackagePath(dir), **pkg); !st.ok()) {
+    return FailWith("insert: rewrite package", st);
   }
-  if (!storage::SaveSpPackage(PackagePath(dir), **pkg).ok() ||
-      !storage::SavePublicParams(ParamsPath(dir), *params).ok()) {
-    return 1;
+  if (Status st = storage::SavePublicParams(ParamsPath(dir), *params);
+      !st.ok()) {
+    return FailWith("insert: rewrite params", st);
   }
   std::printf("insert: image %llu added (%zu lists updated, %zu MRKD nodes "
               "rehashed), root re-signed\n",
@@ -119,11 +140,9 @@ int Insert(const std::string& dir) {
 
 int Query(const std::string& dir) {
   auto pkg = storage::LoadSpPackage(PackagePath(dir));
+  if (!pkg.ok()) return FailWith("query: load package", pkg.status());
   auto params = storage::LoadPublicParams(ParamsPath(dir));
-  if (!pkg.ok() || !params.ok()) {
-    std::printf("query: cannot load deployment from %s\n", dir.c_str());
-    return 1;
-  }
+  if (!params.ok()) return FailWith("query: load params", params.status());
   core::ServiceProvider sp(pkg->get());
   core::Client client(*params);
   const auto& source = (*pkg)->corpus[3].second;
@@ -131,10 +150,7 @@ int Query(const std::string& dir) {
       workload::FeaturesFromBovw((*pkg)->codebook, source, 40, 0.2, 0.1, 99);
   core::QueryResponse resp = sp.Query(features, 5);
   auto verified = client.Verify(features, 5, resp.vo);
-  if (!verified.ok()) {
-    std::printf("query: REJECTED — %s\n", verified.status().message().c_str());
-    return 1;
-  }
+  if (!verified.ok()) return FailWith("query: REJECTED", verified.status());
   std::printf("query: verified top-%zu (VO %zu bytes):\n",
               verified->topk.size(), resp.vo.TotalBytes());
   for (const auto& si : verified->topk) {
@@ -180,11 +196,11 @@ int main(int argc, char** argv) {
   std::string dir = "/tmp/imageproof_deployment";
   (void)system(("mkdir -p " + dir).c_str());
   std::printf("--- build ---\n");
-  if (Build(dir)) return DumpMetricsAndReturn(1, metrics);
+  if (int rc = Build(dir)) return DumpMetricsAndReturn(rc, metrics);
   std::printf("--- query (initial) ---\n");
-  if (Query(dir)) return DumpMetricsAndReturn(1, metrics);
+  if (int rc = Query(dir)) return DumpMetricsAndReturn(rc, metrics);
   std::printf("--- insert (near-duplicate of image 3) ---\n");
-  if (Insert(dir)) return DumpMetricsAndReturn(1, metrics);
+  if (int rc = Insert(dir)) return DumpMetricsAndReturn(rc, metrics);
   std::printf("--- query (after update; new image should appear) ---\n");
   return DumpMetricsAndReturn(Query(dir), metrics);
 }

@@ -48,12 +48,12 @@ cmake -B "$BUILD_DIR" "${GENERATOR[@]}" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 if [[ "$MODE" == "--tsan" ]]; then
-  # The concurrency, determinism, adversary, obs, and parallel-Merkle
-  # suites are the ones that exercise threads; running the whole suite under
-  # TSan adds time but no extra thread coverage. --no-tests=error: an empty
-  # selection is a broken regex, not a pass.
+  # The concurrency, determinism, adversary, obs, parallel-Merkle, and
+  # network-serving suites are the ones that exercise threads; running the
+  # whole suite under TSan adds time but no extra thread coverage.
+  # --no-tests=error: an empty selection is a broken regex, not a pass.
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
-    -R 'concurrency_test|golden_test|security_test|obs_test|merkle_test|kernels_test'
+    -R 'concurrency_test|golden_test|security_test|obs_test|merkle_test|kernels_test|net_test'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error
 fi
@@ -61,7 +61,7 @@ fi
 if [[ "$MODE" == "" || "$MODE" == "--bench" || "$MODE" == "--metrics" ]]; then
   echo "--- examples ---"
   for ex in quickstart tamper_detection vo_breakdown image_pipeline \
-            deployment_cli; do
+            deployment_cli net_server; do
     "./$BUILD_DIR/examples/$ex" || fail "example $ex exited $?"
   done
 fi

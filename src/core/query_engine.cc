@@ -138,6 +138,53 @@ std::future<EngineResponse> QueryEngine::SubmitWithPolicy(
   return ReadyResponse(Status::Unavailable("engine: stopped"));
 }
 
+void QueryEngine::SubmitAsync(std::vector<std::vector<float>> features,
+                              size_t k, SubmitOptions submit_options,
+                              std::function<void(EngineResponse)> done) {
+  // The callback lives in a shared_ptr because TrySubmit constructs its
+  // task object before the admission check: on a shed the task (and
+  // everything it captured) is destroyed unrun, and the rejection path
+  // below still needs `done` alive to deliver the kOverloaded response.
+  auto shared_done =
+      std::make_shared<std::function<void(EngineResponse)>>(std::move(done));
+  auto immediate = [&shared_done](Status status) {
+    EngineResponse r;
+    r.status = std::move(status);
+    (*shared_done)(std::move(r));
+  };
+  if (stopped_.load(std::memory_order_acquire)) {
+    rejected_unavailable_.Add();
+    immediate(Status::Unavailable("engine: stopped"));
+    return;
+  }
+  const Clock::time_point deadline =
+      submit_options.deadline.count() > 0
+          ? Clock::now() + submit_options.deadline
+          : Clock::time_point{};
+  // Same admission-time snapshot pinning as Submit(): the caller gets an
+  // answer from the state it observed when the query was accepted.
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  obs::TimePoint enqueued = obs::Now();
+  auto task = [this, snap = std::move(snap), features = std::move(features),
+               k, enqueued, deadline, shared_done] {
+    (*shared_done)(Serve(snap, features, k, enqueued, deadline));
+  };
+  std::future<void> fut;
+  switch (pool_.TrySubmit(std::move(task), &fut)) {
+    case ThreadPool::TrySubmitResult::kAccepted:
+      return;
+    case ThreadPool::TrySubmitResult::kQueueFull:
+      queries_shed_.Add();
+      immediate(
+          Status::Overloaded("engine: submission queue full, query shed"));
+      return;
+    case ThreadPool::TrySubmitResult::kShutdown:
+      break;
+  }
+  rejected_unavailable_.Add();
+  immediate(Status::Unavailable("engine: stopped"));
+}
+
 std::vector<EngineResponse> QueryEngine::QueryBatch(
     const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
     SubmitOptions submit_options) {

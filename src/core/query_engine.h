@@ -60,6 +60,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -160,6 +161,18 @@ class QueryEngine {
                                      size_t k) {
     return Submit(std::move(features), k, SubmitOptions{});
   }
+
+  // Callback-based admission for event-loop callers (the src/net poll
+  // server): never blocks, regardless of the engine's overload policy — an
+  // event loop exists precisely to avoid parking a thread, so a full queue
+  // always resolves as an immediate kOverloaded. `done` runs on the worker
+  // thread that served the query, or inline on the calling thread when the
+  // admission decision is immediate (shed / unavailable). It is invoked
+  // exactly once, must not throw, and must not re-enter the engine's
+  // submit paths from a worker (the thread-pool self-deadlock rule).
+  void SubmitAsync(std::vector<std::vector<float>> features, size_t k,
+                   SubmitOptions submit_options,
+                   std::function<void(EngineResponse)> done);
 
   // Submits every query, then blocks until all are served. Results are in
   // input order. Since the caller waits for every result anyway, a full

@@ -1,0 +1,159 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "core/vo.h"
+
+namespace imageproof::net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     core::PublicParams trusted_params) {
+  Result<Socket> sock = ConnectTcp(host, port);
+  if (!sock.ok()) return sock.status();
+  return NetClient(std::move(sock).value(), std::move(trusted_params));
+}
+
+Result<std::pair<FrameHeader, Bytes>> NetClient::RoundTrip(
+    FrameType type, const Bytes& payload, size_t* reply_frame_bytes) {
+  Bytes frame = EncodeFrame(type, payload);
+  Status st = SendAll(sock_.fd(), frame.data(), frame.size());
+  if (!st.ok()) return st;
+
+  FrameHeader header;
+  Bytes reply;
+  for (;;) {
+    Status err;
+    switch (TryExtractFrame(&read_buf_, &header, &reply, &err)) {
+      case ExtractResult::kFrame:
+        if (reply_frame_bytes != nullptr) {
+          *reply_frame_bytes = kFrameHeaderBytes + reply.size();
+        }
+        return std::make_pair(header, std::move(reply));
+      case ExtractResult::kCorrupt:
+        return err;
+      case ExtractResult::kNeedMore:
+        break;
+    }
+    const size_t old = read_buf_.size();
+    read_buf_.resize(old + kReadChunk);
+    Result<size_t> got = RecvSome(sock_.fd(), read_buf_.data() + old,
+                                  kReadChunk);
+    read_buf_.resize(old + (got.ok() ? got.value() : 0));
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) {
+      // Orderly close mid-reply: from the client's perspective the server
+      // went away — same taxonomy slot as a draining server.
+      return Status::Unavailable("net: server closed connection");
+    }
+  }
+}
+
+Status NetClient::UnexpectedOrError(const FrameHeader& header,
+                                    const Bytes& payload, FrameType expected) {
+  if (header.type == FrameType::kError) {
+    ErrorFrame err;
+    Status st = DecodeError(payload, &err);
+    if (!st.ok()) return st;  // malformed error frame -> kCorrupted
+    return StatusFromWireError(static_cast<uint8_t>(err.code),
+                               std::move(err.message));
+  }
+  if (header.type != expected) {
+    return Status::Corrupted("net: unexpected frame type from server");
+  }
+  return Status::Ok();
+}
+
+Result<NetQueryResult> NetClient::Query(
+    const std::vector<std::vector<float>>& features, size_t k,
+    uint32_t deadline_ms) {
+  QueryRequest req;
+  req.deadline_ms = deadline_ms;
+  req.k = k;
+  req.features = features;
+
+  size_t frame_bytes = 0;
+  auto reply = RoundTrip(FrameType::kQuery, EncodeQueryRequest(req),
+                         &frame_bytes);
+  if (!reply.ok()) return reply.status();
+  const FrameHeader& header = reply.value().first;
+  const Bytes& payload = reply.value().second;
+
+  Status st = UnexpectedOrError(header, payload, FrameType::kResponse);
+  if (!st.ok()) return st;
+
+  ResponseFrame resp;
+  st = DecodeResponse(payload, &resp);
+  if (!st.ok()) return st;
+
+  core::QueryVO vo;
+  st = core::QueryVO::Deserialize(resp.vo_bytes, &vo);
+  if (!st.ok()) return st;
+
+  // Verify under the trusted params, substituting only the wire-delivered
+  // root signature: updates re-sign, and the signature is checked against
+  // the owner public key the client already holds, so it cannot be forged —
+  // a server lying here fails verification, not the client.
+  core::PublicParams params = params_;
+  params.root_signature = resp.root_signature;
+  core::Client verifier(std::move(params));
+  auto verified = verifier.Verify(features, k, vo);
+  if (!verified.ok()) return verified.status();
+
+  NetQueryResult out;
+  out.verified = std::move(verified.value());
+  out.snapshot_version = resp.snapshot_version;
+  out.vo_bytes = std::move(resp.vo_bytes);
+  out.response_frame_bytes = frame_bytes;
+  return out;
+}
+
+Result<UpdateAck> NetClient::Insert(uint64_t id, const bovw::BovwVector& bovw,
+                                    const Bytes& image_data) {
+  InsertRequest req;
+  req.id = id;
+  req.bovw = bovw;
+  req.image_data = image_data;
+  auto reply =
+      RoundTrip(FrameType::kInsert, EncodeInsertRequest(req), nullptr);
+  if (!reply.ok()) return reply.status();
+  Status st = UnexpectedOrError(reply.value().first, reply.value().second,
+                                FrameType::kUpdateAck);
+  if (!st.ok()) return st;
+  UpdateAck ack;
+  st = DecodeUpdateAck(reply.value().second, &ack);
+  if (!st.ok()) return st;
+  return ack;
+}
+
+Result<UpdateAck> NetClient::Delete(uint64_t id) {
+  DeleteRequest req;
+  req.id = id;
+  auto reply =
+      RoundTrip(FrameType::kDelete, EncodeDeleteRequest(req), nullptr);
+  if (!reply.ok()) return reply.status();
+  Status st = UnexpectedOrError(reply.value().first, reply.value().second,
+                                FrameType::kUpdateAck);
+  if (!st.ok()) return st;
+  UpdateAck ack;
+  st = DecodeUpdateAck(reply.value().second, &ack);
+  if (!st.ok()) return st;
+  return ack;
+}
+
+Result<StatusReply> NetClient::ServerStatus() {
+  auto reply = RoundTrip(FrameType::kStatusRequest, Bytes{}, nullptr);
+  if (!reply.ok()) return reply.status();
+  Status st = UnexpectedOrError(reply.value().first, reply.value().second,
+                                FrameType::kStatusReply);
+  if (!st.ok()) return st;
+  StatusReply status;
+  st = DecodeStatusReply(reply.value().second, &status);
+  if (!st.ok()) return st;
+  return status;
+}
+
+}  // namespace imageproof::net

@@ -1,0 +1,118 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace imageproof::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Error(std::string("net: ") + what + ": " +
+                       std::strerror(errno));
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only (the serving layer binds loopback or an explicit
+  // address; name resolution is out of scope for this layer).
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Result<sockaddr_in>(
+        Status::Error("net: not a numeric IPv4 address: " + host));
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port) {
+  Result<sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(sock.fd(), 64) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  Result<sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&*addr),
+                   sizeof(*addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Status SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> RecvSome(int fd, uint8_t* buf, size_t max) {
+  while (true) {
+    ssize_t n = ::recv(fd, buf, max, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Result<size_t>(Errno("recv"));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+}  // namespace imageproof::net

@@ -1,0 +1,71 @@
+// Minimal POSIX TCP plumbing for the serving layer: an RAII fd, loopback
+// listen/connect helpers, and the blocking send/recv loops the client uses.
+// Everything reports failures through Status (no exceptions, no errno
+// leaking past this file); the async server does its own nonblocking I/O on
+// the raw fd.
+
+#ifndef IMAGEPROOF_NET_SOCKET_H_
+#define IMAGEPROOF_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace imageproof::net {
+
+// Move-only owner of a file descriptor; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  // Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on host:port (port 0 = kernel-assigned ephemeral port;
+// *bound_port receives the actual one). SO_REUSEADDR is set so test
+// servers restart cleanly.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port);
+
+// Blocking connect. TCP_NODELAY is set: frames are written whole and the
+// request/response pattern would otherwise eat Nagle delays.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+// Marks the fd nonblocking (server side: accept loop + per-connection I/O).
+Status SetNonBlocking(int fd);
+
+// Blocking exact-count I/O for the client: retry on EINTR, fail on peer
+// close or error. RecvSome returns 0..max bytes (0 = orderly peer close).
+Status SendAll(int fd, const uint8_t* data, size_t size);
+Result<size_t> RecvSome(int fd, uint8_t* buf, size_t max);
+
+}  // namespace imageproof::net
+
+#endif  // IMAGEPROOF_NET_SOCKET_H_

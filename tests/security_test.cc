@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <functional>
+#include <thread>
 
 #include "core/client.h"
 #include "core/owner.h"
@@ -18,6 +21,10 @@
 #include "invindex/search.h"
 #include "invindex/verify.h"
 #include "mrkd/commit.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "workload/synthetic.h"
 
 namespace imageproof {
@@ -553,6 +560,239 @@ TEST_F(EngineAdversaryTest, StaleSignatureRejected) {
   // Each verifies under its own snapshot.
   EXPECT_TRUE(new_client.Verify(features_, 5, fresh.response.vo).ok());
   EXPECT_TRUE(stale_client.Verify(features_, 5, honest_.response.vo).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MITM over the wire: a protocol-aware adversary between a real NetServer
+// and a real NetClient rewrites response frames mid-flight. This is the
+// paper's threat model made literal — the transport gives no integrity, so
+// Client::Verify alone must catch every rewrite of the results, the VO, or
+// the root signature. (A transport-level MITM that garbles framing is the
+// easy case: kCorrupted. These mutants keep the framing VALID.)
+// ---------------------------------------------------------------------------
+
+// One-shot TCP relay: accepts a single client connection, forwards request
+// frames upstream verbatim, and passes each downstream (server -> client)
+// frame through `rewrite` before relaying it. Frame-aware in both
+// directions, so mutations operate on exactly one complete response frame.
+class MitmProxy {
+ public:
+  MitmProxy(uint16_t upstream_port, std::function<Bytes(Bytes)> rewrite)
+      : upstream_port_(upstream_port), rewrite_(std::move(rewrite)) {
+    auto listener = net::ListenTcp("127.0.0.1", 0, &port_);
+    EXPECT_TRUE(listener.ok());
+    listener_ = std::move(listener).value();
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~MitmProxy() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  // Blocking read of one complete frame from `fd` into *frame (raw bytes,
+  // header included). False on peer close.
+  static bool ReadFrame(int fd, Bytes* buffer, Bytes* frame) {
+    net::FrameHeader header;
+    Bytes payload;
+    Status err;
+    for (;;) {
+      Bytes probe = *buffer;
+      if (net::TryExtractFrame(&probe, &header, &payload, &err) ==
+          net::ExtractResult::kFrame) {
+        size_t frame_len = buffer->size() - probe.size();
+        frame->assign(buffer->begin(), buffer->begin() + frame_len);
+        buffer->erase(buffer->begin(), buffer->begin() + frame_len);
+        return true;
+      }
+      uint8_t chunk[4096];
+      auto got = net::RecvSome(fd, chunk, sizeof(chunk));
+      if (!got.ok() || got.value() == 0) return false;
+      buffer->insert(buffer->end(), chunk, chunk + got.value());
+    }
+  }
+
+  void Run() {
+    int client_fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (client_fd < 0) return;
+    net::Socket client(client_fd);
+    auto upstream = net::ConnectTcp("127.0.0.1", upstream_port_);
+    if (!upstream.ok()) return;
+
+    Bytes client_buf, upstream_buf;
+    Bytes frame;
+    while (ReadFrame(client.fd(), &client_buf, &frame)) {
+      if (!net::SendAll(upstream->fd(), frame.data(), frame.size()).ok()) {
+        return;
+      }
+      if (!ReadFrame(upstream->fd(), &upstream_buf, &frame)) return;
+      Bytes rewritten = rewrite_(std::move(frame));
+      if (!net::SendAll(client.fd(), rewritten.data(), rewritten.size())
+               .ok()) {
+        return;
+      }
+    }
+  }
+
+  uint16_t upstream_port_ = 0;
+  std::function<Bytes(Bytes)> rewrite_;
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+class WireMitmTest : public ::testing::Test {
+ public:
+  WireMitmTest() {
+    core::Config config = core::Config::ImageProof();
+    config.rsa_bits = 512;
+    workload::CorpusParams cp;
+    cp.num_images = 150;
+    cp.num_clusters = 64;
+    cp.seed = 29;
+    auto corpus = workload::GenerateCorpus(cp);
+    std::unordered_map<bovw::ImageId, Bytes> blobs;
+    for (const auto& [id, v] : corpus) {
+      blobs[id] = workload::GenerateImageBlob(id);
+    }
+    workload::CodebookParams cbp;
+    cbp.num_clusters = 64;
+    cbp.dims = 8;
+    owner_ = core::BuildDeployment(config, workload::GenerateCodebook(cbp),
+                                   std::move(corpus), std::move(blobs));
+    package_ =
+        std::shared_ptr<const core::SpPackage>(std::move(owner_.package));
+    engine_ = std::make_unique<core::QueryEngine>(package_,
+                                                  owner_.public_params);
+    server_ = std::make_unique<net::NetServer>(engine_.get());
+    EXPECT_TRUE(server_->Start().ok());
+    features_ = workload::GenerateQueryFeatures(package_->codebook, 8, 0.3,
+                                                41);
+  }
+
+  // Runs one query through a MITM applying `rewrite` to the response frame;
+  // returns the client-side outcome.
+  Status QueryThrough(std::function<Bytes(Bytes)> rewrite) {
+    MitmProxy proxy(server_->port(), std::move(rewrite));
+    auto client = net::NetClient::Connect("127.0.0.1", proxy.port(),
+                                          owner_.public_params);
+    if (!client.ok()) return client.status();
+    auto result = client->Query(features_, 5, /*deadline_ms=*/30000);
+    return result.ok() ? Status::Ok() : result.status();
+  }
+
+  // Decodes a response frame, hands the payload struct to `mutate`, and
+  // re-frames — the protocol-aware rewrite every case below builds on.
+  static Bytes RewriteResponse(
+      Bytes frame, const std::function<void(net::ResponseFrame*)>& mutate) {
+    net::FrameHeader header;
+    Bytes payload;
+    Status err;
+    EXPECT_EQ(net::TryExtractFrame(&frame, &header, &payload, &err),
+              net::ExtractResult::kFrame);
+    EXPECT_EQ(header.type, net::FrameType::kResponse);
+    net::ResponseFrame resp;
+    EXPECT_TRUE(net::DecodeResponse(payload, &resp).ok());
+    mutate(&resp);
+    return net::EncodeFrame(net::FrameType::kResponse,
+                            net::EncodeResponse(resp));
+  }
+
+  core::OwnerOutput owner_;
+  std::shared_ptr<const core::SpPackage> package_;
+  std::unique_ptr<core::QueryEngine> engine_;
+  std::unique_ptr<net::NetServer> server_;
+  std::vector<std::vector<float>> features_;
+};
+
+TEST_F(WireMitmTest, PassthroughVerifies) {
+  // Control: the proxy itself must be transparent.
+  Status st = QueryThrough([](Bytes frame) { return frame; });
+  EXPECT_TRUE(st.ok()) << st.message();
+}
+
+TEST_F(WireMitmTest, FlippedVoBytesRejected) {
+  // One byte anywhere in the VO stream: front, middle, back.
+  for (double pos : {0.05, 0.5, 0.95}) {
+    Status st = QueryThrough([pos](Bytes frame) {
+      return RewriteResponse(std::move(frame), [pos](net::ResponseFrame* r) {
+        r->vo_bytes[static_cast<size_t>(pos * r->vo_bytes.size())] ^= 0x01;
+      });
+    });
+    EXPECT_FALSE(st.ok()) << "flip at " << pos << " accepted";
+  }
+}
+
+TEST_F(WireMitmTest, TamperedResultImageRejected) {
+  // Surgically rewrite a RESULT: deserialize the VO, flip one byte of the
+  // top result's image payload, reserialize. Eq. (15) signatures must catch
+  // it even though every proof structure around it is untouched.
+  Status st = QueryThrough([](Bytes frame) {
+    return RewriteResponse(std::move(frame), [](net::ResponseFrame* r) {
+      core::QueryVO vo;
+      ASSERT_TRUE(core::QueryVO::Deserialize(r->vo_bytes, &vo).ok());
+      ASSERT_FALSE(vo.results.empty());
+      vo.results[0].data[0] ^= 0xFF;
+      r->vo_bytes = vo.Serialize();
+    });
+  });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(WireMitmTest, SwappedResultIdRejected) {
+  Status st = QueryThrough([](Bytes frame) {
+    return RewriteResponse(std::move(frame), [](net::ResponseFrame* r) {
+      core::QueryVO vo;
+      ASSERT_TRUE(core::QueryVO::Deserialize(r->vo_bytes, &vo).ok());
+      ASSERT_FALSE(vo.results.empty());
+      vo.results[0].id ^= 1;  // claim a different image produced these bytes
+      r->vo_bytes = vo.Serialize();
+    });
+  });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(WireMitmTest, TamperedSignatureRejected) {
+  for (auto mutate : {
+           +[](net::ResponseFrame* r) { r->root_signature[0] ^= 0x01; },
+           +[](net::ResponseFrame* r) { r->root_signature.pop_back(); },
+           +[](net::ResponseFrame* r) { r->root_signature.clear(); },
+       }) {
+    Status st = QueryThrough([mutate](Bytes frame) {
+      return RewriteResponse(std::move(frame), mutate);
+    });
+    EXPECT_FALSE(st.ok());
+  }
+}
+
+TEST_F(WireMitmTest, SubstitutedVoRejected) {
+  // Replace the whole VO with one served for a DIFFERENT query — every
+  // byte individually authentic, but not an answer to what the client
+  // asked. The replay must fail against the client's own features.
+  core::ServiceProvider sp(package_.get());
+  auto other_features =
+      workload::GenerateQueryFeatures(package_->codebook, 8, 0.3, 99);
+  Bytes other_vo = sp.Query(other_features, 5).vo.Serialize();
+  Status st = QueryThrough([&other_vo](Bytes frame) {
+    return RewriteResponse(std::move(frame), [&](net::ResponseFrame* r) {
+      r->vo_bytes = other_vo;
+    });
+  });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(WireMitmTest, AdvisoryVersionMutationStillVerifies) {
+  // The one field a MITM may touch without detection: snapshot_version is
+  // advisory metadata, authenticated by nothing — the test documents that
+  // boundary (and that the VO it arrives with still verifies).
+  Status st = QueryThrough([](Bytes frame) {
+    return RewriteResponse(std::move(frame), [](net::ResponseFrame* r) {
+      r->snapshot_version = 424242;
+    });
+  });
+  EXPECT_TRUE(st.ok()) << st.message();
 }
 
 }  // namespace
