@@ -8,6 +8,18 @@
 //   deployment_cli query <dir>    SP+client: answer a query from the stored
 //                                 package and verify it with stored params
 //
+// Disk-store modes (storage/package_store.h — the mmap serving format):
+//
+//   deployment_cli build-disk <dir>   owner: build the same deployment but
+//                                     publish it as an epoch directory
+//                                     (pkg-<epoch>.ipk + CURRENT), verified
+//                                     before the CURRENT flip
+//   deployment_cli query-disk <dir>   SP+client: mmap the CURRENT epoch
+//                                     (root signature checked against the
+//                                     mapped bytes), query, verify
+//   deployment_cli inspect <file>     print the on-disk layout of one
+//                                     .ipk file (header/TOC facts)
+//
 // Exit codes follow the wire error taxonomy (net::ExitCodeForStatus), so a
 // wrapper script can tell operational failure modes apart: 0 OK, 11
 // rejected/bad input, 14 unavailable, 15 corrupted on-disk state, 16
@@ -30,6 +42,7 @@
 #include "core/update.h"
 #include "net/wire.h"
 #include "obs/registry.h"
+#include "storage/package_store.h"
 #include "storage/serializer.h"
 #include "workload/synthetic.h"
 
@@ -50,8 +63,9 @@ std::string PackagePath(const std::string& dir) { return dir + "/package.bin"; }
 std::string ParamsPath(const std::string& dir) { return dir + "/params.bin"; }
 std::string KeyPath(const std::string& dir) { return dir + "/owner.key"; }
 
-int Build(const std::string& dir) {
-  (void)system(("mkdir -p " + dir).c_str());
+// The synthetic deployment both build modes publish: 500 images over a
+// 256-word codebook, 512-bit RSA (toy-sized for demo speed).
+core::OwnerOutput BuildOwner() {
   core::Config config = core::Config::ImageProof();
   config.rsa_bits = 512;
   workload::CorpusParams cp;
@@ -63,9 +77,24 @@ int Build(const std::string& dir) {
   workload::CodebookParams cbp;
   cbp.num_clusters = 256;
   cbp.dims = 32;
-  core::OwnerOutput owner = core::BuildDeployment(
-      config, workload::GenerateCodebook(cbp), std::move(corpus),
-      std::move(blobs));
+  return core::BuildDeployment(config, workload::GenerateCodebook(cbp),
+                               std::move(corpus), std::move(blobs));
+}
+
+Status SaveKey(const std::string& dir, const crypto::RsaPrivateKey& key) {
+  ByteWriter w;
+  w.PutBlob(key.n.ToBytes());
+  w.PutBlob(key.d.ToBytes());
+  FILE* f = std::fopen(KeyPath(dir).c_str(), "wb");
+  if (!f) return Status::Error("cannot open key file");
+  std::fwrite(w.bytes().data(), 1, w.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+int Build(const std::string& dir) {
+  (void)system(("mkdir -p " + dir).c_str());
+  core::OwnerOutput owner = BuildOwner();
 
   if (Status st = storage::SaveSpPackage(PackagePath(dir), *owner.package);
       !st.ok()) {
@@ -78,13 +107,9 @@ int Build(const std::string& dir) {
   }
   // The private key stays with the owner (toy storage for the demo; a real
   // deployment would keep it in an HSM).
-  ByteWriter w;
-  w.PutBlob(owner.private_key.n.ToBytes());
-  w.PutBlob(owner.private_key.d.ToBytes());
-  FILE* f = std::fopen(KeyPath(dir).c_str(), "wb");
-  if (!f) return FailWith("build: write key", Status::Error("cannot open"));
-  std::fwrite(w.bytes().data(), 1, w.size(), f);
-  std::fclose(f);
+  if (Status st = SaveKey(dir, owner.private_key); !st.ok()) {
+    return FailWith("build: write key", st);
+  }
   std::printf("build: %zu images, %zu words -> %s\n",
               owner.package->corpus.size(), owner.package->codebook.size(),
               dir.c_str());
@@ -138,24 +163,109 @@ int Insert(const std::string& dir) {
   return 0;
 }
 
+// The SP+client round shared by both storage backends: query image 3's
+// neighborhood, verify the VO against the published params.
+int RunQuery(const core::SpPackage* pkg, const core::PublicParams& params,
+             const char* tag) {
+  core::ServiceProvider sp(pkg);
+  core::Client client(params);
+  const auto& source = pkg->corpus[3].second;
+  auto features =
+      workload::FeaturesFromBovw(pkg->codebook, source, 40, 0.2, 0.1, 99);
+  core::QueryResponse resp = sp.Query(features, 5);
+  auto verified = client.Verify(features, 5, resp.vo);
+  if (!verified.ok()) {
+    std::string step = std::string(tag) + ": REJECTED";
+    return FailWith(step.c_str(), verified.status());
+  }
+  std::printf("%s: verified top-%zu (VO %zu bytes):\n", tag,
+              verified->topk.size(), resp.vo.TotalBytes());
+  for (const auto& si : verified->topk) {
+    std::printf("  image %-8llu similarity >= %.4f\n",
+                static_cast<unsigned long long>(si.id), si.score);
+  }
+  return 0;
+}
+
 int Query(const std::string& dir) {
   auto pkg = storage::LoadSpPackage(PackagePath(dir));
   if (!pkg.ok()) return FailWith("query: load package", pkg.status());
   auto params = storage::LoadPublicParams(ParamsPath(dir));
   if (!params.ok()) return FailWith("query: load params", params.status());
-  core::ServiceProvider sp(pkg->get());
-  core::Client client(*params);
-  const auto& source = (*pkg)->corpus[3].second;
-  auto features =
-      workload::FeaturesFromBovw((*pkg)->codebook, source, 40, 0.2, 0.1, 99);
-  core::QueryResponse resp = sp.Query(features, 5);
-  auto verified = client.Verify(features, 5, resp.vo);
-  if (!verified.ok()) return FailWith("query: REJECTED", verified.status());
-  std::printf("query: verified top-%zu (VO %zu bytes):\n",
-              verified->topk.size(), resp.vo.TotalBytes());
-  for (const auto& si : verified->topk) {
-    std::printf("  image %-8llu similarity >= %.4f\n",
-                static_cast<unsigned long long>(si.id), si.score);
+  return RunQuery(pkg->get(), *params, "query");
+}
+
+// --- disk-store modes (storage/package_store.h) -------------------------
+
+int BuildDisk(const std::string& dir) {
+  (void)system(("mkdir -p " + dir).c_str());
+  core::OwnerOutput owner = BuildOwner();
+
+  // Clone/verify/swap, on disk: write epoch 1 crash-safely, reopen it from
+  // the mapping with the root signature checked against the mapped bytes,
+  // and only then flip CURRENT to publish it.
+  constexpr uint64_t kEpoch = 1;
+  auto path = storage::PackageStore::WriteEpoch(dir, kEpoch, *owner.package);
+  if (!path.ok()) return FailWith("build-disk: write epoch", path.status());
+  storage::OpenOptions open_opts;
+  open_opts.params = &owner.public_params;
+  auto reopened = storage::PackageStore::Open(*path, open_opts);
+  if (!reopened.ok()) {
+    return FailWith("build-disk: verify epoch", reopened.status());
+  }
+  if (Status st = storage::PackageStore::SetCurrentEpoch(dir, kEpoch);
+      !st.ok()) {
+    return FailWith("build-disk: flip CURRENT", st);
+  }
+  if (Status st = storage::SavePublicParams(ParamsPath(dir),
+                                            owner.public_params);
+      !st.ok()) {
+    return FailWith("build-disk: write params", st);
+  }
+  if (Status st = SaveKey(dir, owner.private_key); !st.ok()) {
+    return FailWith("build-disk: write key", st);
+  }
+  std::printf("build-disk: %zu images, %zu words -> %s (epoch %llu)\n",
+              owner.package->corpus.size(), owner.package->codebook.size(),
+              dir.c_str(), static_cast<unsigned long long>(kEpoch));
+  return 0;
+}
+
+int QueryDisk(const std::string& dir) {
+  auto params = storage::LoadPublicParams(ParamsPath(dir));
+  if (!params.ok()) return FailWith("query-disk: load params", params.status());
+  storage::OpenOptions open_opts;
+  open_opts.params = &*params;
+  uint64_t epoch = 0;
+  auto pkg = storage::PackageStore::OpenCurrent(dir, open_opts, &epoch);
+  if (!pkg.ok()) return FailWith("query-disk: open epoch", pkg.status());
+  std::printf("query-disk: serving epoch %llu from mmap\n",
+              static_cast<unsigned long long>(epoch));
+  return RunQuery(pkg->get(), *params, "query-disk");
+}
+
+int Inspect(const std::string& file) {
+  auto layout = storage::PackageStore::Inspect(file);
+  if (!layout.ok()) return FailWith("inspect", layout.status());
+  std::printf("inspect: %s\n", file.c_str());
+  std::printf("  page_size   %u\n", layout->page_size);
+  std::printf("  file_size   %llu\n",
+              static_cast<unsigned long long>(layout->file_size));
+  std::printf("  toc         offset %llu, %llu bytes, %zu sections\n",
+              static_cast<unsigned long long>(layout->toc_offset),
+              static_cast<unsigned long long>(layout->toc_size),
+              layout->sections.size());
+  static const char* kNames[] = {"?",        "config",   "codebook",
+                                 "corpus",   "weights",  "filter_geo",
+                                 "trees",    "postings", "image_index",
+                                 "image_blobs"};
+  for (const auto& s : layout->sections) {
+    const char* name = s.id < sizeof(kNames) / sizeof(kNames[0])
+                           ? kNames[s.id]
+                           : "?";
+    std::printf("  section %-12s offset %-10llu size %llu\n", name,
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.size));
   }
   return 0;
 }
@@ -189,7 +299,18 @@ int main(int argc, char** argv) {
     if (cmd == "build") return DumpMetricsAndReturn(Build(dir), metrics);
     if (cmd == "insert") return DumpMetricsAndReturn(Insert(dir), metrics);
     if (cmd == "query") return DumpMetricsAndReturn(Query(dir), metrics);
-    std::printf("usage: %s {build|insert|query} <dir> [--metrics]\n", argv[0]);
+    if (cmd == "build-disk") {
+      return DumpMetricsAndReturn(BuildDisk(dir), metrics);
+    }
+    if (cmd == "query-disk") {
+      return DumpMetricsAndReturn(QueryDisk(dir), metrics);
+    }
+    if (cmd == "inspect") return DumpMetricsAndReturn(Inspect(dir), metrics);
+    std::printf(
+        "usage: %s {build|insert|query|build-disk|query-disk} <dir> "
+        "[--metrics]\n"
+        "       %s inspect <file.ipk> [--metrics]\n",
+        argv[0], argv[0]);
     return 2;
   }
   // Demo: full lifecycle in a temp directory.
@@ -202,5 +323,11 @@ int main(int argc, char** argv) {
   std::printf("--- insert (near-duplicate of image 3) ---\n");
   if (int rc = Insert(dir)) return DumpMetricsAndReturn(rc, metrics);
   std::printf("--- query (after update; new image should appear) ---\n");
-  return DumpMetricsAndReturn(Query(dir), metrics);
+  if (int rc = Query(dir)) return DumpMetricsAndReturn(rc, metrics);
+  // Same lifecycle on the mmap serving format.
+  std::string disk_dir = "/tmp/imageproof_deployment_disk";
+  std::printf("--- build-disk ---\n");
+  if (int rc = BuildDisk(disk_dir)) return DumpMetricsAndReturn(rc, metrics);
+  std::printf("--- query-disk (served from the mapped epoch) ---\n");
+  return DumpMetricsAndReturn(QueryDisk(disk_dir), metrics);
 }

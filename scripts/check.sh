@@ -14,6 +14,8 @@
 #   scripts/check.sh --asan     # AddressSanitizer+UBSan build (build-asan/)
 #   scripts/check.sh --tsan     # ThreadSanitizer build (build-tsan/), runs
 #                               # the concurrency + obs suites under TSan
+#   scripts/check.sh --lint     # clang-format --dry-run --Werror over all
+#                               # first-party sources (no build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,22 @@ MODE="${1:-}"
 BUILD_DIR=build
 CMAKE_ARGS=()
 GENERATOR=()
+
+# Format gate: no configure/build, just the committed .clang-format against
+# every first-party source. CI's lint job runs exactly this; locally it
+# skips (with a notice) when clang-format is not installed rather than
+# failing a machine that cannot reproduce the check.
+if [[ "$MODE" == "--lint" ]]; then
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "lint: clang-format not found; skipping (CI enforces this gate)"
+    exit 0
+  fi
+  mapfile -t FILES < <(find src tests bench examples \
+    -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort)
+  clang-format --dry-run --Werror "${FILES[@]}"
+  echo "lint: ${#FILES[@]} files clean"
+  exit 0
+fi
 
 case "$MODE" in
   --asan)

@@ -19,6 +19,9 @@
 // Site keys currently wired in:
 //   storage.serialize.bitflip    flip one bit of a serialized package
 //   storage.serialize.truncate   drop the tail of a serialized package
+//   storage.file.short_write     tear an atomic file write partway through
+//   storage.file.fsync_fail      fail the pre-rename data fsync
+//   storage.file.rename_fail     drop the atomic-rename publish step
 //   engine.update.clone          fail the snapshot clone outright
 //   engine.update.sign           corrupt the freshly signed root signature
 //   engine.update.latency        sleep inside the update critical section

@@ -1,5 +1,7 @@
 #include "core/owner.h"
 
+#include <algorithm>
+
 #include "common/parallel.h"
 #include "common/random.h"
 #include "crypto/hasher.h"
@@ -23,6 +25,66 @@ crypto::Digest SpPackage::RootDigest() const {
   crypto::DigestBuilder b;
   for (const auto& tree : mrkd_trees) b.AddDigest(tree->root_digest());
   return b.Finalize();
+}
+
+size_t SpPackage::NumImages() const {
+  return image_source ? image_source->Count() : image_data.size();
+}
+
+Status SpPackage::GetImage(ImageId id, bool* found, Bytes* data,
+                           Bytes* signature) const {
+  *found = false;
+  data->clear();
+  signature->clear();
+  if (image_source) return image_source->Get(id, found, data, signature);
+  auto data_it = image_data.find(id);
+  if (data_it == image_data.end()) return Status::Ok();
+  *found = true;
+  *data = data_it->second;
+  auto sig_it = image_signatures.find(id);
+  if (sig_it != image_signatures.end()) *signature = sig_it->second;
+  return Status::Ok();
+}
+
+Status SpPackage::ForEachImage(
+    const std::function<Status(ImageId, BytesView, BytesView)>& fn) const {
+  if (image_source) return image_source->ForEach(fn);
+  // Ascending id order even over the unordered map, so every byte stream
+  // derived from a package (interchange serialization, the on-disk store)
+  // is deterministic for logically identical content.
+  std::vector<ImageId> ids;
+  ids.reserve(image_data.size());
+  for (const auto& [id, data] : image_data) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (ImageId id : ids) {
+    const Bytes& data = image_data.at(id);
+    auto sig_it = image_signatures.find(id);
+    BytesView sig = sig_it == image_signatures.end()
+                        ? BytesView{}
+                        : BytesView(sig_it->second);
+    if (Status s = fn(id, BytesView(data), sig); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+bool SpPackage::ImagesEqual(const SpPackage& other) const {
+  if (NumImages() != other.NumImages()) return false;
+  Status s = ForEachImage([&other](ImageId id, BytesView data, BytesView sig) {
+    bool found = false;
+    Bytes other_data, other_sig;
+    Status lookup = other.GetImage(id, &found, &other_data, &other_sig);
+    if (!lookup.ok() || !found) return Status::Error("mismatch");
+    if (other_data.size() != data.size ||
+        !std::equal(other_data.begin(), other_data.end(), data.data)) {
+      return Status::Error("mismatch");
+    }
+    if (other_sig.size() != sig.size ||
+        !std::equal(other_sig.begin(), other_sig.end(), sig.data)) {
+      return Status::Error("mismatch");
+    }
+    return Status::Ok();
+  });
+  return s.ok();
 }
 
 size_t SpPackage::AdsBytes() const {

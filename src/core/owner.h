@@ -13,6 +13,7 @@
 #ifndef IMAGEPROOF_CORE_OWNER_H_
 #define IMAGEPROOF_CORE_OWNER_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,33 @@
 #include "mrkd/mrkd_tree.h"
 
 namespace imageproof::core {
+
+// Read-only provider of image payloads for a package whose blobs live
+// outside the in-memory maps — the mmap'd package store
+// (storage/package_store.h) serves result images straight from the file so
+// a deployment larger than RAM never materializes its corpus.
+// Implementations must be safe for concurrent Get calls over an immutable
+// package and must integrity-check every record before handing it out: a
+// tampered or bit-rotted payload surfaces as kCorrupted, never as silently
+// wrong bytes inside a VO.
+class ImagePayloadSource {
+ public:
+  virtual ~ImagePayloadSource() = default;
+
+  virtual size_t Count() const = 0;
+
+  // Looks up `id`, copying its payload and signature out of the store.
+  // *found = false (with an OK status) when the id is absent; kCorrupted
+  // when the stored record fails its integrity check.
+  virtual Status Get(ImageId id, bool* found, Bytes* data,
+                     Bytes* signature) const = 0;
+
+  // Visits every record in ascending id order. Stops at the first non-OK
+  // callback result or integrity failure and returns it.
+  virtual Status ForEach(
+      const std::function<Status(ImageId, BytesView data, BytesView sig)>& fn)
+      const = 0;
+};
 
 // Everything outsourced to the SP. Movable, not copyable (the MRKD-trees
 // borrow the forest's trees).
@@ -41,6 +69,29 @@ struct SpPackage {
   std::unique_ptr<invindex::MerkleInvertedIndex> inv_index;
   std::unique_ptr<freqgroup::FgInvertedIndex> fg_index;
   std::vector<crypto::Digest> list_digests;
+
+  // Set for a disk-backed package: image payloads come from here and the
+  // two maps above stay empty. `backing` pins whatever owns the source
+  // (the file mapping) for the package's lifetime — snapshots hand
+  // shared_ptr<const SpPackage> around, so lifetime must travel with the
+  // package itself.
+  const ImagePayloadSource* image_source = nullptr;
+  std::shared_ptr<const void> backing;
+
+  bool disk_backed() const { return image_source != nullptr; }
+
+  // Uniform payload access over both representations. GetImage leaves
+  // *found = false for unknown ids and returns kCorrupted when a
+  // disk-backed record fails its integrity check.
+  size_t NumImages() const;
+  Status GetImage(ImageId id, bool* found, Bytes* data, Bytes* signature) const;
+  Status ForEachImage(
+      const std::function<Status(ImageId, BytesView data, BytesView sig)>& fn)
+      const;
+  // Order-insensitive payload + signature equality (the engine's
+  // clone-vs-base update validation). Any integrity failure reads as "not
+  // equal".
+  bool ImagesEqual(const SpPackage& other) const;
 
   // h(root_1 | ... | root_{n_t}).
   crypto::Digest RootDigest() const;

@@ -6,6 +6,7 @@
 #include "common/fault.h"
 #include "crypto/rsa.h"
 #include "obs/registry.h"
+#include "storage/package_store.h"
 #include "storage/serializer.h"
 
 namespace imageproof::core {
@@ -20,7 +21,7 @@ QueryEngine::QueryEngine(std::shared_ptr<const SpPackage> package,
   auto snap = std::make_shared<Snapshot>();
   snap->package = std::move(package);
   snap->params = std::move(params);
-  snap->version = 0;
+  snap->version = options.initial_version;
   snapshot_ = std::move(snap);
 }
 
@@ -241,8 +242,7 @@ Result<UpdateStats> QueryEngine::TryApplyUpdate(
   // contributes nothing to any impact, so no digest sees it change).
   if ((*clone)->config != base->package->config ||
       (*clone)->corpus != base->package->corpus ||
-      (*clone)->image_data != base->package->image_data ||
-      (*clone)->image_signatures != base->package->image_signatures) {
+      !(*clone)->ImagesEqual(*base->package)) {
     return Result<UpdateStats>(Status::Corrupted(
         "engine update: cloned package content diverges outside the root"));
   }
@@ -269,6 +269,42 @@ Result<UpdateStats> QueryEngine::TryApplyUpdate(
 
   next->package = std::shared_ptr<const SpPackage>(std::move(*clone));
   next->version = base->version + 1;
+
+  // Disk-backed epochs: the clone/verify/swap protocol extended to disk.
+  // The new epoch file is written crash-safely, REOPENED from its mapping
+  // with every section digest checked and the fresh root signature
+  // RsaVerify'd over the mapped bytes, and only then published — first the
+  // CURRENT pointer (a restart now serves the new epoch), then the served
+  // snapshot, which is the reopened disk-backed package itself, so what we
+  // serve is byte-for-byte what we persisted. Any failure leaves CURRENT
+  // on the old epoch and the old snapshot serving.
+  if (!options_.persist_dir.empty()) {
+    Result<std::string> path = storage::PackageStore::WriteEpoch(
+        options_.persist_dir, next->version, *next->package);
+    if (!path.ok()) {
+      return Result<UpdateStats>(Status::WithCode(
+          path.status().code(),
+          "engine update: epoch write failed: " + path.status().message()));
+    }
+    storage::OpenOptions open_opts;
+    open_opts.params = &next->params;
+    Result<std::unique_ptr<SpPackage>> reopened =
+        storage::PackageStore::Open(*path, open_opts);
+    if (!reopened.ok()) {
+      return Result<UpdateStats>(Status::Corrupted(
+          "engine update: persisted epoch failed verification: " +
+          reopened.status().message()));
+    }
+    Status flip = storage::PackageStore::SetCurrentEpoch(options_.persist_dir,
+                                                         next->version);
+    if (!flip.ok()) {
+      return Result<UpdateStats>(Status::WithCode(
+          flip.code(),
+          "engine update: CURRENT flip failed: " + flip.message()));
+    }
+    next->package = std::shared_ptr<const SpPackage>(std::move(*reopened));
+  }
+
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(next);

@@ -88,6 +88,17 @@ struct EngineOptions {
   // first retry's backoff (doubled per subsequent attempt).
   int update_max_attempts = 3;
   std::chrono::milliseconds update_retry_backoff{1};
+  // Non-empty = disk-backed epochs: every applied update is written to
+  // persist_dir as pkg-<version>.ipk (crash-safe temp + fsync + rename),
+  // reopened from the mapping with its fresh root signature verified, and
+  // only then published — both to dir/CURRENT and as the served snapshot,
+  // which from then on serves image payloads from the mapped file. A fault
+  // at any step leaves CURRENT on the old epoch and the old snapshot
+  // serving (kCorrupted, retryable).
+  std::string persist_dir;
+  // Version of the initial snapshot — the epoch it was opened from, so a
+  // restarted engine keeps numbering epochs monotonically.
+  uint64_t initial_version = 0;
 };
 
 // Per-submission options. A zero deadline means none.

@@ -257,15 +257,19 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
     return Status::DeadlineExceeded("sp: deadline expired after inv stage");
   }
 
-  // Step 6: result payloads + signatures.
+  // Step 6: result payloads + signatures, through the uniform accessor so a
+  // disk-backed package (storage/package_store.h) serves blobs straight from
+  // the mapping. A stored payload that fails its lazy integrity check turns
+  // the whole query into kCorrupted — a tampered file never fills a VO.
   obs::ScopedTimer vo_timer(met.vo_assemble_us);
   for (const auto& si : resp.topk) {
     ResultImage ri;
     ri.id = si.id;
-    auto data_it = pkg_->image_data.find(si.id);
-    if (data_it != pkg_->image_data.end()) ri.data = data_it->second;
-    auto sig_it = pkg_->image_signatures.find(si.id);
-    if (sig_it != pkg_->image_signatures.end()) ri.signature = sig_it->second;
+    bool found = false;
+    if (Status s = pkg_->GetImage(si.id, &found, &ri.data, &ri.signature);
+        !s.ok()) {
+      return s;
+    }
     resp.vo.results.push_back(std::move(ri));
   }
   return Status::Ok();

@@ -39,6 +39,13 @@ Result<UpdateStats> InsertImage(SpPackage* package,
                                 const crypto::RsaPrivateKey& owner_key,
                                 PublicParams* public_params, ImageId id,
                                 bovw::BovwVector bovw, Bytes image_data) {
+  if (package->disk_backed()) {
+    // Disk-backed packages are immutable views of a mapped file; the engine
+    // clones them into memory (via the serializer round-trip) before
+    // applying updates, so a direct mutation here is a caller bug.
+    return Result<UpdateStats>::Error(
+        "update: cannot mutate a disk-backed package in place");
+  }
   if (package->image_data.contains(id)) {
     return Result<UpdateStats>::Error("update: image id already exists");
   }
@@ -108,6 +115,10 @@ Result<UpdateStats> InsertImage(SpPackage* package,
 Result<UpdateStats> DeleteImage(SpPackage* package,
                                 const crypto::RsaPrivateKey& owner_key,
                                 PublicParams* public_params, ImageId id) {
+  if (package->disk_backed()) {
+    return Result<UpdateStats>::Error(
+        "update: cannot mutate a disk-backed package in place");
+  }
   auto corpus_it = std::find_if(
       package->corpus.begin(), package->corpus.end(),
       [id](const auto& entry) { return entry.first == id; });

@@ -190,6 +190,73 @@ FgInvertedIndex FgInvertedIndex::Build(
   return index;
 }
 
+Result<FgInvertedIndex> FgInvertedIndex::Restore(
+    const cuckoo::CuckooParams& geometry, bool with_filters,
+    std::vector<FgList> lists) {
+  FgInvertedIndex index;
+  index.with_filters_ = with_filters;
+  index.filter_params_ = geometry;
+  for (size_t c = 0; c < lists.size(); ++c) {
+    FgList& list = lists[c];
+    if (list.cluster != static_cast<ClusterId>(c)) {
+      return Status::Corrupted("fg restore: cluster id out of place");
+    }
+    for (size_t g = 0; g < list.postings.size(); ++g) {
+      const FgPosting& p = list.postings[g];
+      // Groups must be nonempty (an empty group is dissolved on update) and
+      // member-ordered (norm asc, id asc) — the order the digest preimage
+      // and the VO's d-gap recovery both assume.
+      if (p.members.empty()) {
+        return Status::Corrupted("fg restore: empty group");
+      }
+      for (size_t i = 1; i < p.members.size(); ++i) {
+        const FgMember& a = p.members[i - 1];
+        const FgMember& b = p.members[i];
+        if (!(a.norm < b.norm || (a.norm == b.norm && a.id < b.id))) {
+          return Status::Corrupted("fg restore: group members out of order");
+        }
+      }
+      if (g > 0) {
+        const FgPosting& prev = list.postings[g - 1];
+        double ip = prev.GroupImpact(list.weight);
+        double ig = p.GroupImpact(list.weight);
+        if (!(ip > ig || (ip == ig && prev.freq < p.freq))) {
+          return Status::Corrupted("fg restore: groups out of order");
+        }
+      }
+    }
+    if (with_filters) {
+      if (!list.filter.has_value() || list.filter->params() != geometry) {
+        return Status::Corrupted(
+            "fg restore: filter missing or geometry diverges");
+      }
+      list.theta_digest = list.filter->StateDigest();
+    } else {
+      if (list.filter.has_value()) {
+        return Status::Corrupted("fg restore: unexpected filter");
+      }
+      list.theta_digest = Digest::Zero();
+    }
+    list.digest = invindex::ListDigest(list.weight, list.theta_digest,
+                                       list.FirstPostingDigest());
+  }
+  index.lists_ = std::move(lists);
+  return index;
+}
+
+Status FgInvertedIndex::VerifyChains() const {
+  for (const FgList& list : lists_) {
+    Digest next = Digest::Zero();
+    for (size_t i = list.postings.size(); i-- > 0;) {
+      next = FgPostingDigest(list.postings[i], next);
+      if (next != list.postings[i].digest) {
+        return Status::Corrupted("fg: stored group chain digest diverges");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status FgInvertedIndex::RepairList(FgList* list,
                                    const std::vector<uint32_t>& old_freqs,
                                    uint32_t touched_freq) {

@@ -79,6 +79,20 @@ class FgInvertedIndex {
       uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2,
       std::optional<cuckoo::CuckooParams> geometry = std::nullopt);
 
+  // Reattaches a persisted index without rewalking the group chains (the
+  // mmap package store's cold-start path): validates group/member ordering
+  // and the shared filter geometry, recomputes h(Theta) from the stored
+  // filter state and h_Gamma per Definition 7, and keeps the stored group
+  // digests — bound to the signature through h_pos_1 and re-derived by
+  // clients per query. See MerkleInvertedIndex::Restore.
+  static Result<FgInvertedIndex> Restore(const cuckoo::CuckooParams& geometry,
+                                         bool with_filters,
+                                         std::vector<FgList> lists);
+
+  // Recomputes every group-chain digest and compares it with the stored
+  // value (package-store deep verify). kCorrupted on the first mismatch.
+  Status VerifyChains() const;
+
   bool with_filters() const { return with_filters_; }
   size_t num_clusters() const { return lists_.size(); }
   const FgList& list(ClusterId c) const { return lists_[c]; }

@@ -182,6 +182,59 @@ MerkleInvertedIndex MerkleInvertedIndex::Build(
   return index;
 }
 
+Result<MerkleInvertedIndex> MerkleInvertedIndex::Restore(
+    const cuckoo::CuckooParams& geometry, bool with_filters,
+    std::vector<MerkleInvertedList> lists) {
+  MerkleInvertedIndex index;
+  index.with_filters_ = with_filters;
+  index.filter_params_ = geometry;
+  for (size_t c = 0; c < lists.size(); ++c) {
+    MerkleInvertedList& list = lists[c];
+    if (list.cluster != static_cast<ClusterId>(c)) {
+      return Status::Corrupted("inv restore: cluster id out of place");
+    }
+    // The committed ordering invariant (impact desc, id asc on ties) is what
+    // PostingSearch's early-exit bounds rely on; a stored list violating it
+    // is corrupt regardless of what its digests say.
+    for (size_t i = 1; i < list.postings.size(); ++i) {
+      const MerklePosting& a = list.postings[i - 1];
+      const MerklePosting& b = list.postings[i];
+      if (!(a.impact > b.impact || (a.impact == b.impact && a.id < b.id))) {
+        return Status::Corrupted("inv restore: postings out of order");
+      }
+    }
+    if (with_filters) {
+      if (!list.filter.has_value() || list.filter->params() != geometry) {
+        return Status::Corrupted(
+            "inv restore: filter missing or geometry diverges");
+      }
+      list.theta_digest = list.filter->StateDigest();
+    } else {
+      if (list.filter.has_value()) {
+        return Status::Corrupted("inv restore: unexpected filter");
+      }
+      list.theta_digest = Digest::Zero();
+    }
+    list.digest =
+        ListDigest(list.weight, list.theta_digest, list.FirstPostingDigest());
+  }
+  index.lists_ = std::move(lists);
+  return index;
+}
+
+Status MerkleInvertedIndex::VerifyChains() const {
+  for (const MerkleInvertedList& list : lists_) {
+    Digest next = Digest::Zero();
+    for (size_t i = list.postings.size(); i-- > 0;) {
+      next = PostingDigest(list.postings[i].id, list.postings[i].impact, next);
+      if (next != list.postings[i].digest) {
+        return Status::Corrupted("inv: stored posting chain digest diverges");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status MerkleInvertedIndex::RepairList(MerkleInvertedList* list, size_t upto) {
   if (with_filters_) {
     // The filter's state depends on insertion order over the whole list, so

@@ -77,6 +77,25 @@ class MerkleInvertedIndex {
       uint32_t fingerprint_bits = 8, uint64_t filter_seed = 0xF117E2,
       std::optional<cuckoo::CuckooParams> geometry = std::nullopt);
 
+  // Reattaches a persisted index WITHOUT walking the posting chains — the
+  // cold-start path of the mmap package store. The caller supplies fully
+  // populated lists (cluster, weight, postings with their stored chain
+  // digests, deserialized filter); Restore validates the ordering
+  // invariants and the shared filter geometry, then recomputes only
+  // h(Theta) from the filter state and h_Gamma per Definition 5 — one hash
+  // per list instead of one per posting. Stored chain digests are bound to
+  // the owner's signature through h_pos1 (which h_Gamma covers), and
+  // clients re-derive revealed chains on every query, so a tampered stored
+  // digest fails either the open-time root check or client verification.
+  static Result<MerkleInvertedIndex> Restore(
+      const cuckoo::CuckooParams& geometry, bool with_filters,
+      std::vector<MerkleInvertedList> lists);
+
+  // Recomputes every posting-chain digest from the raw posting data and
+  // compares it with the stored value — the package store's deep-verify
+  // mode. kCorrupted on the first mismatch.
+  Status VerifyChains() const;
+
   bool with_filters() const { return with_filters_; }
   size_t num_clusters() const { return lists_.size(); }
   const MerkleInvertedList& list(ClusterId c) const { return lists_[c]; }

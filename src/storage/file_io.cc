@@ -1,0 +1,169 @@
+#include "storage/file_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/fault.h"
+
+namespace imageproof::storage {
+
+namespace {
+
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status Errno(const std::string& what) {
+  return Status::Error("storage: " + what + ": " + std::strerror(errno));
+}
+
+// fsync a directory so a just-renamed entry is durable. Some filesystems
+// reject O_DIRECTORY fsync; that is reported, not ignored — the protocol's
+// durability claim depends on it.
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir for fsync " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir " + dir);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReadFileBytes(const std::string& path, Bytes* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::Error("storage: cannot open for reading: " + path);
+  out->clear();
+  uint8_t buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, const Bytes& data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open temp " + tmp);
+
+  // Simulated power failure mid-write: stop after a deterministic prefix,
+  // leaving a torn temp file on disk exactly as a crash would.
+  size_t to_write = data.size();
+  bool tear = false;
+  if (fault::InjectFault("storage.file.short_write")) {
+    to_write = data.empty()
+                   ? 0
+                   : fault::FaultInjector::Global().Draw(
+                         "storage.file.short_write") % data.size();
+    tear = true;
+  }
+  size_t off = 0;
+  while (off < to_write) {
+    ssize_t w = ::write(fd, data.data() + off, to_write - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("write " + tmp);
+    }
+    off += static_cast<size_t>(w);
+  }
+  if (tear) {
+    ::close(fd);
+    return Status::Corrupted("storage: injected short write on " + tmp);
+  }
+
+  if (fault::InjectFault("storage.file.fsync_fail")) {
+    ::close(fd);
+    return Status::Corrupted("storage: injected fsync failure on " + tmp);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = Errno("fsync " + tmp);
+    ::close(fd);
+    return s;
+  }
+  if (::close(fd) != 0) return Errno("close " + tmp);
+
+  // The publish step. Until this rename returns, readers of `path` see the
+  // old file (or nothing); after it, the complete new one.
+  if (fault::InjectFault("storage.file.rename_fail")) {
+    return Status::Corrupted("storage: injected rename failure on " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename " + tmp + " -> " + path);
+  }
+  return FsyncDir(DirnameOf(path));
+}
+
+MmapFile::~MmapFile() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (mapped_ && data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ > 0) {
+    void* p = ::mmap(nullptr, out.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) {
+      Status s = Errno("mmap " + path);
+      ::close(fd);
+      return s;
+    }
+    out.data_ = static_cast<const uint8_t*>(p);
+    out.mapped_ = true;
+  }
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point.
+  ::close(fd);
+  return out;
+}
+
+void MmapFile::AdviseRandom(size_t offset, size_t len) const {
+  if (!mapped_ || len == 0 || offset >= size_) return;
+  const size_t page = 4096;
+  size_t begin = offset & ~(page - 1);
+  size_t end = std::min(size_, offset + len);
+  ::madvise(const_cast<uint8_t*>(data_ + begin), end - begin, MADV_RANDOM);
+}
+
+}  // namespace imageproof::storage

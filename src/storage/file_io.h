@@ -1,0 +1,76 @@
+// Crash-safe file I/O primitives for the persistence layer.
+//
+// AtomicWriteFile implements the classic write-new-file + fsync +
+// atomic-rename protocol: data lands in a temp file in the TARGET directory
+// (rename(2) is only atomic within one filesystem), the file is fsync'd
+// before the rename so the rename can never publish a name pointing at
+// unwritten blocks, and the directory is fsync'd after so the new entry
+// itself is durable. A crash at any step leaves either the old file intact
+// or the complete new file — never a torn one; at worst a stale .tmp is
+// left behind, which a later write of the same path removes.
+//
+// The fault injector (common/fault.h) hooks every step so the crash-safety
+// suite (tests/crash_safety_test.cc) can simulate power failure at each
+// point of the protocol:
+//   storage.file.short_write   the temp write stops partway (torn write)
+//   storage.file.fsync_fail    the data fsync reports failure
+//   storage.file.rename_fail   the rename never happens
+//
+// MmapFile is the read side: an RAII read-only shared mapping used by
+// storage/package_store.h to serve packages without loading them into
+// anonymous memory. Pages fault in on first touch and remain evictable
+// page cache, which is what keeps the resident set of a disk-backed
+// deployment below the corpus size.
+
+#ifndef IMAGEPROOF_STORAGE_FILE_IO_H_
+#define IMAGEPROOF_STORAGE_FILE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace imageproof::storage {
+
+// Reads the whole file into memory. kError on open failure (missing files
+// are an operational error, not corruption).
+Status ReadFileBytes(const std::string& path, Bytes* out);
+
+// Durably replaces `path` with `data` via temp + fsync + rename + dir
+// fsync. On any failure the previous contents of `path` (if any) are
+// untouched.
+Status AtomicWriteFile(const std::string& path, const Bytes& data);
+
+// Read-only shared mapping of a file. Movable, not copyable; unmaps on
+// destruction. An empty file maps to a valid object with size() == 0.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  static Result<MmapFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+
+  // Advises the kernel that [offset, offset+len) will be accessed randomly
+  // (disables readahead — used for the lazily-faulted image-blob region so
+  // one payload access does not drag neighbouring pages in).
+  void AdviseRandom(size_t offset, size_t len) const;
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace imageproof::storage
+
+#endif  // IMAGEPROOF_STORAGE_FILE_IO_H_

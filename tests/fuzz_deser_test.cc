@@ -1,15 +1,17 @@
 // Deterministic byte-mutation fuzzing of every untrusted deserialization
-// surface: QueryVO, SpPackage, and PublicParams wire bytes are truncated,
-// bit-flipped, spliced, and garbled thousands of times per run, and every
-// mutant must either parse cleanly (and then fail verification, not crash)
-// or return kCorrupted. The CI ASan job re-runs this harness with a larger
-// IMAGEPROOF_FUZZ_ITERS to lock in "no UB on hostile input" — the default
-// here already exceeds 5000 mutated inputs across the three surfaces.
+// surface: QueryVO, SpPackage, and PublicParams wire bytes — plus the
+// on-disk package-store format — are truncated, bit-flipped, spliced, and
+// garbled thousands of times per run, and every mutant must either parse
+// cleanly (and then fail verification, not crash) or return kCorrupted.
+// The CI ASan job re-runs this harness with a larger IMAGEPROOF_FUZZ_ITERS
+// to lock in "no UB on hostile input" — the default here already exceeds
+// 5000 mutated inputs across the surfaces.
 //
 // Everything is seeded: a failure reproduces with the same iteration index.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -18,6 +20,7 @@
 #include "core/owner.h"
 #include "core/server.h"
 #include "core/vo.h"
+#include "storage/package_store.h"
 #include "storage/serializer.h"
 #include "workload/synthetic.h"
 
@@ -192,6 +195,81 @@ TEST_F(FuzzDeserTest, MutatedPublicParamsNeverCrashes) {
     }
   }
   EXPECT_GT(rejected, iters / 10);
+}
+
+// The on-disk store is a hostile-input surface like any other: a served
+// package directory could be swapped by anyone with filesystem access.
+// Mutants of a valid .ipk file must never crash Open — they either fail
+// kCorrupted or (rare no-op mutations aside) open into a package whose
+// mapped state still verifies as internally consistent.
+TEST_F(FuzzDeserTest, MutatedStoreFileNeverCrashes) {
+  std::string base_path = ::testing::TempDir() + "/fuzz_store_base.ipk";
+  storage::WriteOptions wo;
+  wo.page_size = 64;  // small file => mutations hit every layout region
+  ASSERT_TRUE(storage::PackageStore::Write(base_path, *owner_.package, wo).ok());
+  Bytes base;
+  {
+    FILE* f = std::fopen(base_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    uint8_t buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      base.insert(base.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+  // A structurally plausible foreign file for splices: same page size,
+  // different deployment — from the foreign interchange bytes.
+  auto foreign_pkg = storage::DeserializeSpPackage(foreign_pkg_bytes_);
+  ASSERT_TRUE(foreign_pkg.ok());
+  std::string foreign_path = ::testing::TempDir() + "/fuzz_store_foreign.ipk";
+  ASSERT_TRUE(
+      storage::PackageStore::Write(foreign_path, **foreign_pkg, wo).ok());
+  Bytes foreign;
+  {
+    FILE* f = std::fopen(foreign_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    uint8_t buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      foreign.insert(foreign.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+
+  storage::OpenOptions opts;
+  opts.params = &owner_.public_params;
+  opts.deep_verify = true;  // also drag every payload through its digest
+  std::string mutant_path = ::testing::TempDir() + "/fuzz_store_mutant.ipk";
+  Rng rng(404);
+  size_t parsed = 0, rejected = 0;
+  const size_t iters = FuzzIters() / 3;
+  for (size_t t = 0; t < iters; ++t) {
+    Bytes mutant = Mutate(base, foreign, rng);
+    FILE* f = std::fopen(mutant_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!mutant.empty()) {
+      ASSERT_EQ(std::fwrite(mutant.data(), 1, mutant.size(), f),
+                mutant.size());
+    }
+    std::fclose(f);
+    auto pkg = storage::PackageStore::Open(mutant_path, opts);
+    if (!pkg.ok()) {
+      ++rejected;
+      EXPECT_EQ(pkg.status().code(), StatusCode::kCorrupted)
+          << "iteration " << t << ": " << pkg.status().message();
+      continue;
+    }
+    ++parsed;
+    // An accepted mutant passed the full digest/signature chain, so it must
+    // BE the original state.
+    EXPECT_EQ((*pkg)->RootDigest(), owner_.package->RootDigest())
+        << "iteration " << t;
+  }
+  EXPECT_GT(rejected, iters / 2);
+  std::remove(base_path.c_str());
+  std::remove(foreign_path.c_str());
+  std::remove(mutant_path.c_str());
 }
 
 // Exhaustive single-byte coverage on top of the randomized sweeps: every
