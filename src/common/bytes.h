@@ -110,6 +110,16 @@ class ByteReader {
   size_t remaining() const { return static_cast<size_t>(end_ - data_); }
   bool AtEnd() const { return data_ == end_; }
 
+  // Raw cursor access for block decoders (common/varint_kernels.h) that
+  // consume a validated run of bytes at SIMD width. Callers must pair
+  // data() with Skip() and never read past remaining().
+  const uint8_t* data() const { return data_; }
+  Status Skip(size_t n) {
+    if (remaining() < n) return Truncated("skip");
+    data_ += n;
+    return Status::Ok();
+  }
+
   Status GetU8(uint8_t* out) {
     if (remaining() < 1) return Truncated("u8");
     *out = *data_++;

@@ -62,14 +62,22 @@ class Rng {
     return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
   }
 
-  // Approximately Zipf-distributed rank in [0, n) with exponent s != 1,
-  // via the inverse CDF of the continuous bounded power law. Exact Zipf
-  // weights are unnecessary for workload synthesis; what matters is the
-  // heavy-tailed shape of posting-list lengths.
+  // Approximately Zipf-distributed rank in [0, n) with exponent s, via the
+  // inverse CDF of the continuous bounded power law. Exact Zipf weights are
+  // unnecessary for workload synthesis; what matters is the heavy-tailed
+  // shape of posting-list lengths and request popularity.
   uint64_t NextZipf(uint64_t n, double s) {
     double u = NextDouble();
-    double t = std::pow(static_cast<double>(n), 1.0 - s);
-    double y = std::pow((t - 1.0) * u + 1.0, 1.0 / (1.0 - s));
+    double y;
+    if (std::abs(1.0 - s) < 1e-9) {
+      // s -> 1 limit of the branch below (the general formula divides by
+      // 1 - s and would degenerate to always-rank-0): CDF(y) = ln y / ln n,
+      // so the inverse is n^u.
+      y = std::pow(static_cast<double>(n), u);
+    } else {
+      double t = std::pow(static_cast<double>(n), 1.0 - s);
+      y = std::pow((t - 1.0) * u + 1.0, 1.0 / (1.0 - s));
+    }
     uint64_t k = static_cast<uint64_t>(y);
     if (k < 1) k = 1;
     if (k > n) k = n;

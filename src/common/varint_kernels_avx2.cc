@@ -1,0 +1,98 @@
+// AVX2/SSSE3 group-varint decode. Compiled only into this TU with -mavx2
+// (see src/common/CMakeLists.txt) and reached through
+// __builtin_cpu_supports("avx2"), mirroring kernels_avx2.cc.
+//
+// One pshufb per quad: the control byte indexes a 256-entry LUT whose
+// 16-byte mask scatters the quad's packed data bytes into four u32 lanes
+// (absent bytes map to 0x80 = zero lane byte). The fast path runs while a
+// full 16-byte load at the data cursor stays inside the reader's buffer —
+// over-reading past the *block* is fine (the bytes belong to the same VO
+// buffer and the cursor only advances by the real quad length); the scalar
+// tail handles the rest with per-byte bounds checks, so truncated input
+// degrades to kCorrupted exactly like the portable path.
+
+#include "common/varint_kernels.h"
+
+#ifdef IMAGEPROOF_KERNELS_AVX2
+
+#include <immintrin.h>
+
+namespace imageproof::kern::internal {
+
+namespace {
+
+struct GvLut {
+  alignas(16) uint8_t shuffle[256][16];
+  uint8_t len[256];
+};
+
+const GvLut& Lut() {
+  static const GvLut lut = [] {
+    GvLut t{};
+    for (int c = 0; c < 256; ++c) {
+      int off = 0;
+      for (int i = 0; i < 4; ++i) {
+        int l = ((c >> (2 * i)) & 3) + 1;
+        for (int b = 0; b < 4; ++b) {
+          t.shuffle[c][4 * i + b] =
+              b < l ? static_cast<uint8_t>(off + b) : 0x80;
+        }
+        off += l;
+      }
+      t.len[c] = static_cast<uint8_t>(off);
+    }
+    return t;
+  }();
+  return lut;
+}
+
+Status DecodeAvx2(ByteReader& r, size_t n, uint32_t* out) {
+  if (n == 0) return Status::Ok();
+  size_t num_ctrl = (n + 3) / 4;
+  if (r.remaining() < num_ctrl) {
+    return Status::Corrupted("gv: truncated control bytes");
+  }
+  const uint8_t* ctrl = r.data();
+  const uint8_t* data = ctrl + num_ctrl;
+  size_t data_avail = r.remaining() - num_ctrl;
+  const GvLut& lut = Lut();
+
+  size_t i = 0;
+  size_t used = 0;
+  while (i + 4 <= n && used + 16 <= data_avail) {
+    uint8_t c = ctrl[i >> 2];
+    __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + used));
+    __m128i mask =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(lut.shuffle[c]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_shuffle_epi8(raw, mask));
+    used += lut.len[c];
+    i += 4;
+  }
+  for (; i < n; ++i) {
+    uint32_t len = ((ctrl[i >> 2] >> (2 * (i & 3))) & 3u) + 1u;
+    if (data_avail - used < len) {
+      return Status::Corrupted("gv: truncated data bytes");
+    }
+    uint32_t v = 0;
+    for (uint32_t b = 0; b < len; ++b) {
+      v |= static_cast<uint32_t>(data[used + b]) << (8 * b);
+    }
+    out[i] = v;
+    used += len;
+  }
+  return r.Skip(num_ctrl + used);
+}
+
+}  // namespace
+
+GroupVarintDecodeFn GroupVarintDecodeAvx2() {
+  static const GroupVarintDecodeFn fn =
+      __builtin_cpu_supports("avx2") ? &DecodeAvx2 : nullptr;
+  return fn;
+}
+
+}  // namespace imageproof::kern::internal
+
+#endif  // IMAGEPROOF_KERNELS_AVX2

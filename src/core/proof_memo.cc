@@ -1,0 +1,30 @@
+#include "core/proof_memo.h"
+
+#include "core/owner.h"
+
+namespace imageproof::core {
+
+ProofMemo::ProofMemo(const SpPackage& package) {
+  if (package.config.reveal_mode == mrkd::RevealMode::kDimMerkle) {
+    dim_trees_ = std::make_unique<mrkd::DimTreeMemo>(package.codebook.size());
+  }
+  tree_leaves_.reserve(package.mrkd_trees.size());
+  for (const auto& tree : package.mrkd_trees) {
+    tree_leaves_.push_back(
+        std::make_unique<mrkd::LeafProofMemo>(tree->tree().nodes().size()));
+  }
+}
+
+uint64_t ProofMemo::TotalHits() const {
+  uint64_t n = dim_trees_ ? dim_trees_->hits() : 0;
+  for (const auto& m : tree_leaves_) n += m->hits();
+  return n;
+}
+
+uint64_t ProofMemo::TotalBuilds() const {
+  uint64_t n = dim_trees_ ? dim_trees_->builds() : 0;
+  for (const auto& m : tree_leaves_) n += m->builds();
+  return n;
+}
+
+}  // namespace imageproof::core

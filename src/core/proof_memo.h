@@ -1,0 +1,46 @@
+// Per-snapshot aggregate of the MRKD proof memos (mrkd/memo.h): one
+// coordinate-block Merkle tree memo shared by every reveal, and one leaf
+// token memo per MRKD-tree. Owned by core::Snapshot — created empty when a
+// snapshot is published (engine construction or TryApplyUpdate's atomic
+// swap) and dropped with it, so memoized bytes can never outlive or
+// predate the package state they were derived from. See DESIGN.md §13.
+
+#ifndef IMAGEPROOF_CORE_PROOF_MEMO_H_
+#define IMAGEPROOF_CORE_PROOF_MEMO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mrkd/memo.h"
+
+namespace imageproof::core {
+
+struct SpPackage;
+
+class ProofMemo {
+ public:
+  // Sizes the slot arrays from the package's frozen geometry (cluster
+  // count, per-tree node counts). No proof bytes are derived up front.
+  explicit ProofMemo(const SpPackage& package);
+
+  // Null when the package commits full vectors (kFullVector mode has no
+  // per-cluster Merkle trees to share).
+  const mrkd::DimTreeMemo* dim_trees() const { return dim_trees_.get(); }
+  const mrkd::LeafProofMemo* tree_leaves(size_t tree) const {
+    return tree < tree_leaves_.size() ? tree_leaves_[tree].get() : nullptr;
+  }
+
+  // Aggregated across all memos: how often a query found proof bytes
+  // already derived vs. derived them here.
+  uint64_t TotalHits() const;
+  uint64_t TotalBuilds() const;
+
+ private:
+  std::unique_ptr<mrkd::DimTreeMemo> dim_trees_;
+  std::vector<std::unique_ptr<mrkd::LeafProofMemo>> tree_leaves_;
+};
+
+}  // namespace imageproof::core
+
+#endif  // IMAGEPROOF_CORE_PROOF_MEMO_H_

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/fault.h"
+#include "core/proof_memo.h"
 #include "crypto/rsa.h"
 #include "obs/registry.h"
 #include "storage/package_store.h"
@@ -17,11 +18,15 @@ QueryEngine::QueryEngine(std::shared_ptr<const SpPackage> package,
       num_workers_(options.num_workers == 0 ? 1 : options.num_workers),
       per_worker_queries_(new obs::Counter[num_workers_]),
       worker_scratch_(new QueryScratch[num_workers_]),
+      cache_(options.cache_capacity > 0
+                 ? std::make_unique<QueryCache>(options.cache_capacity)
+                 : nullptr),
       pool_(num_workers_, options.queue_capacity) {
   auto snap = std::make_shared<Snapshot>();
   snap->package = std::move(package);
   snap->params = std::move(params);
   snap->version = options.initial_version;
+  snap->memo = std::make_shared<const ProofMemo>(*snap->package);
   snapshot_ = std::move(snap);
 }
 
@@ -48,7 +53,7 @@ std::future<EngineResponse> QueryEngine::ReadyResponse(Status status) {
 EngineResponse QueryEngine::Serve(
     const std::shared_ptr<const Snapshot>& snap,
     const std::vector<std::vector<float>>& features, size_t k,
-    obs::TimePoint enqueued, Clock::time_point deadline) {
+    bool compress_vo, obs::TimePoint enqueued, Clock::time_point deadline) {
   queue_wait_us_.Record(obs::ElapsedUs(enqueued));
   EngineResponse out;
   out.snapshot = snap;
@@ -72,16 +77,46 @@ EngineResponse QueryEngine::Serve(
     scratch = &worker_scratch_[worker];
   }
   obs::ScopedTimer latency_timer(latency_us_);
+
+  // Result cache: the key pins the snapshot version, so a hit is always
+  // from this query's own epoch — an entry cached before an update can
+  // never answer a query admitted after the swap. Hits are byte-identical
+  // to a cold serve (deterministic pipeline), so nothing downstream can
+  // tell the difference except the clock.
+  crypto::Digest cache_key;
+  const bool use_cache = cache_ != nullptr;
+  if (use_cache) {
+    cache_key = QueryCache::Key(snap->version, compress_vo, k, features);
+    if (std::shared_ptr<const QueryResponse> hit = cache_->Lookup(cache_key)) {
+      out.response = *hit;
+      out.status = Status::Ok();
+      latency_timer.Stop();
+      in_flight_.Sub();
+      queries_served_.Add();
+      return out;
+    }
+  }
+
   ServiceProvider sp(snap->package.get());
   QueryParallelism par;
   par.threads = options_.intra_query_threads;
   QueryControl control =
       has_deadline ? QueryControl(deadline) : QueryControl();
-  out.status = sp.Query(features, k, par, control, &out.response, scratch);
+  ServeOptions serve;
+  serve.compress_vo = compress_vo;
+  serve.memo = snap->memo.get();
+  out.status =
+      sp.Query(features, k, par, control, serve, &out.response, scratch);
   latency_timer.Stop();
   in_flight_.Sub();
   if (out.status.ok()) {
     queries_served_.Add();
+    (compress_vo ? vo_bytes_compressed_ : vo_bytes_raw_)
+        .Add(out.response.vo.inv_vo.size());
+    if (use_cache) {
+      cache_->Insert(cache_key,
+                     std::make_shared<const QueryResponse>(out.response));
+    }
   } else {
     // Only deadline expiry can surface here; the partial response must not
     // leak (a half-built VO would fail verification in confusing ways).
@@ -114,9 +149,10 @@ std::future<EngineResponse> QueryEngine::SubmitWithPolicy(
   // observed, even if it sits in the queue across the swap.
   std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
   obs::TimePoint enqueued = obs::Now();
+  const bool compress_vo = submit_options.compress_vo;
   auto task = [this, snap = std::move(snap), features = std::move(features),
-               k, enqueued, deadline] {
-    return Serve(snap, features, k, enqueued, deadline);
+               k, compress_vo, enqueued, deadline] {
+    return Serve(snap, features, k, compress_vo, enqueued, deadline);
   };
   if (policy == OverloadPolicy::kBlock) {
     // PR-1 backpressure semantics: a full queue blocks the submitter. If
@@ -166,9 +202,10 @@ void QueryEngine::SubmitAsync(std::vector<std::vector<float>> features,
   // answer from the state it observed when the query was accepted.
   std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
   obs::TimePoint enqueued = obs::Now();
+  const bool compress_vo = submit_options.compress_vo;
   auto task = [this, snap = std::move(snap), features = std::move(features),
-               k, enqueued, deadline, shared_done] {
-    (*shared_done)(Serve(snap, features, k, enqueued, deadline));
+               k, compress_vo, enqueued, deadline, shared_done] {
+    (*shared_done)(Serve(snap, features, k, compress_vo, enqueued, deadline));
   };
   std::future<void> fut;
   switch (pool_.TrySubmit(std::move(task), &fut)) {
@@ -305,6 +342,12 @@ Result<UpdateStats> QueryEngine::TryApplyUpdate(
     next->package = std::shared_ptr<const SpPackage>(std::move(*reopened));
   }
 
+  // A fresh, empty memo for the new epoch: memoized proof bytes never cross
+  // a snapshot swap (the old memo dies with the old snapshot's last
+  // in-flight query). Built against the final published package — for
+  // disk-backed epochs that is the reopened mapping, not the clone.
+  next->memo = std::make_shared<const ProofMemo>(*next->package);
+
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(next);
@@ -379,8 +422,22 @@ EngineStats QueryEngine::Stats() const {
   s.update_retries = update_retries_.Value();
   s.in_flight = static_cast<uint64_t>(std::max<int64_t>(in_flight_.Value(), 0));
   s.queue_depth = pool_.QueueDepth();
-  s.snapshot_version = CurrentSnapshot()->version;
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+  s.snapshot_version = snap->version;
   s.stopped = stopped();
+  if (cache_) {
+    QueryCacheStats cs = cache_->Stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_evictions = cs.evictions;
+    s.cache_entries = cs.entries;
+  }
+  if (snap->memo) {
+    s.memo_hits = snap->memo->TotalHits();
+    s.memo_builds = snap->memo->TotalBuilds();
+  }
+  s.vo_bytes_compressed = vo_bytes_compressed_.Value();
+  s.vo_bytes_raw = vo_bytes_raw_.Value();
   obs::HistogramSnapshot lat = latency_us_.Snapshot();
   if (lat.count > 0) {
     s.p50_latency_ms = lat.p50 / 1000.0;
@@ -407,6 +464,29 @@ std::string QueryEngine::MetricsSnapshot() const {
   w.Key("updates_applied").U64(updates_applied_.Value());
   w.Key("update_failures").U64(update_failures_.Value());
   w.Key("update_retries").U64(update_retries_.Value());
+  {
+    QueryCacheStats cs = cache_ ? cache_->Stats() : QueryCacheStats{};
+    w.Key("cache").BeginObject();
+    w.Key("enabled").Bool(cache_ != nullptr);
+    w.Key("capacity").U64(cache_ ? cache_->capacity() : 0);
+    w.Key("hits").U64(cs.hits);
+    w.Key("misses").U64(cs.misses);
+    w.Key("evictions").U64(cs.evictions);
+    w.Key("entries").U64(cs.entries);
+    w.EndObject();
+    std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
+    uint64_t mh = snap->memo ? snap->memo->TotalHits() : 0;
+    uint64_t mb = snap->memo ? snap->memo->TotalBuilds() : 0;
+    w.Key("proof_memo").BeginObject();
+    w.Key("hits").U64(mh);
+    w.Key("builds").U64(mb);
+    w.Key("share_rate").Double(mh + mb > 0
+                                   ? static_cast<double>(mh) / (mh + mb)
+                                   : 0.0);
+    w.EndObject();
+    w.Key("vo_bytes_compressed").U64(vo_bytes_compressed_.Value());
+    w.Key("vo_bytes_raw").U64(vo_bytes_raw_.Value());
+  }
   w.Key("per_worker_queries").BeginArray();
   for (unsigned i = 0; i < num_workers_; ++i) {
     w.U64(per_worker_queries_[i].Value());

@@ -68,6 +68,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/query_cache.h"
 #include "core/server.h"
 #include "core/update.h"
 #include "obs/metrics.h"
@@ -99,11 +100,22 @@ struct EngineOptions {
   // Version of the initial snapshot — the epoch it was opened from, so a
   // restarted engine keeps numbering epochs monotonically.
   uint64_t initial_version = 0;
+  // Result-cache capacity in entries (core/query_cache.h). 0 (the default)
+  // disables caching entirely; a positive capacity turns on the
+  // epoch-keyed LRU consulted before ServiceProvider::Query. Hits are
+  // byte-identical to cold serves, so this is purely a latency/CPU knob.
+  size_t cache_capacity = 0;
 };
 
 // Per-submission options. A zero deadline means none.
 struct SubmitOptions {
   std::chrono::milliseconds deadline{0};
+  // Serve the inverted-index/frequency-group VO section group-varint
+  // compressed (invindex/vo_compress.h). Set by the net server only for
+  // clients that negotiated compression in the query frame; the client
+  // decompresses before digest verification, so authentication is
+  // unchanged.
+  bool compress_vo = false;
 };
 
 // One immutable published state of the deployment. `params.root_signature`
@@ -113,6 +125,11 @@ struct Snapshot {
   std::shared_ptr<const SpPackage> package;
   PublicParams params;
   uint64_t version = 0;  // 0 = the snapshot the engine was constructed with
+  // Lazily-filled memo of derived MRKD proof bytes (core/proof_memo.h),
+  // shared by every query served under this snapshot. Owned by the
+  // snapshot, so memoized bytes die with the package state they were
+  // derived from — the atomic swap IS the invalidation.
+  std::shared_ptr<const ProofMemo> memo;
 };
 
 // A query response plus the snapshot it was served under, plus the serving
@@ -148,6 +165,20 @@ struct EngineStats {
   bool stopped = false;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  // Result cache (all zero when EngineOptions::cache_capacity == 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;
+  // Proof memo of the CURRENT snapshot (prior epochs' memos die with their
+  // snapshots). hits/(hits+builds) is the share of leaf/dim-tree proof
+  // serializations answered from memoized bytes.
+  uint64_t memo_hits = 0;
+  uint64_t memo_builds = 0;
+  // Cumulative inv/fg VO section bytes served with and without group-varint
+  // compression, for bytes-on-the-wire accounting.
+  uint64_t vo_bytes_compressed = 0;
+  uint64_t vo_bytes_raw = 0;
 };
 
 class QueryEngine {
@@ -237,10 +268,11 @@ class QueryEngine {
 
   // Executes one query on a worker thread against `snap`. `enqueued` is
   // the Submit() timestamp, for the queue-wait histogram; `deadline` is
-  // the absolute per-query deadline (time_point{} = none).
+  // the absolute per-query deadline (time_point{} = none). Consults the
+  // result cache (if enabled) before running the pipeline.
   EngineResponse Serve(const std::shared_ptr<const Snapshot>& snap,
                        const std::vector<std::vector<float>>& features,
-                       size_t k, obs::TimePoint enqueued,
+                       size_t k, bool compress_vo, obs::TimePoint enqueued,
                        Clock::time_point deadline);
 
   // Clone-apply-validate-swap core of both update entry points, with the
@@ -281,6 +313,8 @@ class QueryEngine {
   obs::Histogram latency_us_;     // Serve() wall time
   obs::Histogram queue_wait_us_;  // Submit() -> worker pickup
   obs::Histogram update_us_;      // clone + apply + re-sign + swap
+  obs::Counter vo_bytes_compressed_;  // inv/fg VO bytes, compressed serves
+  obs::Counter vo_bytes_raw_;         // inv/fg VO bytes, uncompressed serves
   std::unique_ptr<obs::Counter[]> per_worker_queries_;  // [num_workers_]
   // One reusable search scratch per pool worker (indexed by
   // ThreadPool::CurrentWorkerIndex()), so steady-state serving reuses warm
@@ -288,6 +322,9 @@ class QueryEngine {
   // ServiceProvider::Query allocate nothing. Workers never share a scratch,
   // and output is byte-identical with or without one.
   std::unique_ptr<QueryScratch[]> worker_scratch_;  // [num_workers_]
+  // Epoch-keyed result cache; null iff cache_capacity == 0. Shared across
+  // snapshots (version lives in the key), so an update needs no flush.
+  std::unique_ptr<QueryCache> cache_;
 
   ThreadPool pool_;  // last member: destroyed (drained) first
 };

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "core/proof_memo.h"
 #include "freqgroup/fg_search.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -61,6 +62,14 @@ QueryResponse ServiceProvider::Query(
 Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
                               size_t k, const QueryParallelism& par,
                               const QueryControl& control, QueryResponse* out,
+                              QueryScratch* scratch) const {
+  return Query(features, k, par, control, ServeOptions(), out, scratch);
+}
+
+Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
+                              size_t k, const QueryParallelism& par,
+                              const QueryControl& control,
+                              const ServeOptions& serve, QueryResponse* out,
                               QueryScratch* scratch) const {
   QueryResponse& resp = *out;
   const Config& config = pkg_->config;
@@ -133,10 +142,14 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
         // exclusive at any thread count.
         mrkd::MrkdSearchScratch* lane =
             scratch ? &scratch->tree_lanes[t] : nullptr;
+        const mrkd::LeafProofMemo* leaf_memo =
+            serve.memo ? serve.memo->tree_leaves(t) : nullptr;
         tree_outputs[t] =
             config.share_nodes
-                ? mrkd::MrkdSearchShared(tree, queries, thresholds_sq, lane)
-                : mrkd::MrkdSearchUnshared(tree, queries, thresholds_sq, lane);
+                ? mrkd::MrkdSearchShared(tree, queries, thresholds_sq, lane,
+                                         leaf_memo)
+                : mrkd::MrkdSearchUnshared(tree, queries, thresholds_sq, lane,
+                                           leaf_memo);
       },
       threads, /*grain=*/1);
   std::vector<std::set<mrkd::ClusterId>> candidates(nq);
@@ -208,7 +221,9 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
       }
     }
     reveals.push_back(mrkd::BuildReveal(config.reveal_mode, c, codebook.row(c),
-                                        dims, full, qs, bounds));
+                                        dims, full, qs, bounds,
+                                        serve.memo ? serve.memo->dim_trees()
+                                                   : nullptr));
   }
   ByteWriter reveal_writer;
   mrkd::SerializeReveals(reveals, reveal_writer);
@@ -234,6 +249,7 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
   invindex::InvSearchParams params;
   params.k = k;
   params.check_batch = config.check_batch;
+  params.compress_vo = serve.compress_vo;
   kern::SearchScratch* inv_scratch = scratch ? &scratch->inv : nullptr;
   if (config.freq_grouped) {
     freqgroup::FgSearchResult r = freqgroup::FgSearch(

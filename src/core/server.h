@@ -94,6 +94,18 @@ class QueryControl {
   bool has_deadline_ = false;
 };
 
+// Cross-cutting serving knobs threaded down from the engine. Both default
+// to off/null, which reproduces the historical serving path byte for byte.
+struct ServeOptions {
+  // Compress the inverted-index / frequency-group VO section with
+  // group-varint coding (InvSearchParams::compress_vo). Changes VO bytes —
+  // only enabled for clients that negotiated it (net/wire.h query flag).
+  bool compress_vo = false;
+  // Per-snapshot proof memo (core/proof_memo.h) for sharing derived MRKD
+  // proof bytes across concurrent queries. Never changes VO bytes.
+  const class ProofMemo* memo = nullptr;
+};
+
 class ServiceProvider {
  public:
   // Borrows the package; the owner output must outlive the SP.
@@ -117,6 +129,14 @@ class ServiceProvider {
   Status Query(const std::vector<std::vector<float>>& features, size_t k,
                const QueryParallelism& par, const QueryControl& control,
                QueryResponse* out, QueryScratch* scratch = nullptr) const;
+
+  // Full-control variant: adds the engine's serving knobs (VO compression,
+  // per-snapshot proof memo). The overloads above delegate here with
+  // default ServeOptions.
+  Status Query(const std::vector<std::vector<float>>& features, size_t k,
+               const QueryParallelism& par, const QueryControl& control,
+               const ServeOptions& serve, QueryResponse* out,
+               QueryScratch* scratch = nullptr) const;
 
   const SpPackage& package() const { return *pkg_; }
 

@@ -5,7 +5,9 @@
 #include <map>
 #include <unordered_set>
 
+#include "common/varint_kernels.h"
 #include "invindex/bounds.h"
+#include "invindex/vo_compress.h"
 
 namespace imageproof::freqgroup {
 
@@ -232,11 +234,17 @@ FgSearchResult FgSearch(const FgInvertedIndex& index,
 
   // ----- VO serialization -----
   ByteWriter w;
-  w.PutU8(use_filters ? 1 : 0);
+  const bool compress = params.compress_vo;
+  w.PutU8(static_cast<uint8_t>((use_filters ? 1 : 0) |
+                               (compress ? invindex::kVoFlagCompressed : 0)));
   std::map<size_t, size_t> relevant_by_cluster;
   for (size_t li = 0; li < relevant.size(); ++li) {
     relevant_by_cluster[relevant[li].list->cluster] = li;
   }
+  // Reused across groups in compressed mode (no per-group allocation once
+  // warm).
+  std::vector<FgMember> by_id;
+  std::vector<uint32_t> gap_u32, norm_u32;
   w.PutVarint(query_bovw.entries.size());
   for (const auto& [c, f] : query_bovw.entries) {
     const FgList& list = index.list(c);
@@ -252,14 +260,51 @@ FgSearchResult FgSearch(const FgInvertedIndex& index,
       w.PutVarint(p.members.size());
       // Transmit members id-ascending with d-gaps; norms ride along. The
       // verifier re-sorts by (norm, id) to rebuild the digest order.
-      std::vector<FgMember> by_id = p.members;
+      by_id = p.members;
       std::sort(by_id.begin(), by_id.end(),
                 [](const FgMember& a, const FgMember& b) { return a.id < b.id; });
-      ImageId prev = 0;
-      for (size_t m = 0; m < by_id.size(); ++m) {
-        w.PutVarint(m == 0 ? by_id[m].id : by_id[m].id - prev);
-        prev = by_id[m].id;
-        w.PutF64(by_id[m].norm);
+      if (!compress) {
+        ImageId prev = 0;
+        for (size_t m = 0; m < by_id.size(); ++m) {
+          w.PutVarint(m == 0 ? by_id[m].id : by_id[m].id - prev);
+          prev = by_id[m].id;
+          w.PutF64(by_id[m].norm);
+        }
+      } else {
+        // Split streams: a group-varint block of id d-gaps (first value
+        // absolute), then a block of u32 squared norms. Either stream
+        // falls back per group — LEB128 gaps / raw f64 norms — when a
+        // value does not fit, so any index the legacy encoding can ship,
+        // this one can too.
+        gap_u32.clear();
+        norm_u32.clear();
+        bool gv_ids = true, gv_norms = true;
+        ImageId prev = 0;
+        for (size_t m = 0; m < by_id.size(); ++m) {
+          ImageId gap = m == 0 ? by_id[m].id : by_id[m].id - prev;
+          prev = by_id[m].id;
+          if (gap > 0xFFFFFFFFull) gv_ids = false;
+          gap_u32.push_back(static_cast<uint32_t>(gap));
+          uint32_t msq = 0;
+          if (!invindex::SquaredNormU32(by_id[m].norm, &msq)) gv_norms = false;
+          norm_u32.push_back(msq);
+        }
+        w.PutU8(static_cast<uint8_t>((gv_ids ? invindex::kGvIds : 0) |
+                                     (gv_norms ? invindex::kGvNormsSq : 0)));
+        if (gv_ids) {
+          kern::GroupVarintEncode(gap_u32.data(), gap_u32.size(), w);
+        } else {
+          prev = 0;
+          for (size_t m = 0; m < by_id.size(); ++m) {
+            w.PutVarint(m == 0 ? by_id[m].id : by_id[m].id - prev);
+            prev = by_id[m].id;
+          }
+        }
+        if (gv_norms) {
+          kern::GroupVarintEncode(norm_u32.data(), norm_u32.size(), w);
+        } else {
+          for (const FgMember& m : by_id) w.PutF64(m.norm);
+        }
       }
     }
     bool has_remaining = popped < list.postings.size();

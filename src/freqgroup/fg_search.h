@@ -5,13 +5,17 @@
 // cap to the group's impact.
 //
 // VO layout:
-//   u8   use_filters
+//   u8   flags: bit0 use_filters, bit1 compressed (vo_compress.h)
 //   varint num_lists                      -- the query's BoVW support
 //   per list (cluster ascending):
 //     varint cluster_id; f64 weight
 //     varint num_popped_groups
 //     per group: varint freq; varint num_members;
-//                members id-ascending as (varint d-gap id, f64 norm)
+//       uncompressed: members id-ascending as (varint d-gap id, f64 norm)
+//       compressed:   u8 group_flags (bit0 ids group-varint, bit1 norms as
+//                     u32 squared values); then the id-gap stream, then the
+//                     norm stream — group-varint blocks or the per-value
+//                     fallbacks (LEB128 gaps / raw f64 norms)
 //     u8 flags (bit0 has_remaining, bit1 filter_included)
 //     [has_remaining]   digest of first unpopped group
 //     [filter_included] blob: original cuckoo filter

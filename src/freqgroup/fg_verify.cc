@@ -1,11 +1,14 @@
 #include "freqgroup/fg_verify.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
+#include "common/varint_kernels.h"
 #include "freqgroup/fg_index.h"
 #include "invindex/bounds.h"
 #include "invindex/merkle_inv_index.h"
+#include "invindex/vo_compress.h"
 
 namespace imageproof::freqgroup {
 
@@ -28,10 +31,12 @@ struct ParsedFgList {
 Status ParseLists(const Bytes& vo, bool expect_filters,
                   std::vector<ParsedFgList>* out) {
   ByteReader r(vo);
-  uint8_t use_filters;
-  Status s = r.GetU8(&use_filters);
+  uint8_t vo_flags;
+  Status s = r.GetU8(&vo_flags);
   if (!s.ok()) return s;
-  if (use_filters > 1) return Status::Error("fg: non-canonical flag byte");
+  if (vo_flags > 3) return Status::Error("fg: non-canonical flag byte");
+  const bool compressed = vo_flags & invindex::kVoFlagCompressed;
+  const uint8_t use_filters = vo_flags & 1;
   if ((use_filters != 0) != expect_filters) {
     return Status::Error("fg: VO filter mode mismatch");
   }
@@ -42,6 +47,7 @@ Status ParseLists(const Bytes& vo, bool expect_filters,
   }
   out->clear();
   out->reserve(num_lists);
+  std::vector<uint32_t> gap_buf, norm_buf;  // reused across groups
   for (uint64_t i = 0; i < num_lists; ++i) {
     ParsedFgList pl;
     uint64_t cid;
@@ -50,8 +56,9 @@ Status ParseLists(const Bytes& vo, bool expect_filters,
     if (!(s = r.GetF64(&pl.weight)).ok()) return s;
     uint64_t num_groups;
     if (!(s = r.GetVarint(&num_groups)).ok()) return s;
-    // A group needs at least 11 bytes (freq + count + one member).
-    if (num_groups > r.remaining() / 11) {
+    // A group needs at least 11 bytes uncompressed (freq + count + one
+    // member), 7 compressed (freq + count + flags + two 2-byte blocks).
+    if (num_groups > r.remaining() / (compressed ? 7 : 11)) {
       return Status::Error("fg: group count exceeds input size");
     }
     pl.popped.reserve(num_groups);
@@ -62,24 +69,79 @@ Status ParseLists(const Bytes& vo, bool expect_filters,
       if (freq == 0 || freq > (1u << 30)) return Status::Error("fg: bad freq");
       posting.freq = static_cast<uint32_t>(freq);
       if (!(s = r.GetVarint(&num_members)).ok()) return s;
-      // A member needs at least 9 bytes (varint id + f64 norm).
-      if (num_members == 0 || num_members > r.remaining() / 9) {
+      // A member needs at least 9 bytes uncompressed (varint id + f64
+      // norm), 2 compressed (>=1.25 bytes per group-varint value, twice).
+      if (num_members == 0 || num_members > r.remaining() / (compressed ? 2 : 9)) {
         return Status::Error("fg: bad member count");
       }
       posting.members.resize(num_members);
-      ImageId prev = 0;
-      for (uint64_t m = 0; m < num_members; ++m) {
-        uint64_t gap;
-        if (!(s = r.GetVarint(&gap)).ok()) return s;
-        ImageId id = (m == 0) ? gap : prev + gap;
-        if (m > 0 && gap == 0) {
-          return Status::Error("fg: duplicate member id in group");
+      if (!compressed) {
+        ImageId prev = 0;
+        for (uint64_t m = 0; m < num_members; ++m) {
+          uint64_t gap;
+          if (!(s = r.GetVarint(&gap)).ok()) return s;
+          ImageId id = (m == 0) ? gap : prev + gap;
+          if (m > 0 && gap == 0) {
+            return Status::Error("fg: duplicate member id in group");
+          }
+          prev = id;
+          posting.members[m].id = id;
+          if (!(s = r.GetF64(&posting.members[m].norm)).ok()) return s;
+          if (!(posting.members[m].norm > 0)) {
+            return Status::Error("fg: non-positive norm");
+          }
         }
-        prev = id;
-        posting.members[m].id = id;
-        if (!(s = r.GetF64(&posting.members[m].norm)).ok()) return s;
-        if (!(posting.members[m].norm > 0)) {
-          return Status::Error("fg: non-positive norm");
+      } else {
+        uint8_t gflags = 0;
+        if (!(s = r.GetU8(&gflags)).ok()) return s;
+        if (gflags & ~(invindex::kGvIds | invindex::kGvNormsSq)) {
+          return Status::Error("fg: unknown group flags");
+        }
+        ImageId prev = 0;
+        if (gflags & invindex::kGvIds) {
+          gap_buf.resize(num_members);
+          if (!(s = kern::GroupVarintDecode(r, num_members, gap_buf.data()))
+                   .ok()) {
+            return s;
+          }
+          for (uint64_t m = 0; m < num_members; ++m) {
+            if (m > 0 && gap_buf[m] == 0) {
+              return Status::Error("fg: duplicate member id in group");
+            }
+            prev = (m == 0) ? gap_buf[m] : prev + gap_buf[m];
+            posting.members[m].id = prev;
+          }
+        } else {
+          for (uint64_t m = 0; m < num_members; ++m) {
+            uint64_t gap;
+            if (!(s = r.GetVarint(&gap)).ok()) return s;
+            if (m > 0 && gap == 0) {
+              return Status::Error("fg: duplicate member id in group");
+            }
+            prev = (m == 0) ? gap : prev + gap;
+            posting.members[m].id = prev;
+          }
+        }
+        if (gflags & invindex::kGvNormsSq) {
+          norm_buf.resize(num_members);
+          if (!(s = kern::GroupVarintDecode(r, num_members, norm_buf.data()))
+                   .ok()) {
+            return s;
+          }
+          for (uint64_t m = 0; m < num_members; ++m) {
+            if (norm_buf[m] == 0) {
+              return Status::Error("fg: non-positive norm");
+            }
+            posting.members[m].norm =
+                std::sqrt(static_cast<double>(norm_buf[m]));
+          }
+        } else {
+          for (uint64_t m = 0; m < num_members; ++m) {
+            if (!(s = r.GetF64(&posting.members[m].norm)).ok()) return s;
+            if (!(posting.members[m].norm > 0)) {
+              return Status::Error("fg: non-positive norm");
+            }
+          }
         }
       }
       // Restore the canonical digest order.

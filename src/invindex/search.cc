@@ -1,11 +1,14 @@
 #include "invindex/search.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <map>
 
+#include "common/varint_kernels.h"
 #include "crypto/sha3.h"
+#include "invindex/vo_compress.h"
 
 namespace imageproof::invindex {
 
@@ -298,12 +301,15 @@ InvSearchResult InvSearch(const MerkleInvertedIndex& index,
 
   // ----- VO serialization -----
   ByteWriter w;
-  w.PutU8(use_filters ? 1 : 0);
+  const bool compress = params.compress_vo;
+  w.PutU8(static_cast<uint8_t>((use_filters ? 1 : 0) |
+                               (compress ? kVoFlagCompressed : 0)));
   // Every support cluster appears, relevant or not.
   std::map<size_t, size_t> relevant_by_cluster;  // cluster -> index
   for (size_t li = 0; li < relevant.size(); ++li) {
     relevant_by_cluster[relevant[li].list->cluster] = li;
   }
+  std::vector<uint32_t> id_u32, hi_u32;  // reused across lists
   w.PutVarint(query_bovw.entries.size());
   for (const auto& [c, f] : query_bovw.entries) {
     const MerkleInvertedList& list = index.list(c);
@@ -314,9 +320,51 @@ InvSearchResult InvSearch(const MerkleInvertedIndex& index,
                         ? 0
                         : relevant[it->second].next_pop;
     w.PutVarint(popped);
-    for (size_t i = 0; i < popped; ++i) {
-      w.PutVarint(list.postings[i].id);
-      w.PutF64(list.postings[i].impact);
+    if (!compress) {
+      for (size_t i = 0; i < popped; ++i) {
+        w.PutVarint(list.postings[i].id);
+        w.PutF64(list.postings[i].impact);
+      }
+    } else if (popped > 0) {
+      // Two split streams (see verify.cc ParseLists): zigzag-delta ids and
+      // impact bit patterns as non-increasing high words (delta-coded) +
+      // raw low words. Either stream falls back per list when a value
+      // does not fit its u32 coding.
+      id_u32.clear();
+      hi_u32.clear();
+      bool gv_ids = true, gv_impacts = true;
+      uint64_t prev_id = 0;
+      uint32_t prev_hi = 0;
+      for (size_t i = 0; i < popped; ++i) {
+        int64_t delta = static_cast<int64_t>(list.postings[i].id) -
+                        static_cast<int64_t>(prev_id);
+        prev_id = list.postings[i].id;
+        uint64_t zz = (static_cast<uint64_t>(delta) << 1) ^
+                      static_cast<uint64_t>(delta >> 63);
+        if (zz > 0xFFFFFFFFull) gv_ids = false;
+        id_u32.push_back(static_cast<uint32_t>(zz));
+        uint64_t bits = std::bit_cast<uint64_t>(list.postings[i].impact);
+        uint32_t hi = static_cast<uint32_t>(bits >> 32);
+        if (i > 0 && hi > prev_hi) gv_impacts = false;
+        hi_u32.push_back(i == 0 ? hi : prev_hi - hi);
+        prev_hi = hi;
+      }
+      w.PutU8(static_cast<uint8_t>((gv_ids ? kGvIds : 0) |
+                                   (gv_impacts ? kGvImpacts : 0)));
+      if (gv_ids) {
+        kern::GroupVarintEncode(id_u32.data(), id_u32.size(), w);
+      } else {
+        for (size_t i = 0; i < popped; ++i) w.PutVarint(list.postings[i].id);
+      }
+      if (gv_impacts) {
+        kern::GroupVarintEncode(hi_u32.data(), hi_u32.size(), w);
+        for (size_t i = 0; i < popped; ++i) {
+          uint64_t bits = std::bit_cast<uint64_t>(list.postings[i].impact);
+          w.PutU32(static_cast<uint32_t>(bits));
+        }
+      } else {
+        for (size_t i = 0; i < popped; ++i) w.PutF64(list.postings[i].impact);
+      }
     }
     bool has_remaining = popped < list.postings.size();
     bool relevant_list = it != relevant_by_cluster.end();

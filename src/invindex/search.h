@@ -15,12 +15,18 @@
 // verification.
 //
 // VO layout (all canonical encodings):
-//   u8   use_filters
+//   u8   flags: bit0 use_filters, bit1 compressed (vo_compress.h)
 //   varint num_lists                     -- every cluster in the query's
 //   per list (cluster ascending):           BoVW support, relevant or not
 //     varint cluster_id
 //     f64 weight w_c
-//     varint num_popped; per posting: varint image_id, f64 impact
+//     varint num_popped
+//       uncompressed: per posting varint image_id, f64 impact
+//       compressed (num_popped > 0): u8 list_flags (bit0 ids as one
+//         group-varint zigzag-delta block, bit1 impacts as a group-varint
+//         block of non-increasing IEEE-754 high words plus raw low words);
+//         then the id stream, then the impact stream, with per-value
+//         fallbacks (absolute varint ids / raw f64) when a bit is clear
 //     u8 flags (bit0 has_remaining, bit1 filter_included)
 //     [has_remaining]   digest of first unpopped posting
 //     [filter_included] blob: original cuckoo filter
@@ -50,6 +56,13 @@ struct InvSearchParams {
   // low-impact occurrences of result images — which line 1 pays for in
   // full — are then usually never popped. See bench/abl_lazy_topk.
   bool lazy_topk_pops = false;
+  // Extension (off by default): serialize popped postings/groups with
+  // group-varint compression (common/varint_kernels.h). Signalled on the
+  // wire by flag-byte bit 1, which pre-compression parsers reject as
+  // non-canonical, so it is only enabled for clients that negotiated it
+  // (net/wire.h query-frame flag). Digest material is reconstructed from
+  // the decoded values, so verification is unchanged.
+  bool compress_vo = false;
 };
 
 struct InvSearchStats {

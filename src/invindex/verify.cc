@@ -1,10 +1,13 @@
 #include "invindex/verify.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_set>
 
+#include "common/varint_kernels.h"
 #include "crypto/sha3.h"
 #include "invindex/merkle_inv_index.h"
+#include "invindex/vo_compress.h"
 
 namespace imageproof::invindex {
 
@@ -24,10 +27,12 @@ struct ParsedList {
 Status ParseLists(const Bytes& vo, bool expect_filters,
                   std::vector<ParsedList>* out) {
   ByteReader r(vo);
-  uint8_t use_filters;
-  Status s = r.GetU8(&use_filters);
+  uint8_t vo_flags;
+  Status s = r.GetU8(&vo_flags);
   if (!s.ok()) return s;
-  if (use_filters > 1) return Status::Error("inv: non-canonical flag byte");
+  if (vo_flags > 3) return Status::Error("inv: non-canonical flag byte");
+  const bool compressed = vo_flags & kVoFlagCompressed;
+  const uint8_t use_filters = vo_flags & 1;
   if ((use_filters != 0) != expect_filters) {
     return Status::Error("inv: VO filter mode mismatch");
   }
@@ -38,6 +43,7 @@ Status ParseLists(const Bytes& vo, bool expect_filters,
   }
   out->clear();
   out->reserve(num_lists);
+  std::vector<uint32_t> id_buf, hi_buf;  // reused across lists
   for (uint64_t i = 0; i < num_lists; ++i) {
     ParsedList pl;
     uint64_t cid;
@@ -46,19 +52,71 @@ Status ParseLists(const Bytes& vo, bool expect_filters,
     if (!(s = r.GetF64(&pl.weight)).ok()) return s;
     uint64_t num_popped;
     if (!(s = r.GetVarint(&num_popped)).ok()) return s;
-    // Each popped posting occupies at least 9 bytes (varint id + f64
-    // impact), so a count beyond the remaining input is a lie; this bounds
-    // the allocation by the input size.
-    if (num_popped > r.remaining() / 9) {
+    // Each popped posting occupies at least 9 bytes uncompressed (varint
+    // id + f64 impact) and at least 6 compressed (>=1.25-byte group-varint
+    // id and impact-high words + 4-byte impact-low word), so a count
+    // beyond the remaining input is a lie; this bounds the allocation by
+    // the input size.
+    if (num_popped > r.remaining() / (compressed ? 6 : 9)) {
       return Status::Error("inv: popped count exceeds input size");
     }
     pl.popped.reserve(num_popped);
-    for (uint64_t j = 0; j < num_popped; ++j) {
-      uint64_t id;
-      double impact;
-      if (!(s = r.GetVarint(&id)).ok()) return s;
-      if (!(s = r.GetF64(&impact)).ok()) return s;
-      pl.popped.emplace_back(id, impact);
+    if (!compressed) {
+      for (uint64_t j = 0; j < num_popped; ++j) {
+        uint64_t id;
+        double impact;
+        if (!(s = r.GetVarint(&id)).ok()) return s;
+        if (!(s = r.GetF64(&impact)).ok()) return s;
+        pl.popped.emplace_back(id, impact);
+      }
+    } else if (num_popped > 0) {
+      uint8_t lflags = 0;
+      if (!(s = r.GetU8(&lflags)).ok()) return s;
+      if (lflags & ~(kGvIds | kGvImpacts)) {
+        return Status::Error("inv: unknown list flags");
+      }
+      pl.popped.resize(num_popped);
+      if (lflags & kGvIds) {
+        // ZigZag deltas (postings ride in impact order, so ids are not
+        // monotone); the first value is the absolute id, zigzagged.
+        id_buf.resize(num_popped);
+        if (!(s = kern::GroupVarintDecode(r, num_popped, id_buf.data())).ok()) {
+          return s;
+        }
+        uint64_t prev = 0;
+        for (uint64_t j = 0; j < num_popped; ++j) {
+          prev = static_cast<uint64_t>(static_cast<int64_t>(prev) +
+                                       kern::ZigZagDecode32(id_buf[j]));
+          pl.popped[j].first = prev;
+        }
+      } else {
+        for (uint64_t j = 0; j < num_popped; ++j) {
+          uint64_t id;
+          if (!(s = r.GetVarint(&id)).ok()) return s;
+          pl.popped[j].first = id;
+        }
+      }
+      if (lflags & kGvImpacts) {
+        // Impacts descend, so the high words of their IEEE-754 bit
+        // patterns never increase: ship the first high word absolute and
+        // the rest as non-negative deltas, then the raw low words.
+        hi_buf.resize(num_popped);
+        if (!(s = kern::GroupVarintDecode(r, num_popped, hi_buf.data())).ok()) {
+          return s;
+        }
+        uint32_t hi = 0;
+        for (uint64_t j = 0; j < num_popped; ++j) {
+          hi = (j == 0) ? hi_buf[j] : hi - hi_buf[j];
+          uint32_t lo = 0;
+          if (!(s = r.GetU32(&lo)).ok()) return s;
+          uint64_t bits = (static_cast<uint64_t>(hi) << 32) | lo;
+          pl.popped[j].second = std::bit_cast<double>(bits);
+        }
+      } else {
+        for (uint64_t j = 0; j < num_popped; ++j) {
+          if (!(s = r.GetF64(&pl.popped[j].second)).ok()) return s;
+        }
+      }
     }
     uint8_t flags = 0;
     if (!(s = r.GetU8(&flags)).ok()) return s;

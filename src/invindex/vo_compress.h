@@ -1,0 +1,56 @@
+// Shared constants and helpers for the compressed inverted-index /
+// frequency-group VO encodings (InvSearchParams::compress_vo).
+//
+// The leading VO flag byte carries bit 0 = use_filters (as always) and
+// bit 1 = compressed. Parsers that predate compression reject any value
+// above 1 as non-canonical, which is exactly the backward-compatibility
+// story: a compressed VO can never be mis-parsed by an old client, it is
+// simply refused, and the server only compresses after the client opts in
+// through the query-frame flag (net/wire.h).
+//
+// Inside a compressed VO, integer sequences use the group-varint coding
+// from common/varint_kernels.h. BoVW norms — digest material that must be
+// reconstructed bit-exactly — ride as their *squared* value: frequencies
+// are small integers, so ||B_I||^2 is an exact integer that fits u32 for
+// every corpus this system can build, and IEEE-754 sqrt is correctly
+// rounded, so sqrt(double(m)) returns the identical double on every
+// conforming machine. The encoder still proves that per value (round-trip
+// bit check) and falls back to raw f64 for any group where it fails, so
+// compression can never change what the verifier hashes.
+
+#ifndef IMAGEPROOF_INVINDEX_VO_COMPRESS_H_
+#define IMAGEPROOF_INVINDEX_VO_COMPRESS_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace imageproof::invindex {
+
+// Bit 1 of the VO's leading flag byte (bit 0 remains use_filters).
+inline constexpr uint8_t kVoFlagCompressed = 2;
+
+// Per-group / per-list flags inside a compressed VO.
+inline constexpr uint8_t kGvIds = 1;      // ids: one group-varint gap block
+inline constexpr uint8_t kGvNormsSq = 2;  // norms: u32 squared-norm block
+inline constexpr uint8_t kGvImpacts = 2;  // impacts: hi-delta + raw lo32
+
+// True when `norm` survives the squared-integer round trip; *m is then the
+// exact wire value. Encoder-side only — decoders just take sqrt.
+inline bool SquaredNormU32(double norm, uint32_t* m) {
+  if (!(norm > 0)) return false;
+  double sq = norm * norm;
+  double rounded = std::nearbyint(sq);
+  if (!(rounded >= 1) || rounded > 4294967295.0) return false;
+  uint32_t cand = static_cast<uint32_t>(rounded);
+  if (std::bit_cast<uint64_t>(std::sqrt(static_cast<double>(cand))) !=
+      std::bit_cast<uint64_t>(norm)) {
+    return false;
+  }
+  *m = cand;
+  return true;
+}
+
+}  // namespace imageproof::invindex
+
+#endif  // IMAGEPROOF_INVINDEX_VO_COMPRESS_H_

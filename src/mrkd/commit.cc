@@ -5,6 +5,7 @@
 #include "common/parallel.h"
 #include "crypto/hasher.h"
 #include "merkle/merkle_tree.h"
+#include "mrkd/memo.h"
 
 namespace imageproof::mrkd {
 
@@ -30,6 +31,10 @@ std::vector<Bytes> BlockLeaves(const float* coords, size_t dims) {
 }
 
 }  // namespace
+
+std::vector<Bytes> CoordBlockLeaves(const float* coords, size_t dims) {
+  return BlockLeaves(coords, dims);
+}
 
 Digest ClusterCommitment(RevealMode mode, ClusterId id, const float* coords,
                          size_t dims) {
@@ -96,7 +101,8 @@ double PartialDistanceSq(const float* query,
 ClusterReveal BuildReveal(RevealMode mode, ClusterId id, const float* coords,
                           size_t dims, bool full_reveal,
                           const std::vector<const float*>& queries,
-                          const std::vector<double>& bounds) {
+                          const std::vector<double>& bounds,
+                          const DimTreeMemo* memo) {
   ClusterReveal reveal;
   reveal.id = id;
   if (mode == RevealMode::kFullVector || full_reveal || queries.empty()) {
@@ -161,8 +167,12 @@ ClusterReveal BuildReveal(RevealMode mode, ClusterId id, const float* coords,
       reveal.dim_values.push_back(coords[d]);
     }
   }
-  merkle::MerkleTree tree(BlockLeaves(coords, dims));
-  reveal.proof = tree.ProveSubset(chosen_blocks);
+  if (memo) {
+    reveal.proof = memo->Get(id, coords, dims).ProveSubset(chosen_blocks);
+  } else {
+    merkle::MerkleTree tree(BlockLeaves(coords, dims));
+    reveal.proof = tree.ProveSubset(chosen_blocks);
+  }
   return reveal;
 }
 

@@ -50,6 +50,13 @@ enum class RevealMode : uint8_t {
 // Dimensions per Merkle leaf in kDimMerkle mode.
 inline constexpr size_t kDimBlock = 8;
 
+class DimTreeMemo;  // memo.h — per-snapshot cache of coordinate-block trees
+
+// The kDimMerkle Merkle leaf payloads for one cluster's coordinates, one
+// per kDimBlock-dimension block (exported for DimTreeMemo, which builds
+// the same trees BuildReveal would and must stay byte-identical).
+std::vector<Bytes> CoordBlockLeaves(const float* coords, size_t dims);
+
 // Commitment of one cluster (digest embedded in the leaf digest).
 Digest ClusterCommitment(RevealMode mode, ClusterId id, const float* coords,
                          size_t dims);
@@ -86,10 +93,15 @@ double PartialDistanceSq(const float* query,
 //   `bounds[q]`), PartialDistanceSq(q) > bounds[q]. Falls back to a full
 //   reveal if the partial bound cannot strictly exceed every bound or if
 //   the partial encoding would not be smaller.
+// `memo` (optional) supplies the per-snapshot coordinate-block Merkle tree
+// cache (memo.h): concurrent queries revealing the same cluster then share
+// one tree build instead of re-deriving it. Output is byte-identical with
+// or without it.
 ClusterReveal BuildReveal(RevealMode mode, ClusterId id, const float* coords,
                           size_t dims, bool full_reveal,
                           const std::vector<const float*>& queries,
-                          const std::vector<double>& bounds);
+                          const std::vector<double>& bounds,
+                          const DimTreeMemo* memo = nullptr);
 
 // Client side: recomputes the cluster commitment from a reveal. Fails if a
 // partial reveal is malformed (bad indices / proof). On success the caller

@@ -17,22 +17,25 @@ Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
   return NetClient(std::move(sock).value(), std::move(trusted_params));
 }
 
-Result<std::pair<FrameHeader, Bytes>> NetClient::RoundTrip(
-    FrameType type, const Bytes& payload, size_t* reply_frame_bytes) {
-  Bytes frame = EncodeFrame(type, payload);
+Result<FrameHeader> NetClient::RoundTrip(FrameType type, const Bytes& payload,
+                                         size_t* reply_frame_bytes,
+                                         uint8_t flags) {
+  Bytes frame = EncodeFrame(type, payload, flags);
   Status st = SendAll(sock_.fd(), frame.data(), frame.size());
   if (!st.ok()) return st;
 
   FrameHeader header;
-  Bytes reply;
   for (;;) {
     Status err;
-    switch (TryExtractFrame(&read_buf_, &header, &reply, &err)) {
+    // The payload lands in the member reply_buf_: vector::assign reuses its
+    // capacity, so after the first response of a size class the receive
+    // path performs no allocation per request.
+    switch (TryExtractFrame(&read_buf_, &header, &reply_buf_, &err)) {
       case ExtractResult::kFrame:
         if (reply_frame_bytes != nullptr) {
-          *reply_frame_bytes = kFrameHeaderBytes + reply.size();
+          *reply_frame_bytes = kFrameHeaderBytes + reply_buf_.size();
         }
-        return std::make_pair(header, std::move(reply));
+        return header;
       case ExtractResult::kCorrupt:
         return err;
       case ExtractResult::kNeedMore:
@@ -77,16 +80,16 @@ Result<NetQueryResult> NetClient::Query(
 
   size_t frame_bytes = 0;
   auto reply = RoundTrip(FrameType::kQuery, EncodeQueryRequest(req),
-                         &frame_bytes);
+                         &frame_bytes,
+                         compress_vo_ ? kFrameFlagCompressVo : 0);
   if (!reply.ok()) return reply.status();
-  const FrameHeader& header = reply.value().first;
-  const Bytes& payload = reply.value().second;
+  const FrameHeader& header = reply.value();
 
-  Status st = UnexpectedOrError(header, payload, FrameType::kResponse);
+  Status st = UnexpectedOrError(header, reply_buf_, FrameType::kResponse);
   if (!st.ok()) return st;
 
   ResponseFrame resp;
-  st = DecodeResponse(payload, &resp);
+  st = DecodeResponse(reply_buf_, &resp);
   if (!st.ok()) return st;
 
   core::QueryVO vo;
@@ -120,11 +123,11 @@ Result<UpdateAck> NetClient::Insert(uint64_t id, const bovw::BovwVector& bovw,
   auto reply =
       RoundTrip(FrameType::kInsert, EncodeInsertRequest(req), nullptr);
   if (!reply.ok()) return reply.status();
-  Status st = UnexpectedOrError(reply.value().first, reply.value().second,
-                                FrameType::kUpdateAck);
+  Status st =
+      UnexpectedOrError(reply.value(), reply_buf_, FrameType::kUpdateAck);
   if (!st.ok()) return st;
   UpdateAck ack;
-  st = DecodeUpdateAck(reply.value().second, &ack);
+  st = DecodeUpdateAck(reply_buf_, &ack);
   if (!st.ok()) return st;
   return ack;
 }
@@ -135,11 +138,11 @@ Result<UpdateAck> NetClient::Delete(uint64_t id) {
   auto reply =
       RoundTrip(FrameType::kDelete, EncodeDeleteRequest(req), nullptr);
   if (!reply.ok()) return reply.status();
-  Status st = UnexpectedOrError(reply.value().first, reply.value().second,
-                                FrameType::kUpdateAck);
+  Status st =
+      UnexpectedOrError(reply.value(), reply_buf_, FrameType::kUpdateAck);
   if (!st.ok()) return st;
   UpdateAck ack;
-  st = DecodeUpdateAck(reply.value().second, &ack);
+  st = DecodeUpdateAck(reply_buf_, &ack);
   if (!st.ok()) return st;
   return ack;
 }
@@ -147,11 +150,11 @@ Result<UpdateAck> NetClient::Delete(uint64_t id) {
 Result<StatusReply> NetClient::ServerStatus() {
   auto reply = RoundTrip(FrameType::kStatusRequest, Bytes{}, nullptr);
   if (!reply.ok()) return reply.status();
-  Status st = UnexpectedOrError(reply.value().first, reply.value().second,
-                                FrameType::kStatusReply);
+  Status st =
+      UnexpectedOrError(reply.value(), reply_buf_, FrameType::kStatusReply);
   if (!st.ok()) return st;
   StatusReply status;
-  st = DecodeStatusReply(reply.value().second, &status);
+  st = DecodeStatusReply(reply_buf_, &status);
   if (!st.ok()) return st;
   return status;
 }

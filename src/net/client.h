@@ -60,17 +60,28 @@ class NetClient {
 
   Result<StatusReply> ServerStatus();
 
+  // Opt in to group-varint VO compression: subsequent Query() calls set
+  // kFrameFlagCompressVo on the request frame, and the hardened VO parsers
+  // inside Client::Verify transparently decode the compressed section
+  // before any digest is checked — authentication is unchanged. Off by
+  // default (byte-identical to a pre-compression client on the wire).
+  void set_compress_vo(bool on) { compress_vo_ = on; }
+  bool compress_vo() const { return compress_vo_; }
+
   const core::PublicParams& params() const { return params_; }
 
  private:
   NetClient(Socket sock, core::PublicParams params)
       : sock_(std::move(sock)), params_(std::move(params)) {}
 
-  // Sends one frame and blocks for exactly one frame back. Frame size of
-  // the reply is reported through *reply_frame_bytes (may be null).
-  Result<std::pair<FrameHeader, Bytes>> RoundTrip(FrameType type,
-                                                  const Bytes& payload,
-                                                  size_t* reply_frame_bytes);
+  // Sends one frame and blocks for exactly one frame back, leaving the
+  // reply payload in reply_buf_ (reused across calls — the steady-state
+  // receive path reallocates nothing, so closed-loop benches measure the
+  // wire, not the allocator). Frame size of the reply is reported through
+  // *reply_frame_bytes (may be null). `flags` goes out in the request
+  // frame header.
+  Result<FrameHeader> RoundTrip(FrameType type, const Bytes& payload,
+                                size_t* reply_frame_bytes, uint8_t flags = 0);
   // Folds an inbound kError frame into a Status; non-error frames of the
   // wrong type are a protocol violation (kCorrupted).
   static Status UnexpectedOrError(const FrameHeader& header,
@@ -78,7 +89,9 @@ class NetClient {
 
   Socket sock_;
   core::PublicParams params_;
-  Bytes read_buf_;  // carries partial frames across RoundTrip calls
+  bool compress_vo_ = false;
+  Bytes read_buf_;   // carries partial frames across RoundTrip calls
+  Bytes reply_buf_;  // last reply's payload; capacity reused per request
 };
 
 }  // namespace imageproof::net

@@ -229,7 +229,7 @@ void NetServer::DispatchFrame(Conn* conn, const FrameHeader& header,
                               const Bytes& payload) {
   switch (header.type) {
     case FrameType::kQuery:
-      HandleQuery(conn, payload);
+      HandleQuery(conn, header, payload);
       return;
     case FrameType::kStatusRequest: {
       core::EngineStats stats = engine_->Stats();
@@ -302,7 +302,8 @@ void NetServer::DispatchFrame(Conn* conn, const FrameHeader& header,
   SendError(conn, WireError::kBadRequest, "unexpected frame type");
 }
 
-void NetServer::HandleQuery(Conn* conn, const Bytes& payload) {
+void NetServer::HandleQuery(Conn* conn, const FrameHeader& header,
+                            const Bytes& payload) {
   QueryRequest req;
   Status s = DecodeQueryRequest(payload, &req);
   if (!s.ok()) {
@@ -317,6 +318,9 @@ void NetServer::HandleQuery(Conn* conn, const Bytes& payload) {
   }
   core::SubmitOptions opts;
   opts.deadline = std::chrono::milliseconds(req.deadline_ms);
+  // Compression is strictly opt-in per query: only a client that announced
+  // it can decode the compressed VO section ever receives one.
+  opts.compress_vo = (header.flags & kFrameFlagCompressVo) != 0;
   const uint64_t conn_id = conn->id;
   std::shared_ptr<Outbox> outbox = outbox_;
   const size_t k = static_cast<size_t>(req.k);

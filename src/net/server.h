@@ -133,7 +133,7 @@ class NetServer {
   void HandleWritable(Conn* conn);
   void DispatchFrame(Conn* conn, const FrameHeader& header,
                      const Bytes& payload);
-  void HandleQuery(Conn* conn, const Bytes& payload);
+  void HandleQuery(Conn* conn, const FrameHeader& header, const Bytes& payload);
   // Appends a frame to the connection's write buffer (poll thread only).
   void SendFrame(Conn* conn, FrameType type, const Bytes& payload);
   void SendError(Conn* conn, WireError code, const std::string& message);

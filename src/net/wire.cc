@@ -77,22 +77,23 @@ int ExitCodeForStatus(const Status& status) {
   return 10 + static_cast<int>(WireErrorFromStatus(status.code()));
 }
 
-void AppendFrame(FrameType type, const Bytes& payload, Bytes* out) {
+void AppendFrame(FrameType type, const Bytes& payload, Bytes* out,
+                 uint8_t flags) {
   ByteWriter w;
   w.PutU32(kWireMagic);
   w.PutU8(static_cast<uint8_t>(kWireVersion & 0xFF));
   w.PutU8(static_cast<uint8_t>(kWireVersion >> 8));
   w.PutU8(static_cast<uint8_t>(type));
-  w.PutU8(0);  // flags, reserved in v1
+  w.PutU8(flags);
   w.PutU32(static_cast<uint32_t>(payload.size()));
   out->insert(out->end(), w.bytes().begin(), w.bytes().end());
   out->insert(out->end(), payload.begin(), payload.end());
 }
 
-Bytes EncodeFrame(FrameType type, const Bytes& payload) {
+Bytes EncodeFrame(FrameType type, const Bytes& payload, uint8_t flags) {
   Bytes out;
   out.reserve(kFrameHeaderBytes + payload.size());
-  AppendFrame(type, payload, &out);
+  AppendFrame(type, payload, &out, flags);
   return out;
 }
 
@@ -113,10 +114,17 @@ Status DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out) {
     return Corrupt("unknown frame type");
   }
   if (!(s = r.GetU8(&flags)).ok()) return s;
-  if (flags != 0) return Corrupt("reserved flags set");
+  // The only defined flag is the VO-compression opt-in, and only a query
+  // may carry it; every other bit stays reserved and rejected, so future
+  // capabilities fail loudly instead of being silently ignored.
+  const uint8_t allowed =
+      type == static_cast<uint8_t>(FrameType::kQuery) ? kFrameFlagCompressVo
+                                                      : 0;
+  if ((flags & ~allowed) != 0) return Corrupt("reserved flags set");
   if (!(s = r.GetU32(&len)).ok()) return s;
   if (len > kMaxFramePayload) return Corrupt("frame exceeds size limit");
   out->type = static_cast<FrameType>(type);
+  out->flags = flags;
   out->payload_len = len;
   return Status::Ok();
 }

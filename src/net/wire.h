@@ -9,7 +9,14 @@
 //   0       4     magic        0x49504E31 ("1NPI" on the wire)
 //   4       2     version      1
 //   6       1     frame type   FrameType
-//   7       1     flags        must be 0 in v1 (reserved; nonzero rejected)
+//   7       1     flags        kQuery may set kFrameFlagCompressVo (0x01) =
+//                 "this client understands group-varint-compressed VO
+//                 sections"; every other bit, and any flag on any other
+//                 frame type, must be 0 (rejected). Servers only compress
+//                 for clients that set the flag, so a v1 client that never
+//                 sends it keeps receiving byte-identical uncompressed
+//                 frames — the capability is negotiated per query, not
+//                 versioned.
 //   8       4     payload len  <= kMaxFramePayload
 //   12      len   payload      per-type encoding below
 //
@@ -55,6 +62,9 @@ namespace imageproof::net {
 inline constexpr uint32_t kWireMagic = 0x49504E31;  // "1NPI" on the wire
 inline constexpr uint16_t kWireVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 12;
+// Header flag on kQuery frames: the client opts in to group-varint VO
+// compression (invindex/vo_compress.h). Valid on no other frame type.
+inline constexpr uint8_t kFrameFlagCompressVo = 0x01;
 // Response frames carry the VO plus result image payloads; 64 MiB bounds a
 // hostile length prefix without constraining any realistic deployment.
 inline constexpr size_t kMaxFramePayload = 64u << 20;
@@ -98,13 +108,16 @@ int ExitCodeForStatus(const Status& status);
 
 struct FrameHeader {
   FrameType type = FrameType::kError;
+  uint8_t flags = 0;
   uint32_t payload_len = 0;
 };
 
 // Frame assembly. AppendFrame is the streaming form (write buffers);
-// EncodeFrame the convenience form.
-void AppendFrame(FrameType type, const Bytes& payload, Bytes* out);
-Bytes EncodeFrame(FrameType type, const Bytes& payload);
+// EncodeFrame the convenience form. `flags` must follow the per-type rules
+// above (only kQuery may carry kFrameFlagCompressVo).
+void AppendFrame(FrameType type, const Bytes& payload, Bytes* out,
+                 uint8_t flags = 0);
+Bytes EncodeFrame(FrameType type, const Bytes& payload, uint8_t flags = 0);
 
 // Validates magic, version, reserved flags, length bound, and the type
 // byte. `data` must hold at least kFrameHeaderBytes.

@@ -207,6 +207,30 @@ std::vector<std::vector<float>> GenerateQueryFeatures(
   return out;
 }
 
+ZipfQueryMix::ZipfQueryMix(
+    const ann::PointSet& codebook,
+    const std::vector<std::pair<bovw::ImageId, bovw::BovwVector>>& corpus,
+    const QueryMixParams& params)
+    : zipf_s_(params.zipf_s), rng_(params.seed) {
+  size_t pool_size = params.pool_size == 0 ? 1 : params.pool_size;
+  pool_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    const bovw::BovwVector& source = corpus[i % corpus.size()].second;
+    // Per-entry derived seed so pool entries are distinct even when they
+    // share a source image (pool larger than corpus).
+    pool_.push_back(FeaturesFromBovw(codebook, source, params.num_features,
+                                     params.coord_noise, params.noise_fraction,
+                                     params.seed * 0x9E3779B97F4A7C15ull + i));
+  }
+}
+
+size_t ZipfQueryMix::Draw(Rng& rng) const {
+  if (zipf_s_ <= 0.0) {
+    return static_cast<size_t>(rng.NextBounded(pool_.size()));
+  }
+  return static_cast<size_t>(rng.NextZipf(pool_.size(), zipf_s_));
+}
+
 Bytes GenerateImageBlob(bovw::ImageId id, size_t bytes) {
   Bytes out;
   out.reserve(bytes);

@@ -20,6 +20,7 @@
 #include "ann/points.h"
 #include "bovw/bovw.h"
 #include "common/bytes.h"
+#include "common/random.h"
 
 namespace imageproof::workload {
 
@@ -100,6 +101,58 @@ std::vector<std::vector<float>> GenerateQueryFeatures(
 // Small opaque per-image payloads standing in for raw image files when
 // benchmarking at scales where real pixel data would not fit in memory.
 Bytes GenerateImageBlob(bovw::ImageId id, size_t bytes = 64);
+
+// --- Zipfian serving-traffic mix --------------------------------------------
+//
+// Serving benches (bench/abl_cache, bench/abl_net) need traffic shaped like
+// production retrieval load: a fixed population of queries whose request
+// frequencies are Zipf-distributed, so a handful of hot queries account for
+// most requests while a long tail stays cold. ZipfQueryMix pre-generates a
+// pool of distinct feature-space queries (each derived from a corpus image
+// through FeaturesFromBovw, so they hit real index content) and then draws
+// pool indices Zipf(zipf_s)-distributed. Exact repeats — the same pool
+// entry drawn again — are what an epoch-keyed result cache converts into
+// hits; zipf_s = 0 degenerates to uniform draws for a worst-case-mix
+// control. Everything is seeded: the same params produce the same pool and
+// the same draw sequence.
+
+struct QueryMixParams {
+  size_t pool_size = 64;        // distinct queries in the population
+  size_t num_features = 16;     // features per query
+  double zipf_s = 1.0;          // request-popularity skew; 0 = uniform
+  double coord_noise = 0.3;     // descriptor jitter around codebook centers
+  double noise_fraction = 0.2;  // background (non-source-image) word share
+  uint64_t seed = 7;
+};
+
+class ZipfQueryMix {
+ public:
+  // `corpus` supplies the source images queries are derived from (round-
+  // robin over the pool); must be nonempty, and `codebook` must be the
+  // deployment's codebook so the queries quantize onto indexed words.
+  ZipfQueryMix(
+      const ann::PointSet& codebook,
+      const std::vector<std::pair<bovw::ImageId, bovw::BovwVector>>& corpus,
+      const QueryMixParams& params);
+
+  size_t pool_size() const { return pool_.size(); }
+  const std::vector<std::vector<float>>& query(size_t index) const {
+    return pool_[index];
+  }
+
+  // Draws a pool index from `rng` (rank 0 = hottest). Const and stateless,
+  // so concurrent bench threads each drive their own seeded Rng stream.
+  size_t Draw(Rng& rng) const;
+
+  // Convenience single-threaded stream over the mix's own seeded Rng.
+  size_t NextIndex() { return Draw(rng_); }
+  const std::vector<std::vector<float>>& Next() { return pool_[NextIndex()]; }
+
+ private:
+  std::vector<std::vector<std::vector<float>>> pool_;
+  double zipf_s_;
+  Rng rng_;
+};
 
 }  // namespace imageproof::workload
 

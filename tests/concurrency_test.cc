@@ -289,6 +289,83 @@ TEST(QueryEngineStressTest, UpdatesVersusQueries) {
   }
 }
 
+// Readers hammer a small pool of repeated queries — so the result cache
+// takes hits, racing inserts of the same key, and epoch turnover from the
+// writers — while mixing compressed and raw framing (distinct cache keys)
+// and hitting each snapshot's proof memo from several workers at once.
+// Every response must still verify against the snapshot it was served
+// under. Run under -DIMAGEPROOF_TSAN=ON this is the data-race harness for
+// the cache + memo fast paths.
+TEST(QueryEngineStressTest, CacheAndCompressionUnderUpdates) {
+  EngineFixture fx;
+  core::EngineOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 64;
+  opts.intra_query_threads = 2;
+  opts.cache_capacity = 16;  // small: forces evictions alongside hits
+  core::QueryEngine engine(fx.package, fx.owner.public_params, opts);
+
+  // A pool of 4 hot queries shared by all readers.
+  std::vector<std::vector<std::vector<float>>> pool;
+  for (uint64_t q = 0; q < 4; ++q) {
+    pool.push_back(workload::GenerateQueryFeatures(fx.package->codebook, 10,
+                                                   0.3, 600 + q));
+  }
+
+  std::atomic<int> verify_failures{0};
+  std::atomic<int> update_failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      workload::CorpusParams qp;
+      qp.num_clusters = 128;
+      for (int u = 0; u < 3; ++u) {
+        bovw::ImageId id = 20000 + w * 100 + u;
+        auto ins = engine.InsertImage(
+            fx.owner.private_key, id,
+            workload::GenerateQueryBovw(qp, 20, 700 + w * 10 + u),
+            workload::GenerateImageBlob(id));
+        if (!ins.ok()) ++update_failures;
+      }
+    });
+  }
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      for (int q = 0; q < 10; ++q) {
+        const auto& features = pool[(r + q) % pool.size()];
+        core::SubmitOptions submit;
+        submit.compress_vo = (r + q) % 2 == 0;
+        core::EngineResponse resp = engine.Submit(features, 5, submit).get();
+        if (!resp.ok()) {
+          ++verify_failures;
+          continue;
+        }
+        core::Client client(resp.snapshot->params);
+        if (!client.Verify(features, 5, resp.response.vo).ok()) {
+          ++verify_failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(verify_failures.load(), 0);
+  EXPECT_EQ(update_failures.load(), 0);
+  core::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.in_flight, 0u);
+  if (obs::kMetricsEnabled) {
+    EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+    // Memo counters are per-snapshot (old epochs' memos died with their
+    // snapshots), so force one cold serve against the final epoch before
+    // checking them.
+    auto fresh =
+        workload::GenerateQueryFeatures(fx.package->codebook, 10, 0.3, 650);
+    ASSERT_TRUE(engine.Submit(fresh, 5).get().ok());
+    stats = engine.Stats();
+    EXPECT_GT(stats.memo_builds + stats.memo_hits, 0u);
+  }
+}
+
 TEST(QueryEngineTest, InFlightQueriesKeepTheirSnapshot) {
   EngineFixture fx;
   core::EngineOptions opts;

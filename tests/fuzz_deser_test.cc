@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/random.h"
+#include "common/varint_kernels.h"
 #include "core/client.h"
 #include "core/owner.h"
 #include "core/server.h"
@@ -275,6 +276,151 @@ TEST_F(FuzzDeserTest, MutatedStoreFileNeverCrashes) {
 // Exhaustive single-byte coverage on top of the randomized sweeps: every
 // strict prefix of the VO must be rejected (no truncation point may crash
 // or verify), mirroring the serializer-level cap audit.
+// ---------------------------------------------------------------------------
+// Group-varint coding layer (common/varint_kernels.h): the compressed VO's
+// integer substrate. Canonical round-trip over every small length and the
+// byte-length boundary values, and rejection (kCorrupted, never a wild
+// read) of every truncation.
+// ---------------------------------------------------------------------------
+
+TEST(GroupVarintFuzzTest, RoundTripAllLengthsAndBoundaryValues) {
+  const uint32_t boundaries[] = {0,          1,          0xFFu,      0x100u,
+                                 0xFFFFu,    0x10000u,   0xFFFFFFu,  0x1000000u,
+                                 0xFFFFFFFFu};
+  Rng rng(4242);
+  for (size_t n = 0; n <= 70; ++n) {
+    std::vector<uint32_t> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Mix boundary values with random ones so every 2-bit length code
+      // appears in every quad position across the sweep.
+      values[i] = (rng.NextBounded(2) == 0)
+                      ? boundaries[rng.NextBounded(std::size(boundaries))]
+                      : static_cast<uint32_t>(rng.NextU64());
+    }
+    ByteWriter w;
+    kern::GroupVarintEncode(values.data(), n, w);
+    Bytes encoded = w.Take();
+    EXPECT_EQ(encoded.size(), kern::GroupVarintEncodedBytes(values.data(), n));
+    std::vector<uint32_t> decoded(n, 0xDEADBEEFu);
+    ByteReader r(encoded);
+    ASSERT_TRUE(kern::GroupVarintDecode(r, n, decoded.data()).ok())
+        << "length " << n;
+    EXPECT_EQ(r.remaining(), 0u) << "length " << n;
+    EXPECT_EQ(decoded, values) << "length " << n;
+  }
+}
+
+TEST(GroupVarintFuzzTest, EveryTruncationRejected) {
+  Rng rng(777);
+  std::vector<uint32_t> values(37);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.NextU64());
+  ByteWriter w;
+  kern::GroupVarintEncode(values.data(), values.size(), w);
+  Bytes encoded = w.Take();
+  std::vector<uint32_t> out(values.size());
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    Bytes prefix(encoded.begin(), encoded.begin() + len);
+    ByteReader r(prefix);
+    Status s = kern::GroupVarintDecode(r, values.size(), out.data());
+    EXPECT_FALSE(s.ok()) << "truncation to " << len << " bytes decoded";
+    if (!s.ok()) EXPECT_EQ(s.code(), StatusCode::kCorrupted);
+  }
+}
+
+// Exhaustive single-bit-flip scan over a complete compressed VO: every
+// flipped bit must yield a parse error or a verification failure — or, if
+// it verifies (e.g. a bit with no semantic weight), the verified results
+// must be identical to the honest ones. A flip may never be silently
+// accepted with different results.
+TEST_F(FuzzDeserTest, CompressedVoExhaustiveBitFlipScan) {
+  core::ServiceProvider sp(owner_.package.get());
+  core::ServeOptions serve;
+  serve.compress_vo = true;
+  core::QueryResponse resp;
+  core::QueryControl control;
+  ASSERT_TRUE(sp.Query(features_, 3, core::QueryParallelism{}, control, serve,
+                       &resp)
+                  .ok());
+  Bytes honest = resp.vo.Serialize();
+  core::Client client(owner_.public_params);
+  auto honest_verified = client.Verify(features_, 3, resp.vo);
+  ASSERT_TRUE(honest_verified.ok());
+  std::vector<bovw::ImageId> honest_ids;
+  for (const auto& si : honest_verified->topk) honest_ids.push_back(si.id);
+
+  size_t rejected = 0, neutral = 0;
+  for (size_t byte = 0; byte < honest.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutant = honest;
+      mutant[byte] ^= static_cast<uint8_t>(1u << bit);
+      core::QueryVO vo;
+      if (!core::QueryVO::Deserialize(mutant, &vo).ok()) {
+        ++rejected;
+        continue;
+      }
+      auto verified = client.Verify(features_, 3, vo);
+      if (!verified.ok()) {
+        ++rejected;
+        continue;
+      }
+      ++neutral;
+      std::vector<bovw::ImageId> ids;
+      for (const auto& si : verified->topk) ids.push_back(si.id);
+      EXPECT_EQ(ids, honest_ids)
+          << "bit " << bit << " of byte " << byte
+          << " verified with different results";
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Nearly every bit of the VO is digest- or structure-bound; a handful of
+  // semantically-inert bits (e.g. image payload bytes are covered by their
+  // own signatures, so this stays 0 in practice) may verify identically,
+  // but they can never be the majority.
+  EXPECT_LT(neutral, rejected / 100 + 8);
+}
+
+TEST_F(FuzzDeserTest, MutatedCompressedVoNeverCrashes) {
+  core::ServiceProvider sp(owner_.package.get());
+  core::ServeOptions serve;
+  serve.compress_vo = true;
+  core::QueryResponse resp;
+  core::QueryResponse foreign_resp;
+  core::QueryControl control;
+  ASSERT_TRUE(sp.Query(features_, 3, core::QueryParallelism{}, control, serve,
+                       &resp)
+                  .ok());
+  auto foreign_features =
+      workload::GenerateQueryFeatures(owner_.package->codebook, 6, 0.3, 92);
+  ASSERT_TRUE(sp.Query(foreign_features, 3, core::QueryParallelism{}, control,
+                       serve, &foreign_resp)
+                  .ok());
+  Bytes compressed = resp.vo.Serialize();
+  Bytes foreign = foreign_resp.vo.Serialize();
+
+  Rng rng(505);
+  core::Client client(owner_.public_params);
+  size_t parsed = 0, rejected = 0;
+  const size_t iters = FuzzIters() / 3;
+  for (size_t t = 0; t < iters; ++t) {
+    Bytes mutant = Mutate(compressed, foreign, rng);
+    core::QueryVO vo;
+    Status s = core::QueryVO::Deserialize(mutant, &vo);
+    if (!s.ok()) {
+      ++rejected;
+      EXPECT_EQ(s.code(), StatusCode::kCorrupted)
+          << "iteration " << t << ": " << s.message();
+      continue;
+    }
+    ++parsed;
+    auto verified = client.Verify(features_, 3, vo);
+    if (mutant == compressed) {
+      EXPECT_TRUE(verified.ok());
+    }
+  }
+  EXPECT_GT(rejected, iters / 10);
+  EXPECT_GT(parsed, 0u);
+}
+
 TEST_F(FuzzDeserTest, EveryVoPrefixRejectedCleanly) {
   core::Client client(owner_.public_params);
   for (size_t len = 0; len < vo_bytes_.size(); ++len) {

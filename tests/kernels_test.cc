@@ -27,6 +27,7 @@
 #include "ann/points.h"
 #include "ann/rkd_forest.h"
 #include "common/random.h"
+#include "common/varint_kernels.h"
 #include "core/owner.h"
 #include "core/server.h"
 #include "workload/synthetic.h"
@@ -175,6 +176,61 @@ TEST(KernelsTest, Avx2MatchesPortableBitExact) {
       EXPECT_TRUE(BitEqual(portable.squared_norm(a.data(), n),
                            avx2->squared_norm(a.data(), n)))
           << "squared_norm n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(GroupVarintKernelTest, Avx2MatchesPortableBitExact) {
+  kern::internal::GroupVarintDecodeFn avx2 =
+      kern::internal::GroupVarintDecodeAvx2();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 path not available in this build";
+  Rng rng(303);
+  const uint32_t boundaries[] = {0, 1, 0xFFu, 0x100u, 0xFFFFu, 0x10000u,
+                                 0xFFFFFFu, 0x1000000u, 0xFFFFFFFFu};
+  for (size_t n : {0u, 1u, 3u, 4u, 5u, 15u, 16u, 17u, 64u, 333u, 4096u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<uint32_t> values(n);
+      for (auto& v : values) {
+        v = (rng.NextBounded(2) == 0)
+                ? boundaries[rng.NextBounded(std::size(boundaries))]
+                : static_cast<uint32_t>(rng.NextU64());
+      }
+      ByteWriter w;
+      kern::GroupVarintEncode(values.data(), n, w);
+      // Trailing garbage after the block: the AVX2 fast path may look at
+      // (but never consume) bytes past the block while 16 bytes remain, and
+      // both decoders must still stop at exactly the block boundary.
+      Bytes encoded = w.Take();
+      size_t block = encoded.size();
+      for (int g = 0; g < 24; ++g) {
+        encoded.push_back(static_cast<uint8_t>(rng.NextU64()));
+      }
+
+      std::vector<uint32_t> portable_out(n + 1, 0xA5A5A5A5u);
+      std::vector<uint32_t> avx2_out(n + 1, 0x5A5A5A5Au);
+      ByteReader pr(encoded);
+      ByteReader ar(encoded);
+      ASSERT_TRUE(kern::internal::GroupVarintDecodePortable(pr, n,
+                                                            portable_out.data())
+                      .ok());
+      ASSERT_TRUE(avx2(ar, n, avx2_out.data()).ok());
+      EXPECT_EQ(pr.remaining(), encoded.size() - block) << "n=" << n;
+      EXPECT_EQ(ar.remaining(), encoded.size() - block) << "n=" << n;
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(portable_out[i], avx2_out[i]) << "n=" << n << " i=" << i;
+      }
+
+      // Truncations: both paths must agree on rejection too.
+      for (size_t len = 0; len < block; len += (block / 7) + 1) {
+        Bytes prefix(encoded.begin(), encoded.begin() + len);
+        ByteReader tp(prefix);
+        ByteReader ta(prefix);
+        Status sp = kern::internal::GroupVarintDecodePortable(
+            tp, n, portable_out.data());
+        Status sa = avx2(ta, n, avx2_out.data());
+        EXPECT_EQ(sp.ok(), sa.ok()) << "n=" << n << " len=" << len;
+        if (n > 0) EXPECT_FALSE(sp.ok()) << "n=" << n << " len=" << len;
+      }
     }
   }
 }

@@ -473,6 +473,56 @@ TEST_F(EngineAdversaryTest, TamperMatrixRejected) {
   }
 }
 
+TEST_F(EngineAdversaryTest, MemoizedProofsByteIdenticalAndTamperEvident) {
+  // honest_ was served through the engine, i.e. with the per-snapshot proof
+  // memo feeding MRKD leaf runs and (in dim-Merkle mode) coordinate-block
+  // trees. The memo must be invisible: a memoless serial serve produces the
+  // same bytes, and the memo'd proof sections stay as tamper-evident as
+  // cold ones.
+  core::ServiceProvider cold_sp(package_.get());
+  Bytes cold = cold_sp.Query(features_, 5).vo.Serialize();
+  EXPECT_EQ(honest_.response.vo.Serialize(), cold);
+
+  // Flip one byte in each memo-fed proof section; every mutant must be
+  // rejected (parse failure or digest mismatch — never acceptance).
+  for (size_t t = 0; t < honest_.response.vo.tree_vos.size(); ++t) {
+    core::QueryVO tampered = honest_.response.vo;
+    Bytes& stream = tampered.tree_vos[t];
+    ASSERT_FALSE(stream.empty());
+    stream[stream.size() / 2] ^= 0x10;
+    EXPECT_FALSE(Accepts(tampered)) << "tree_vos[" << t << "]";
+  }
+  core::QueryVO tampered = honest_.response.vo;
+  ASSERT_FALSE(tampered.reveal_section.empty());
+  tampered.reveal_section[tampered.reveal_section.size() / 3] ^= 0x04;
+  EXPECT_FALSE(Accepts(tampered)) << "reveal_section";
+}
+
+TEST_F(EngineAdversaryTest, CompressedResponseTamperRejected) {
+  core::SubmitOptions compressed;
+  compressed.compress_vo = true;
+  core::EngineResponse resp = engine_->Submit(features_, 5, compressed).get();
+  ASSERT_TRUE(resp.ok());
+  // The compressed framing verifies as-is (the hardened parsers decode the
+  // group-varint sections before any digest is checked) ...
+  ASSERT_TRUE(Accepts(resp.response.vo));
+  // ... and every byte of the compressed inv section is load-bearing: the
+  // decoded values feed digest reconstruction, so flips surface as parse
+  // errors or digest mismatches, never different accepted results.
+  const Bytes& inv = resp.response.vo.inv_vo;
+  ASSERT_FALSE(inv.empty());
+  size_t step = std::max<size_t>(1, inv.size() / 256);
+  for (size_t pos = 0; pos < inv.size(); pos += step) {
+    core::QueryVO tampered = resp.response.vo;
+    tampered.inv_vo[pos] ^= 0x01;
+    EXPECT_FALSE(Accepts(tampered)) << "compressed inv_vo byte " << pos;
+  }
+  // Truncation of the compressed stream is kCorrupted territory, not UB.
+  core::QueryVO truncated = resp.response.vo;
+  truncated.inv_vo.resize(truncated.inv_vo.size() / 2);
+  EXPECT_FALSE(Accepts(truncated));
+}
+
 TEST_F(EngineAdversaryTest, TruncatedSerializedVoRejected) {
   // A network- or SP-truncated VO: every strict prefix of the serialized
   // honest response must be rejected with a specific error — either the
