@@ -1,0 +1,428 @@
+// Closed-loop chaos soak for the whole serving stack: a live QueryEngine
+// with disk persistence, epoch GC, and background scrubbing, served over
+// TCP, driven by retrying clients and an owner update stream — while a
+// chaos thread drains and restarts the server on the same port, the fault
+// injector resets connections at frame boundaries, and scripted
+// storage.scrub.bitflip firings force quarantine + roll-forward cycles.
+//
+// The run is an invariant harness, not a throughput figure:
+//
+//   1. Every VO a client accepts came through Client::Verify (NetClient
+//      verifies internally); a query that fails with kError or kCorrupted
+//      is a soak FAILURE — no failure mode may surface unverifiable bytes.
+//   2. Every query eventually succeeds: drain/restart windows and fault
+//      resets must be absorbed by the retry taxonomy, so an operation that
+//      stays failed after in-harness re-issue is a FAILURE.
+//   3. Engine counters are monotonic across drains, restarts, and
+//      rollbacks (sampled continuously).
+//   4. RSS stays bounded: the end-of-run resident set must not exceed
+//      2x the post-warmup value plus slack — restarts and rollbacks must
+//      not leak.
+//
+//   soak [--seconds N] [--smoke] [--json <path>]
+//
+// --smoke (CI) runs a reduced deployment for ~20s; the default is 300s and
+// nightly passes --seconds 600. Exit code 0 = all invariants held.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/fault.h"
+#include "core/query_engine.h"
+#include "net/retry.h"
+#include "net/server.h"
+#include "storage/package_store.h"
+
+using namespace imageproof;
+using namespace imageproof::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Zipf-ish rank: u^3 concentrates mass on low ranks, which is enough skew
+// to keep the epoch-keyed result cache and the proof memo hot.
+size_t ZipfRank(uint64_t* state, size_t n) {
+  const double u =
+      static_cast<double>(SplitMix64(state) >> 11) / 9007199254740992.0;
+  return std::min(n - 1, static_cast<size_t>(u * u * u * n));
+}
+
+double RssMb() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  double kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::atof(line + 6);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb / 1024.0;
+}
+
+struct SoakState {
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> queries_ok{0};
+  std::atomic<uint64_t> query_reissues{0};  // harness-level re-issues (inv 2)
+  std::atomic<uint64_t> updates_applied{0};
+  std::atomic<uint64_t> updates_unavailable{0};
+  std::atomic<uint64_t> restarts{0};
+
+  void Fail(const char* invariant, const Status& s) {
+    std::fprintf(stderr, "soak: INVARIANT VIOLATED (%s): [%s] %s\n",
+                 invariant, StatusCodeToString(s.code()),
+                 s.message().c_str());
+    failed.store(true, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // BenchReport::Init rejects flags it does not know, so strip --seconds
+  // before handing the rest through.
+  int seconds = 0;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atoi(argv[++i]);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  InitBench(static_cast<int>(passthrough.size()), passthrough.data(), "soak");
+  const bool smoke = SmokeMode();
+  if (seconds <= 0) seconds = smoke ? 20 : 300;
+
+  std::printf("soak: %ds%s — chaos: drain/restart + net.conn.reset + "
+              "storage.scrub.bitflip\n",
+              seconds, smoke ? " (smoke)" : "");
+
+  const std::string dir =
+      "/tmp/imageproof_soak_" + std::to_string(::getpid());
+  (void)system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+
+  core::Config config = core::Config::ImageProof();
+  config.rsa_bits = 512;
+  workload::CorpusParams cp;
+  cp.num_images = smoke ? 200 : 600;
+  cp.num_clusters = 128;
+  cp.seed = 42;
+  auto corpus = workload::GenerateCorpus(cp);
+  std::unordered_map<bovw::ImageId, Bytes> blobs;
+  for (const auto& [id, v] : corpus) blobs[id] = workload::GenerateImageBlob(id);
+  workload::CodebookParams cbp;
+  cbp.num_clusters = 128;
+  cbp.dims = 8;
+  cbp.seed = 43;
+  core::OwnerOutput owner = core::BuildDeployment(
+      config, workload::GenerateCodebook(cbp), std::move(corpus),
+      std::move(blobs));
+  auto package = std::shared_ptr<const core::SpPackage>(std::move(owner.package));
+
+  core::EngineOptions eo;
+  eo.num_workers = 4;
+  eo.persist_dir = dir;
+  eo.retain_epochs = 4;
+  eo.scrub_interval = std::chrono::milliseconds(smoke ? 150 : 400);
+  core::QueryEngine engine(package, owner.public_params, eo);
+
+  // Publish epoch 1 up front so the scrubber has a CURRENT from second one.
+  {
+    auto seed_ins =
+        engine.InsertImage(owner.private_key, 9'000'000,
+                           package->corpus[0].second,
+                           workload::GenerateImageBlob(9'000'000));
+    if (!seed_ins.ok()) {
+      std::fprintf(stderr, "soak: seed insert failed: %s\n",
+                   seed_ins.status().message().c_str());
+      return FinishBench(1);
+    }
+  }
+
+  // Chaos faults. Connection resets are probabilistic background noise;
+  // scrub bit flips are scripted digest-computation indices so the run gets
+  // a bounded number of quarantine + roll-forward cycles instead of a
+  // rollback storm.
+  auto& fi = fault::FaultInjector::Global();
+  fi.ArmProbability("net.conn.reset", 0.01, 0xC0FFEE);
+  {
+    std::vector<uint64_t> flips;
+    for (int i = 0; i < (smoke ? 2 : 6); ++i) {
+      flips.push_back(static_cast<uint64_t>(60 + 450 * i));
+    }
+    fi.ArmHits("storage.scrub.bitflip", std::move(flips));
+  }
+
+  std::mutex server_mu;
+  std::unique_ptr<net::NetServer> server;
+  auto start_server = [&](uint16_t port) -> Status {
+    auto s = std::make_unique<net::NetServer>(
+        &engine, net::ServerOptions{"127.0.0.1", port, 64});
+    s->EnableUpdates(&owner.private_key);
+    Status st = s->Start();
+    if (st.ok()) {
+      std::lock_guard<std::mutex> lock(server_mu);
+      server = std::move(s);
+    }
+    return st;
+  };
+  if (Status st = start_server(0); !st.ok()) {
+    std::fprintf(stderr, "soak: server start failed: %s\n",
+                 st.message().c_str());
+    return FinishBench(1);
+  }
+  const uint16_t port = server->port();
+  std::printf("soak: serving on 127.0.0.1:%u, persist dir %s\n", port,
+              dir.c_str());
+
+  SoakState state;
+  const auto deadline = Clock::now() + std::chrono::seconds(seconds);
+  std::atomic<bool> stop{false};
+
+  // --- query clients -----------------------------------------------------
+  const int kClients = 4;
+  std::vector<net::RetryingClient> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    net::RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.base_backoff = std::chrono::milliseconds(5);
+    policy.max_backoff = std::chrono::milliseconds(250);
+    policy.seed = 0xABCD'0000ULL + static_cast<uint64_t>(c);
+    clients.emplace_back("127.0.0.1", port, owner.public_params, policy);
+  }
+  std::vector<std::thread> query_threads;
+  for (int c = 0; c < kClients; ++c) {
+    query_threads.emplace_back([&, c] {
+      uint64_t rng = 0xFEED'0000ULL + static_cast<uint64_t>(c);
+      while (!stop.load(std::memory_order_acquire) && Clock::now() < deadline) {
+        const size_t rank = ZipfRank(&rng, package->corpus.size());
+        auto features = workload::FeaturesFromBovw(
+            package->codebook, package->corpus[rank].second, 8, 0.25, 0.2,
+            SplitMix64(&rng));
+        // Invariant 2: the operation must EVENTUALLY succeed. The client
+        // already retries; if it exhausts its attempts during a long drain
+        // window the harness re-issues, and only a non-retryable failure
+        // (taxonomy says: verification/corruption) fails the soak.
+        for (;;) {
+          auto r = clients[c].Query(features, 5, /*deadline_ms=*/30000);
+          if (r.ok()) {
+            state.queries_ok.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          if (!net::IsRetryableStatus(r.status())) {
+            state.Fail("every served VO verifies", r.status());
+            return;
+          }
+          if (Clock::now() >= deadline) return;
+          state.query_reissues.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
+  // --- owner update stream ----------------------------------------------
+  std::thread update_thread([&] {
+    net::RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.base_backoff = std::chrono::milliseconds(10);
+    policy.max_backoff = std::chrono::milliseconds(250);
+    net::RetryingClient updater("127.0.0.1", port, owner.public_params,
+                                policy);
+    uint64_t rng = 0x5EED;
+    uint64_t next_id = 10'000'000;
+    std::vector<uint64_t> live;  // acked inserts eligible for deletion
+    while (!stop.load(std::memory_order_acquire) && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 150 : 300));
+      const bool do_delete = !live.empty() && (SplitMix64(&rng) & 3) == 0;
+      Result<net::UpdateAck> ack = Status::Error("unset");
+      if (do_delete) {
+        const size_t pick = SplitMix64(&rng) % live.size();
+        ack = updater.Delete(live[pick]);
+        if (ack.ok()) live.erase(live.begin() + static_cast<long>(pick));
+      } else {
+        const uint64_t id = next_id++;
+        const auto& src =
+            package->corpus[SplitMix64(&rng) % package->corpus.size()].second;
+        ack = updater.Insert(id, src, workload::GenerateImageBlob(id));
+        if (ack.ok()) live.push_back(id);
+      }
+      if (ack.ok()) {
+        state.updates_applied.fetch_add(1, std::memory_order_relaxed);
+      } else if (ack.status().code() == StatusCode::kCorrupted) {
+        state.Fail("update stream never sees corruption", ack.status());
+        return;
+      } else {
+        // kUnavailable mid-drain ("unknown whether applied") and kError
+        // after a roll-forward un-applied an acked update are both legal
+        // outcomes of chaos; the stream carries on with fresh ids.
+        state.updates_unavailable.fetch_add(1, std::memory_order_relaxed);
+        if (ack.status().code() != StatusCode::kUnavailable) live.clear();
+      }
+    }
+  });
+
+  // --- monotonic-metrics sampler (invariant 3) ---------------------------
+  std::thread monotonic_thread([&] {
+    core::EngineStats prev = engine.Stats();
+    while (!stop.load(std::memory_order_acquire) && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      core::EngineStats now = engine.Stats();
+      const bool ok = now.queries_served >= prev.queries_served &&
+                      now.updates_applied >= prev.updates_applied &&
+                      now.scrub_passes >= prev.scrub_passes &&
+                      now.epoch_rollbacks >= prev.epoch_rollbacks &&
+                      now.epochs_gced >= prev.epochs_gced &&
+                      now.snapshot_version >= prev.snapshot_version;
+      if (!ok) {
+        state.Fail("engine counters monotonic",
+                   Status::Error("a counter or the snapshot version moved "
+                                 "backwards across a restart or rollback"));
+        return;
+      }
+      prev = now;
+    }
+  });
+
+  // --- chaos: drain + restart on the same port ---------------------------
+  std::thread chaos_thread([&] {
+    uint64_t rng = 0xDEAD;
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto nap =
+          std::chrono::milliseconds(smoke ? 2500 : 4000 + (SplitMix64(&rng) % 3000));
+      const auto wake = Clock::now() + nap;
+      while (Clock::now() < wake) {
+        if (stop.load(std::memory_order_acquire) || Clock::now() >= deadline) {
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::unique_ptr<net::NetServer> old;
+      {
+        std::lock_guard<std::mutex> lock(server_mu);
+        old = std::move(server);
+      }
+      if (!old) return;
+      old->Drain(std::chrono::seconds(10));
+      old.reset();
+      if (Status st = start_server(port); !st.ok()) {
+        state.Fail("server restarts on the same port", st);
+        return;
+      }
+      state.restarts.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Warmup RSS reference once traffic is flowing.
+  std::this_thread::sleep_for(std::chrono::seconds(std::min(5, seconds / 4)));
+  const double rss_warm = RssMb();
+
+  for (auto& t : query_threads) t.join();
+  update_thread.join();
+  monotonic_thread.join();
+  stop.store(true, std::memory_order_release);
+  chaos_thread.join();
+  const double rss_end = RssMb();
+  {
+    std::lock_guard<std::mutex> lock(server_mu);
+    if (server) server->Stop();
+  }
+  core::EngineStats es = engine.Stats();
+  auto cur = storage::PackageStore::CurrentEpoch(dir);
+  engine.Shutdown();
+  fi.DisarmAll();
+
+  // Invariant 4: bounded memory. Generous bound — the point is catching a
+  // leak per restart/rollback cycle, not sizing the heap.
+  if (rss_end > rss_warm * 2.0 + 256.0) {
+    state.Fail("RSS bounded",
+               Status::Error("RSS grew from " + std::to_string(rss_warm) +
+                             " MB to " + std::to_string(rss_end) + " MB"));
+  }
+  // The chaos schedule must actually have exercised the machinery.
+  if (state.restarts.load() == 0) {
+    state.Fail("chaos ran", Status::Error("no drain/restart cycle happened"));
+  }
+  if (es.scrub_passes == 0) {
+    state.Fail("chaos ran", Status::Error("scrubber never ran"));
+  }
+
+  uint64_t retries = 0, reconnects = 0, exhausted = 0;
+  for (const auto& c : clients) {
+    retries += c.stats().retries;
+    reconnects += c.stats().reconnects;
+    exhausted += c.stats().exhausted;
+  }
+
+  const bool failed = state.failed.load(std::memory_order_acquire);
+  std::printf(
+      "soak: %s\n"
+      "  queries ok            %llu (retries %llu, reconnects %llu, "
+      "exhausted->reissued %llu)\n"
+      "  updates applied       %llu (chaos-swallowed %llu)\n"
+      "  drain/restart cycles  %llu\n"
+      "  scrub passes          %llu (corruptions %llu, quarantined %llu, "
+      "rollbacks %llu)\n"
+      "  epochs gced           %llu, final epoch %llu, RSS %.1f -> %.1f MB\n",
+      failed ? "FAILED" : "all invariants held",
+      static_cast<unsigned long long>(state.queries_ok.load()),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(reconnects),
+      static_cast<unsigned long long>(exhausted),
+      static_cast<unsigned long long>(state.updates_applied.load()),
+      static_cast<unsigned long long>(state.updates_unavailable.load()),
+      static_cast<unsigned long long>(state.restarts.load()),
+      static_cast<unsigned long long>(es.scrub_passes),
+      static_cast<unsigned long long>(es.scrub_corruptions),
+      static_cast<unsigned long long>(es.epochs_quarantined),
+      static_cast<unsigned long long>(es.epoch_rollbacks),
+      static_cast<unsigned long long>(es.epochs_gced),
+      static_cast<unsigned long long>(cur.ok() ? *cur : 0), rss_warm,
+      rss_end);
+
+  auto& report = BenchReport::Global();
+  report.AddValue("soak.seconds", seconds);
+  report.AddValue("soak.queries_ok",
+                  static_cast<double>(state.queries_ok.load()));
+  report.AddValue("soak.qps",
+                  static_cast<double>(state.queries_ok.load()) / seconds);
+  report.AddValue("soak.retries", static_cast<double>(retries));
+  report.AddValue("soak.reconnects", static_cast<double>(reconnects));
+  report.AddValue("soak.reissues",
+                  static_cast<double>(state.query_reissues.load()));
+  report.AddValue("soak.updates_applied",
+                  static_cast<double>(state.updates_applied.load()));
+  report.AddValue("soak.restarts", static_cast<double>(state.restarts.load()));
+  report.AddValue("soak.scrub_passes", static_cast<double>(es.scrub_passes));
+  report.AddValue("soak.scrub_corruptions",
+                  static_cast<double>(es.scrub_corruptions));
+  report.AddValue("soak.rollbacks", static_cast<double>(es.epoch_rollbacks));
+  report.AddValue("soak.epochs_gced", static_cast<double>(es.epochs_gced));
+  report.AddValue("soak.rss_warm_mb", rss_warm);
+  report.AddValue("soak.rss_end_mb", rss_end);
+  report.AddJson("engine", engine.MetricsSnapshot());
+
+  (void)system(("rm -rf " + dir).c_str());
+  return FinishBench(failed ? 1 : 0);
+}

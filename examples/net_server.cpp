@@ -12,6 +12,11 @@
 // the wire, and a re-query that must verify under the re-signed root. Exits
 // nonzero if any step (above all Client::Verify) fails.
 
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -31,6 +36,17 @@ int Fail(const char* step, const Status& status) {
   std::printf("net_server: %s failed: [%s] %s\n", step,
               StatusCodeToString(status.code()), status.message().c_str());
   return net::ExitCodeForStatus(status);
+}
+
+// Self-pipe for SIGTERM/SIGINT: the handler only writes a byte; the serve
+// loop polls the read end alongside stdin and turns it into a graceful
+// Drain() — in-flight queries finish and flush, new frames get a clean
+// kUnavailable error, then the listener closes.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void OnShutdownSignal(int) {
+  const char byte = 1;
+  (void)!::write(g_signal_pipe[1], &byte, 1);
 }
 
 int ServeDir(const std::string& dir, uint16_t port) {
@@ -72,11 +88,45 @@ int ServeDir(const std::string& dir, uint16_t port) {
   std::printf("net_server: serving %s on 127.0.0.1:%u (updates %s)\n",
               dir.c_str(), server.port(), updates ? "enabled" : "disabled");
   std::fflush(stdout);
-  // Park until stdin closes — lets a shell script stop us with `echo | ...`
-  // or ctrl-D, without signal handling.
-  for (int c; (c = std::getchar()) != EOF;) {
+  // Park until stdin closes (lets a shell script stop us with `echo | ...`
+  // or ctrl-D) or SIGTERM/SIGINT arrives via the self-pipe. EOF stops hard;
+  // a signal drains first so connected clients see a graceful goodbye.
+  if (::pipe(g_signal_pipe) == 0) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = OnShutdownSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
   }
-  server.Stop();
+  bool drain = false;
+  for (;;) {
+    struct pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0},
+                            {g_signal_pipe[0], POLLIN, 0}};
+    const int nfds = g_signal_pipe[0] >= 0 ? 2 : 1;
+    if (::poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (nfds == 2 && (fds[1].revents & POLLIN) != 0) {
+      drain = true;
+      break;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP)) != 0) {
+      char buf[256];
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+      if (n <= 0) break;  // EOF: stop without drain (old behaviour)
+    }
+  }
+  if (drain) {
+    std::printf("net_server: draining...\n");
+    std::fflush(stdout);
+    server.Drain();
+    std::printf("net_server: drained, %llu frames rejected while draining\n",
+                static_cast<unsigned long long>(
+                    server.counters().frames_rejected_draining));
+  } else {
+    server.Stop();
+  }
   return 0;
 }
 

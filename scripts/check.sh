@@ -14,6 +14,9 @@
 #   scripts/check.sh --asan     # AddressSanitizer+UBSan build (build-asan/)
 #   scripts/check.sh --tsan     # ThreadSanitizer build (build-tsan/), runs
 #                               # the concurrency + obs suites under TSan
+#   scripts/check.sh --soak     # additionally run the chaos soak smoke
+#                               # (bench/soak --smoke, ~20 s; SOAK_SECONDS=N
+#                               # overrides the duration)
 #   scripts/check.sh --lint     # clang-format --dry-run --Werror over all
 #                               # first-party sources (no build)
 set -euo pipefail
@@ -76,7 +79,19 @@ else
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error
 fi
 
-if [[ "$MODE" == "" || "$MODE" == "--bench" || "$MODE" == "--metrics" ]]; then
+if [[ "$MODE" == "--soak" ]]; then
+  echo "--- chaos soak ---"
+  REPORT_DIR="$BUILD_DIR/bench-reports"
+  mkdir -p "$REPORT_DIR"
+  SOAK_ARGS=(--smoke)
+  [[ -n "${SOAK_SECONDS:-}" ]] && SOAK_ARGS+=(--seconds "$SOAK_SECONDS")
+  "./$BUILD_DIR/bench/soak" "${SOAK_ARGS[@]}" \
+    --json "$REPORT_DIR/BENCH_soak.json" || fail "soak exited $?"
+  python3 scripts/bench_delta.py \
+    "$REPORT_DIR/BENCH_soak.json" BENCH_soak.json || true
+fi
+
+if [[ "$MODE" == "" || "$MODE" == "--soak" || "$MODE" == "--bench" || "$MODE" == "--metrics" ]]; then
   echo "--- examples ---"
   for ex in quickstart tamper_detection vo_breakdown image_pipeline \
             deployment_cli net_server; do

@@ -22,10 +22,17 @@
 //   storage.file.short_write     tear an atomic file write partway through
 //   storage.file.fsync_fail      fail the pre-rename data fsync
 //   storage.file.rename_fail     drop the atomic-rename publish step
+//   storage.scrub.bitflip        corrupt a digest the epoch scrubber computes
 //   engine.update.clone          fail the snapshot clone outright
 //   engine.update.sign           corrupt the freshly signed root signature
 //   engine.update.latency        sleep inside the update critical section
 //   engine.query.latency         sleep inside Serve() (overload tests)
+//   net.conn.reset               server drops a connection at a frame boundary
+//
+// Arming validates the site name against this wired set (plus any sites a
+// test explicitly RegisterSite()s): a typo in a chaos config would
+// otherwise arm a site nothing ever fires, silently disabling the fault it
+// was meant to inject. Unknown names abort with the known list.
 
 #ifndef IMAGEPROOF_COMMON_FAULT_H_
 #define IMAGEPROOF_COMMON_FAULT_H_
@@ -34,8 +41,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +53,18 @@
 #include "common/bytes.h"
 
 namespace imageproof::fault {
+
+// Every site compiled into production code paths. Keep in lockstep with the
+// call sites; ArmX() on a name outside this list (and outside the
+// test-registered extras) aborts the process.
+inline constexpr const char* kWiredSites[] = {
+    "storage.serialize.bitflip", "storage.serialize.truncate",
+    "storage.file.short_write",  "storage.file.fsync_fail",
+    "storage.file.rename_fail",  "storage.scrub.bitflip",
+    "engine.update.clone",       "engine.update.sign",
+    "engine.update.latency",     "engine.query.latency",
+    "net.conn.reset",
+};
 
 class FaultInjector {
  public:
@@ -59,10 +81,19 @@ class FaultInjector {
     enabled_.store(false, std::memory_order_relaxed);
   }
 
+  // Admits a site name outside kWiredSites for the lifetime of the process
+  // (survives DisarmAll — registration is vocabulary, not armed state).
+  // Unit tests use this for synthetic sites; production code never should.
+  void RegisterSite(const std::string& site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    extra_sites_.insert(site);
+  }
+
   // Fires with probability `p` on each hit, drawn from a deterministic
   // per-site stream seeded with `seed`.
   void ArmProbability(const std::string& site, double p, uint64_t seed) {
     std::lock_guard<std::mutex> lock(mu_);
+    MustBeKnown(site);
     SiteState& s = sites_[site];
     s.mode = Mode::kProbability;
     s.probability = p;
@@ -74,6 +105,7 @@ class FaultInjector {
   // "fail the second clone, then recover").
   void ArmHits(const std::string& site, std::vector<uint64_t> hit_indices) {
     std::lock_guard<std::mutex> lock(mu_);
+    MustBeKnown(site);
     SiteState& s = sites_[site];
     s.mode = Mode::kScripted;
     s.scripted_hits = std::move(hit_indices);
@@ -83,6 +115,7 @@ class FaultInjector {
   // Fires on every hit.
   void ArmAlways(const std::string& site) {
     std::lock_guard<std::mutex> lock(mu_);
+    MustBeKnown(site);
     sites_[site].mode = Mode::kAlways;
     enabled_.store(true, std::memory_order_relaxed);
   }
@@ -90,6 +123,7 @@ class FaultInjector {
   // Arms a latency site: InjectLatency(site) sleeps this long per firing.
   void ArmLatencyMs(const std::string& site, uint32_t ms) {
     std::lock_guard<std::mutex> lock(mu_);
+    MustBeKnown(site);
     SiteState& s = sites_[site];
     s.mode = Mode::kAlways;
     s.latency_ms = ms;
@@ -155,6 +189,25 @@ class FaultInjector {
  private:
   enum class Mode : uint8_t { kOff, kAlways, kProbability, kScripted };
 
+  // Called under mu_ by every Arm variant. Aborting (rather than returning
+  // a Status) is deliberate: arming happens in test/chaos setup, and a
+  // config that arms a nonexistent site is a broken experiment — running on
+  // with the fault silently disabled is the failure mode this guards.
+  void MustBeKnown(const std::string& site) const {
+    for (const char* wired : kWiredSites) {
+      if (site == wired) return;
+    }
+    if (extra_sites_.count(site) != 0) return;
+    std::fprintf(stderr, "fault: unknown site '%s'; wired sites are:\n",
+                 site.c_str());
+    for (const char* wired : kWiredSites) {
+      std::fprintf(stderr, "  %s\n", wired);
+    }
+    std::fprintf(stderr,
+                 "(tests may admit extra sites with RegisterSite())\n");
+    std::abort();
+  }
+
   struct SiteState {
     Mode mode = Mode::kOff;
     double probability = 0;
@@ -181,6 +234,7 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   std::map<std::string, SiteState> sites_;
+  std::set<std::string> extra_sites_;
   std::atomic<bool> enabled_{false};
 };
 

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <thread>
 
+#include <cstdio>
+
 #include "common/fault.h"
 #include "core/proof_memo.h"
 #include "crypto/rsa.h"
 #include "obs/registry.h"
+#include "storage/epoch_janitor.h"
 #include "storage/package_store.h"
 #include "storage/serializer.h"
 
@@ -28,12 +31,32 @@ QueryEngine::QueryEngine(std::shared_ptr<const SpPackage> package,
   snap->version = options.initial_version;
   snap->memo = std::make_shared<const ProofMemo>(*snap->package);
   snapshot_ = std::move(snap);
+  if (!options_.persist_dir.empty()) {
+    epoch_params_[snapshot_->version] = snapshot_->params;
+    if (options_.retain_epochs > 0 || options_.scrub_interval.count() > 0) {
+      storage::JanitorOptions jo;
+      jo.dir = options_.persist_dir;
+      jo.retain_epochs = options_.retain_epochs;
+      jo.scrub = options_.scrub_interval.count() > 0;
+      // GC-only configurations still need a thread cadence.
+      jo.scrub_interval = jo.scrub ? options_.scrub_interval
+                                   : std::chrono::milliseconds(1000);
+      jo.scrub_bytes_per_sec = options_.scrub_bytes_per_sec;
+      janitor_ = std::make_unique<storage::EpochJanitor>(
+          std::move(jo),
+          [this](uint64_t epoch) { return RollbackFromCorruptEpoch(epoch); });
+      janitor_->Start();
+    }
+  }
 }
 
 QueryEngine::~QueryEngine() { Shutdown(); }
 
 void QueryEngine::Shutdown() {
   stopped_.store(true, std::memory_order_release);
+  // Join the janitor before the pool: its rollback callback re-enters the
+  // engine, and after stopped_ is set that callback exits early.
+  if (janitor_) janitor_->Stop();
   pool_.Shutdown();  // drains accepted queries, joins workers; idempotent
 }
 
@@ -340,6 +363,12 @@ Result<UpdateStats> QueryEngine::TryApplyUpdate(
           "engine update: CURRENT flip failed: " + flip.message()));
     }
     next->package = std::shared_ptr<const SpPackage>(std::move(*reopened));
+    // If a rollback once quarantined this epoch number, the number has now
+    // been rewritten with freshly verified bytes — the marker is stale.
+    (void)std::remove(
+        storage::EpochJanitor::QuarantineMarkerPath(options_.persist_dir,
+                                                    next->version)
+            .c_str());
   }
 
   // A fresh, empty memo for the new epoch: memoized proof bytes never cross
@@ -350,6 +379,12 @@ Result<UpdateStats> QueryEngine::TryApplyUpdate(
 
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (!options_.persist_dir.empty()) {
+      epoch_params_[next->version] = next->params;
+      while (epoch_params_.size() > kEpochParamsRetained) {
+        epoch_params_.erase(epoch_params_.begin());
+      }
+    }
     snapshot_ = std::move(next);
   }
   return result;
@@ -411,6 +446,94 @@ Result<UpdateStats> QueryEngine::DeleteImage(
   });
 }
 
+Status QueryEngine::RollbackFromCorruptEpoch(uint64_t corrupt_epoch) {
+  std::lock_guard<std::mutex> writer_lock(update_mu_);
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("engine rollback: stopped");
+  }
+  if (options_.persist_dir.empty()) {
+    return Status::Error("engine rollback: engine has no persist_dir");
+  }
+  std::shared_ptr<const Snapshot> base = CurrentSnapshot();
+  if (base->version != corrupt_epoch) {
+    // An update published a newer epoch while the scrubber was reporting;
+    // the corruption verdict is about history, and GC will reap it.
+    return Status::Error("engine rollback: stale corruption report (epoch " +
+                         std::to_string(corrupt_epoch) + ", serving " +
+                         std::to_string(base->version) + ")");
+  }
+  // Candidate prior epochs we still hold params for, newest first.
+  std::vector<std::pair<uint64_t, PublicParams>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    for (auto it = epoch_params_.rbegin(); it != epoch_params_.rend(); ++it) {
+      if (it->first < corrupt_epoch) candidates.emplace_back(*it);
+    }
+  }
+  for (auto& [epoch, params] : candidates) {
+    if (storage::EpochJanitor::IsQuarantined(options_.persist_dir, epoch)) {
+      continue;  // known-bad; keep walking back
+    }
+    const std::string path = options_.persist_dir + "/" +
+                             storage::PackageStore::EpochFileName(epoch);
+    storage::OpenOptions open_opts;
+    open_opts.params = &params;
+    Result<std::unique_ptr<SpPackage>> pkg =
+        storage::PackageStore::Open(path, open_opts);
+    if (!pkg.ok()) continue;  // GC'd or rotted too; keep walking back
+    // Re-publish the last-good content as a NEW epoch through the same
+    // write → reopen-verify → flip → swap discipline as an update, so
+    // versions stay monotonic (cache keys and client-visible versions
+    // never repeat with different bytes). Identical content has an
+    // identical root, so the prior epoch's signature carries over.
+    auto next = std::make_shared<Snapshot>();
+    next->params = params;
+    next->version = corrupt_epoch + 1;
+    Result<std::string> wrote = storage::PackageStore::WriteEpoch(
+        options_.persist_dir, next->version, **pkg);
+    if (!wrote.ok()) {
+      return Status::WithCode(wrote.status().code(),
+                              "engine rollback: epoch write failed: " +
+                                  wrote.status().message());
+    }
+    storage::OpenOptions reopen_opts;
+    reopen_opts.params = &next->params;
+    Result<std::unique_ptr<SpPackage>> reopened =
+        storage::PackageStore::Open(*wrote, reopen_opts);
+    if (!reopened.ok()) {
+      return Status::Corrupted(
+          "engine rollback: republished epoch failed verification: " +
+          reopened.status().message());
+    }
+    Status flip = storage::PackageStore::SetCurrentEpoch(options_.persist_dir,
+                                                         next->version);
+    if (!flip.ok()) {
+      return Status::WithCode(
+          flip.code(), "engine rollback: CURRENT flip failed: " +
+                           flip.message());
+    }
+    (void)std::remove(
+        storage::EpochJanitor::QuarantineMarkerPath(options_.persist_dir,
+                                                    next->version)
+            .c_str());
+    next->package = std::shared_ptr<const SpPackage>(std::move(*reopened));
+    next->memo = std::make_shared<const ProofMemo>(*next->package);
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      epoch_params_[next->version] = next->params;
+      while (epoch_params_.size() > kEpochParamsRetained) {
+        epoch_params_.erase(epoch_params_.begin());
+      }
+      snapshot_ = std::move(next);
+    }
+    epoch_rollbacks_.Add();
+    return Status::Ok();
+  }
+  return Status::Error(
+      "engine rollback: no verifiable prior epoch on disk for epoch " +
+      std::to_string(corrupt_epoch));
+}
+
 EngineStats QueryEngine::Stats() const {
   EngineStats s;
   s.queries_served = queries_served_.Value();
@@ -438,6 +561,14 @@ EngineStats QueryEngine::Stats() const {
   }
   s.vo_bytes_compressed = vo_bytes_compressed_.Value();
   s.vo_bytes_raw = vo_bytes_raw_.Value();
+  if (janitor_) {
+    storage::JanitorStats js = janitor_->stats();
+    s.epochs_gced = js.epochs_deleted;
+    s.scrub_passes = js.scrub_passes;
+    s.scrub_corruptions = js.scrub_corruptions;
+    s.epochs_quarantined = js.epochs_quarantined;
+  }
+  s.epoch_rollbacks = epoch_rollbacks_.Value();
   obs::HistogramSnapshot lat = latency_us_.Snapshot();
   if (lat.count > 0) {
     s.p50_latency_ms = lat.p50 / 1000.0;
@@ -486,6 +617,20 @@ std::string QueryEngine::MetricsSnapshot() const {
     w.EndObject();
     w.Key("vo_bytes_compressed").U64(vo_bytes_compressed_.Value());
     w.Key("vo_bytes_raw").U64(vo_bytes_raw_.Value());
+    storage::JanitorStats js =
+        janitor_ ? janitor_->stats() : storage::JanitorStats{};
+    w.Key("janitor").BeginObject();
+    w.Key("enabled").Bool(janitor_ != nullptr);
+    w.Key("gc_passes").U64(js.gc_passes);
+    w.Key("epochs_gced").U64(js.epochs_deleted);
+    w.Key("scrub_passes").U64(js.scrub_passes);
+    w.Key("scrub_bytes").U64(js.scrub_bytes);
+    w.Key("scrub_corruptions").U64(js.scrub_corruptions);
+    w.Key("epochs_quarantined").U64(js.epochs_quarantined);
+    w.Key("rollbacks_requested").U64(js.rollbacks_requested);
+    w.Key("rollbacks_failed").U64(js.rollbacks_failed);
+    w.Key("epoch_rollbacks").U64(epoch_rollbacks_.Value());
+    w.EndObject();
   }
   w.Key("per_worker_queries").BeginArray();
   for (unsigned i = 0; i < num_workers_; ++i) {

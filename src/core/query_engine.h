@@ -62,6 +62,7 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,6 +73,10 @@
 #include "core/server.h"
 #include "core/update.h"
 #include "obs/metrics.h"
+
+namespace imageproof::storage {
+class EpochJanitor;
+}  // namespace imageproof::storage
 
 namespace imageproof::core {
 
@@ -105,6 +110,17 @@ struct EngineOptions {
   // epoch-keyed LRU consulted before ServiceProvider::Query. Hits are
   // byte-identical to cold serves, so this is purely a latency/CPU knob.
   size_t cache_capacity = 0;
+  // Epoch housekeeping (storage/epoch_janitor.h), meaningful only with a
+  // persist_dir. retain_epochs > 0 keeps the newest N pkg-*.ipk files and
+  // GCs the rest (never the one CURRENT names). A nonzero scrub_interval
+  // runs a background scrubber at that cadence, re-walking the current
+  // epoch's full digest chain (including the lazily-faulted image blobs);
+  // a detected divergence quarantines the epoch and rolls the engine back
+  // to the newest verifiable prior epoch via RollbackFromCorruptEpoch().
+  // Both run on one engine-owned janitor thread.
+  size_t retain_epochs = 0;
+  std::chrono::milliseconds scrub_interval{0};
+  size_t scrub_bytes_per_sec = 0;  // scrub pacing; 0 = unthrottled
 };
 
 // Per-submission options. A zero deadline means none.
@@ -179,6 +195,12 @@ struct EngineStats {
   // compression, for bytes-on-the-wire accounting.
   uint64_t vo_bytes_compressed = 0;
   uint64_t vo_bytes_raw = 0;
+  // Epoch janitor (all zero without persist_dir + retain/scrub options).
+  uint64_t epochs_gced = 0;          // old epoch files deleted
+  uint64_t scrub_passes = 0;         // digest-chain re-walks completed
+  uint64_t scrub_corruptions = 0;    // divergences detected on disk
+  uint64_t epochs_quarantined = 0;   // .quarantined markers written
+  uint64_t epoch_rollbacks = 0;      // successful last-good republishes
 };
 
 class QueryEngine {
@@ -237,6 +259,20 @@ class QueryEngine {
                                   Bytes image_data);
   Result<UpdateStats> DeleteImage(const crypto::RsaPrivateKey& owner_key,
                                   ImageId id);
+
+  // Self-healing path, invoked by the epoch janitor (or an operator) when
+  // the on-disk bytes of `corrupt_epoch` no longer match their digests.
+  // Scans remembered prior epochs newest-first, opens the first one that
+  // still fully verifies, and re-publishes its content as a NEW epoch
+  // (version corrupt_epoch + 1) through the ordinary write → reopen-verify
+  // → CURRENT-flip → snapshot-swap path: versions stay monotonic, the
+  // result cache stays consistent (new version, so no stale hits), and a
+  // restart serves the republished good state. The same content signs the
+  // same root, so the prior epoch's signature carries over unchanged — and
+  // served VOs are byte-identical to that epoch's cold serves. Returns
+  // kError when the report is stale (a newer epoch is already serving) or
+  // no prior epoch verifies; serializes with updates via the writer lock.
+  Status RollbackFromCorruptEpoch(uint64_t corrupt_epoch);
 
   // Stops admission and drains: already-accepted queries finish (their
   // futures are satisfied), then the workers join. Every Submit() at or
@@ -300,6 +336,14 @@ class QueryEngine {
   std::shared_ptr<const Snapshot> snapshot_;
   std::mutex update_mu_;  // serializes writers (clone → apply → swap)
   std::atomic<bool> stopped_{false};
+  // Params for recent on-disk epochs, recorded at construction and on
+  // every persisted publish (guarded by snapshot_mu_). Needed for
+  // rollback: .ipk files deliberately store no root signature (params
+  // travel out of band), so a prior epoch can only be re-verified with
+  // the params it was published under. Bounded to the newest
+  // kEpochParamsRetained entries.
+  static constexpr size_t kEpochParamsRetained = 64;
+  std::map<uint64_t, PublicParams> epoch_params_;
 
   // Engine-scoped metrics (obs/metrics.h; no-ops when compiled out).
   obs::Counter queries_served_;
@@ -315,6 +359,7 @@ class QueryEngine {
   obs::Histogram update_us_;      // clone + apply + re-sign + swap
   obs::Counter vo_bytes_compressed_;  // inv/fg VO bytes, compressed serves
   obs::Counter vo_bytes_raw_;         // inv/fg VO bytes, uncompressed serves
+  obs::Counter epoch_rollbacks_;      // successful RollbackFromCorruptEpoch
   std::unique_ptr<obs::Counter[]> per_worker_queries_;  // [num_workers_]
   // One reusable search scratch per pool worker (indexed by
   // ThreadPool::CurrentWorkerIndex()), so steady-state serving reuses warm
@@ -325,6 +370,9 @@ class QueryEngine {
   // Epoch-keyed result cache; null iff cache_capacity == 0. Shared across
   // snapshots (version lives in the key), so an update needs no flush.
   std::unique_ptr<QueryCache> cache_;
+  // Engine-owned GC + scrubber thread; null unless persist_dir plus
+  // retain_epochs/scrub_interval are set. Stopped first in Shutdown().
+  std::unique_ptr<storage::EpochJanitor> janitor_;
 
   ThreadPool pool_;  // last member: destroyed (drained) first
 };

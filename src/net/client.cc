@@ -48,9 +48,17 @@ Result<FrameHeader> NetClient::RoundTrip(FrameType type, const Bytes& payload,
     read_buf_.resize(old + (got.ok() ? got.value() : 0));
     if (!got.ok()) return got.status();
     if (got.value() == 0) {
-      // Orderly close mid-reply: from the client's perspective the server
-      // went away — same taxonomy slot as a draining server.
-      return Status::Unavailable("net: server closed connection");
+      // EOF taxonomy matters for retries. At a frame boundary (no partial
+      // frame buffered) an orderly close is a draining/restarting server:
+      // kUnavailable, safe to retry elsewhere. Mid-frame it is a torn
+      // reply — indistinguishable from tampering, so kCorrupted, which a
+      // retry policy must NOT retry (an adversarial server doesn't get
+      // free re-probes by cutting the stream).
+      if (read_buf_.empty()) {
+        return Status::Unavailable(
+            "net: server closed connection at a frame boundary");
+      }
+      return Status::Corrupted("net: connection closed mid-frame");
     }
   }
 }

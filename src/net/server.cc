@@ -8,6 +8,8 @@
 
 #include <cerrno>
 
+#include "common/fault.h"
+
 namespace imageproof::net {
 
 namespace {
@@ -85,6 +87,35 @@ void NetServer::Stop() {
   conns_.clear();
   listen_sock_.Close();
   started_ = false;
+  draining_.store(false, std::memory_order_release);
+  pending_replies_.store(0, std::memory_order_release);
+  // Release any Drain() caller racing this Stop(): the server is down,
+  // which is as drained as it gets.
+  {
+    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    drained_ = true;
+  }
+  drain_cv_.notify_all();
+}
+
+void NetServer::Drain(std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_) return;
+    if (!draining_.exchange(true, std::memory_order_acq_rel)) {
+      drains_.Add();
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      drained_ = false;
+    }
+    // Wake the poll thread so it re-evaluates with draining_ set (and
+    // completes immediately when nothing is in flight).
+    outbox_->Push(0, Bytes{});
+  }
+  {
+    std::unique_lock<std::mutex> drain_lock(drain_mu_);
+    drain_cv_.wait_for(drain_lock, timeout, [this] { return drained_; });
+  }
+  Stop();
 }
 
 NetServer::Counters NetServer::counters() const {
@@ -96,6 +127,9 @@ NetServer::Counters NetServer::counters() const {
   c.bytes_in = bytes_in_.Value();
   c.bytes_out = bytes_out_.Value();
   c.protocol_errors = protocol_errors_.Value();
+  c.drains = drains_.Value();
+  c.frames_rejected_draining = frames_rejected_draining_.Value();
+  c.conns_reset_by_fault = conns_reset_by_fault_.Value();
   return c;
 }
 
@@ -105,7 +139,12 @@ void NetServer::PollLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
     fds.clear();
     fd_conn.clear();
-    fds.push_back({listen_sock_.fd(), POLLIN, 0});
+    // A draining server stops watching the listener: pending connects sit
+    // in the backlog until Stop() closes it (the peer then sees a reset —
+    // retry-elsewhere territory, same as a crashed server).
+    const bool draining = draining_.load(std::memory_order_acquire);
+    fds.push_back({listen_sock_.fd(),
+                   static_cast<short>(draining ? 0 : POLLIN), 0});
     fd_conn.push_back(0);
     fds.push_back({pipe_rd_, POLLIN, 0});
     fd_conn.push_back(0);
@@ -143,7 +182,28 @@ void NetServer::PollLoop() {
       if (conns_.find(fd_conn[i]) == conns_.end()) continue;
       if (fds[i].revents & POLLOUT) HandleWritable(conn);
     }
+    if (draining_.load(std::memory_order_acquire)) MaybeFinishDrain();
   }
+}
+
+void NetServer::MaybeFinishDrain() {
+  if (pending_replies_.load(std::memory_order_acquire) != 0) return;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->write_off < conn->write_buf.size()) return;  // still flushing
+  }
+  {
+    // A completion may have been pushed but its pipe wakeup not yet
+    // consumed; an empty ready queue plus zero pending replies means
+    // every response reached (and by the loop above, left) a write
+    // buffer.
+    std::lock_guard<std::mutex> lock(outbox_->mu);
+    if (!outbox_->ready.empty()) return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drained_ = true;
+  }
+  drain_cv_.notify_all();
 }
 
 void NetServer::AcceptNew() {
@@ -177,6 +237,16 @@ void NetServer::AcceptNew() {
 }
 
 void NetServer::HandleReadable(Conn* conn) {
+  // Chaos site: abandon the connection before reading, i.e. at a frame
+  // boundary from the peer's point of view — it sees an orderly EOF with
+  // no reply, the signature of a crashed/restarted server, which a
+  // retrying client must absorb as kUnavailable (never kCorrupted: no
+  // partial response bytes have been written for any unanswered request).
+  if (fault::InjectFault("net.conn.reset")) {
+    conns_reset_by_fault_.Add();
+    CloseConn(conn->id);
+    return;
+  }
   uint8_t buf[64 * 1024];
   while (true) {
     ssize_t n = ::recv(conn->sock.fd(), buf, sizeof(buf), 0);
@@ -227,6 +297,20 @@ void NetServer::HandleReadable(Conn* conn) {
 
 void NetServer::DispatchFrame(Conn* conn, const FrameHeader& header,
                               const Bytes& payload) {
+  if (draining_.load(std::memory_order_acquire)) {
+    switch (header.type) {
+      case FrameType::kQuery:
+      case FrameType::kInsert:
+      case FrameType::kDelete:
+        // No new work while draining — but every refusal is an explicit,
+        // whole frame, so the peer can fail over instead of guessing.
+        frames_rejected_draining_.Add();
+        SendError(conn, WireError::kUnavailable, "server draining");
+        return;
+      default:
+        break;  // status requests still answered; they cost nothing
+    }
+  }
   switch (header.type) {
     case FrameType::kQuery:
       HandleQuery(conn, header, payload);
@@ -261,6 +345,7 @@ void NetServer::DispatchFrame(Conn* conn, const FrameHeader& header,
         SendError(conn, WireError::kCorrupted, s.message());
         return;
       }
+      pending_replies_.fetch_add(1, std::memory_order_acq_rel);
       {
         std::lock_guard<std::mutex> lock(update_mu_);
         update_queue_.push_back(std::move(task));
@@ -283,6 +368,7 @@ void NetServer::DispatchFrame(Conn* conn, const FrameHeader& header,
         SendError(conn, WireError::kCorrupted, s.message());
         return;
       }
+      pending_replies_.fetch_add(1, std::memory_order_acq_rel);
       {
         std::lock_guard<std::mutex> lock(update_mu_);
         update_queue_.push_back(std::move(task));
@@ -324,6 +410,9 @@ void NetServer::HandleQuery(Conn* conn, const FrameHeader& header,
   const uint64_t conn_id = conn->id;
   std::shared_ptr<Outbox> outbox = outbox_;
   const size_t k = static_cast<size_t>(req.k);
+  // Admitted: the peer is now owed exactly one outbox frame (response or
+  // error), which is what drain completion waits on.
+  pending_replies_.fetch_add(1, std::memory_order_acq_rel);
   engine_->SubmitAsync(
       std::move(req.features), k, opts,
       [outbox, conn_id](core::EngineResponse r) {
@@ -403,7 +492,8 @@ void NetServer::DrainOutbox() {
     ready.swap(outbox_->ready);
   }
   for (auto& [conn_id, frame] : ready) {
-    if (frame.empty()) continue;  // Stop() wakeup token
+    if (frame.empty()) continue;  // Stop()/Drain() wakeup token
+    pending_replies_.fetch_sub(1, std::memory_order_acq_rel);
     auto it = conns_.find(conn_id);
     if (it == conns_.end()) continue;  // connection died before completion
     Conn* conn = it->second.get();

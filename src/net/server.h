@@ -35,6 +35,8 @@
 #ifndef IMAGEPROOF_NET_SERVER_H_
 #define IMAGEPROOF_NET_SERVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -82,6 +84,19 @@ class NetServer {
   // Idempotent.
   void Stop();
 
+  // Graceful shutdown, the SIGTERM path: stop accepting connections,
+  // answer every further query/update frame with a kUnavailable
+  // ("server draining") error frame, let responses already inside the
+  // engine or the update queue complete and flush to their peers, then
+  // Stop(). Returns once drained or after `timeout` (whichever first —
+  // on timeout the remaining in-flight responses are dropped exactly as
+  // in Stop()). Clients never see a torn reply from a drain: a response
+  // either flushes whole or the connection closes at a frame boundary.
+  // Idempotent; safe to race with Stop().
+  void Drain(std::chrono::milliseconds timeout = std::chrono::seconds(5));
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   uint16_t port() const { return port_; }
 
   struct Counters {
@@ -92,6 +107,9 @@ class NetServer {
     uint64_t bytes_in = 0;
     uint64_t bytes_out = 0;
     uint64_t protocol_errors = 0;  // corrupt frames / payloads received
+    uint64_t drains = 0;            // Drain() calls that began draining
+    uint64_t frames_rejected_draining = 0;  // work refused while draining
+    uint64_t conns_reset_by_fault = 0;      // net.conn.reset firings
   };
   Counters counters() const;
 
@@ -139,6 +157,10 @@ class NetServer {
   void SendError(Conn* conn, WireError code, const std::string& message);
   void DrainOutbox();
   void CloseConn(uint64_t id);
+  // Poll thread, while draining: signals Drain() once no response is
+  // pending in the engine/update queue/outbox and every write buffer has
+  // flushed.
+  void MaybeFinishDrain();
 
   core::QueryEngine* engine_;
   ServerOptions options_;
@@ -152,6 +174,14 @@ class NetServer {
   std::thread poll_thread_;
   std::thread update_thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  // Responses owed to peers: incremented at admission (query handed to the
+  // engine, update queued), decremented when the framed reply reaches a
+  // connection write buffer. Drain completion requires zero.
+  std::atomic<uint64_t> pending_replies_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drained_ = false;  // guarded by drain_mu_
   bool started_ = false;
   std::mutex lifecycle_mu_;  // guards Start/Stop transitions
 
@@ -170,6 +200,9 @@ class NetServer {
   obs::Counter bytes_in_;
   obs::Counter bytes_out_;
   obs::Counter protocol_errors_;
+  obs::Counter drains_;
+  obs::Counter frames_rejected_draining_;
+  obs::Counter conns_reset_by_fault_;
 };
 
 }  // namespace imageproof::net

@@ -15,8 +15,23 @@ namespace imageproof::net {
 namespace {
 
 Status Errno(const char* what) {
-  return Status::Error(std::string("net: ") + what + ": " +
-                       std::strerror(errno));
+  std::string msg = std::string("net: ") + what + ": " + std::strerror(errno);
+  // Transport-level failures — the peer, or the path to it, went away;
+  // nothing was wrong with the request itself. These map to kUnavailable so
+  // a retrying client can tell "server restarting, try again" apart from
+  // local programming errors (kError) and tampered bytes (kCorrupted).
+  switch (errno) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case EPIPE:
+    case ETIMEDOUT:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+    case ENOTCONN:
+      return Status::Unavailable(std::move(msg));
+    default:
+      return Status::Error(std::move(msg));
+  }
 }
 
 Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {

@@ -63,6 +63,8 @@ Status SetNonBlocking(int fd);
 
 // Blocking exact-count I/O for the client: retry on EINTR, fail on peer
 // close or error. RecvSome returns 0..max bytes (0 = orderly peer close).
+// SendAll passes MSG_NOSIGNAL so a peer that dropped the connection
+// surfaces as EPIPE -> kUnavailable instead of a process-killing SIGPIPE.
 Status SendAll(int fd, const uint8_t* data, size_t size);
 Result<size_t> RecvSome(int fd, uint8_t* buf, size_t max);
 

@@ -30,7 +30,15 @@ using std::chrono::milliseconds;
 
 class FaultInjectorTest : public ::testing::Test {
  protected:
-  void SetUp() override { fault::FaultInjector::Global().DisarmAll(); }
+  void SetUp() override {
+    auto& fi = fault::FaultInjector::Global();
+    fi.DisarmAll();
+    // Synthetic sites for the unit tests below; arming an unregistered
+    // name aborts (see UnknownSiteAbortsLoudly in resilience_test.cc).
+    for (const char* site : {"site.a", "site.s", "site.p"}) {
+      fi.RegisterSite(site);
+    }
+  }
   void TearDown() override { fault::FaultInjector::Global().DisarmAll(); }
 };
 
