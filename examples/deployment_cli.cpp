@@ -20,6 +20,16 @@
 //   deployment_cli inspect <file>     print the on-disk layout of one
 //                                     .ipk file (header/TOC facts)
 //
+// Sharded modes (src/shard — scatter-gather serving):
+//
+//   deployment_cli build-shards <dir> [n]   owner: partition the corpus
+//                                     into n shards (default 4), each its
+//                                     own epoch directory, plus the signed
+//                                     shard manifest
+//   deployment_cli query-shards <dir>       coordinator+client: fan a query
+//                                     across all shards, assemble the
+//                                     composite VO, verify the merge
+//
 // Exit codes follow the wire error taxonomy (net::ExitCodeForStatus), so a
 // wrapper script can tell operational failure modes apart: 0 OK, 11
 // rejected/bad input, 14 unavailable, 15 corrupted on-disk state, 16
@@ -33,6 +43,7 @@
 // verify timings, and VO size histograms for whatever the invocation ran.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -42,6 +53,9 @@
 #include "core/update.h"
 #include "net/wire.h"
 #include "obs/registry.h"
+#include "shard/composite_client.h"
+#include "shard/coordinator.h"
+#include "shard/planner.h"
 #include "storage/package_store.h"
 #include "storage/serializer.h"
 #include "workload/synthetic.h"
@@ -270,6 +284,103 @@ int Inspect(const std::string& file) {
   return 0;
 }
 
+// --- sharded modes (src/shard) ------------------------------------------
+
+int BuildShards(const std::string& dir, uint32_t num_shards) {
+  (void)system(("mkdir -p " + dir).c_str());
+  core::Config config = core::Config::ImageProof();
+  config.rsa_bits = 512;
+  workload::CorpusParams cp;
+  cp.num_images = 500;
+  cp.num_clusters = 256;
+  auto corpus = workload::GenerateCorpus(cp);
+  std::unordered_map<bovw::ImageId, Bytes> blobs;
+  for (const auto& [id, v] : corpus) blobs[id] = workload::GenerateImageBlob(id);
+  workload::CodebookParams cbp;
+  cbp.num_clusters = 256;
+  cbp.dims = 32;
+  shard::ShardedDeployment deployment = shard::ShardPlanner::Build(
+      config, workload::GenerateCodebook(cbp), corpus, blobs, num_shards);
+
+  if (Status st = shard::WriteShardedDeployment(dir, deployment); !st.ok()) {
+    return FailWith("build-shards: write deployment", st);
+  }
+  if (Status st = storage::SavePublicParams(
+          ParamsPath(dir), deployment.shards[0].public_params);
+      !st.ok()) {
+    return FailWith("build-shards: write params", st);
+  }
+  if (Status st = SaveKey(dir, deployment.keys.private_key); !st.ok()) {
+    return FailWith("build-shards: write key", st);
+  }
+  std::printf("build-shards: %zu images across %u shards -> %s "
+              "(manifest epoch %llu)\n",
+              corpus.size(), deployment.manifest.num_shards, dir.c_str(),
+              static_cast<unsigned long long>(deployment.manifest.epoch));
+  for (uint32_t sid = 0; sid < deployment.manifest.num_shards; ++sid) {
+    std::printf("  %s: %zu images\n", shard::ShardDirName(sid).c_str(),
+                deployment.shards[sid].package->corpus.size());
+  }
+  return 0;
+}
+
+int QueryShards(const std::string& dir) {
+  auto params = storage::LoadPublicParams(ParamsPath(dir));
+  if (!params.ok()) {
+    return FailWith("query-shards: load params", params.status());
+  }
+  auto key = LoadKey(dir);
+  if (!key.ok()) return FailWith("query-shards: load key", key.status());
+  auto opened = shard::OpenShardedDeployment(dir, *params);
+  if (!opened.ok()) {
+    return FailWith("query-shards: open deployment", opened.status());
+  }
+
+  // Pick the query target before the packages move into their backends.
+  const uint32_t home =
+      shard::ShardManifest::ShardOf(3, opened->manifest.num_shards);
+  const core::SpPackage& home_pkg = *opened->shards[home].package;
+  std::vector<std::vector<float>> features;
+  for (const auto& [id, v] : home_pkg.corpus) {
+    if (id == 3) {
+      features =
+          workload::FeaturesFromBovw(home_pkg.codebook, v, 40, 0.2, 0.1, 99);
+      break;
+    }
+  }
+  if (features.empty()) {
+    return FailWith("query-shards", Status::Error("image 3 not found"));
+  }
+
+  std::vector<std::unique_ptr<shard::ShardBackend>> backends;
+  for (auto& s : opened->shards) {
+    backends.push_back(std::make_unique<shard::LocalShardBackend>(
+        std::move(s.package), s.params, *key));
+  }
+  shard::Coordinator coordinator(std::move(backends),
+                                 opened->manifest, *key);
+  auto composite = coordinator.Query(features, 5);
+  if (!composite.ok()) {
+    return FailWith("query-shards: fan-out", composite.status());
+  }
+  shard::CompositeClient client(*params);
+  auto verified = client.VerifyComposite(features, 5, *composite);
+  if (!verified.ok()) {
+    return FailWith("query-shards: REJECTED", verified.status());
+  }
+  std::printf("query-shards: verified global top-%zu over %u shards "
+              "(manifest epoch %llu, composite %zu bytes):\n",
+              verified->topk.size(), verified->num_shards,
+              static_cast<unsigned long long>(verified->manifest_epoch),
+              composite->size());
+  for (const auto& si : verified->topk) {
+    std::printf("  image %-8llu similarity = %.4f (shard %u)\n",
+                static_cast<unsigned long long>(si.id), si.score,
+                shard::ShardManifest::ShardOf(si.id, verified->num_shards));
+  }
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -306,11 +417,27 @@ int main(int argc, char** argv) {
       return DumpMetricsAndReturn(QueryDisk(dir), metrics);
     }
     if (cmd == "inspect") return DumpMetricsAndReturn(Inspect(dir), metrics);
+    if (cmd == "build-shards") {
+      uint32_t n = 4;
+      if (args.size() >= 3) {
+        long parsed = std::strtol(args[2], nullptr, 10);
+        if (parsed <= 0 || parsed > 1024) {
+          std::printf("build-shards: shard count must be in [1, 1024]\n");
+          return 2;
+        }
+        n = static_cast<uint32_t>(parsed);
+      }
+      return DumpMetricsAndReturn(BuildShards(dir, n), metrics);
+    }
+    if (cmd == "query-shards") {
+      return DumpMetricsAndReturn(QueryShards(dir), metrics);
+    }
     std::printf(
         "usage: %s {build|insert|query|build-disk|query-disk} <dir> "
         "[--metrics]\n"
+        "       %s build-shards <dir> [num_shards] | query-shards <dir>\n"
         "       %s inspect <file.ipk> [--metrics]\n",
-        argv[0], argv[0]);
+        argv[0], argv[0], argv[0]);
     return 2;
   }
   // Demo: full lifecycle in a temp directory.

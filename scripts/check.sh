@@ -74,7 +74,7 @@ if [[ "$MODE" == "--tsan" ]]; then
   # whole suite under TSan adds time but no extra thread coverage.
   # --no-tests=error: an empty selection is a broken regex, not a pass.
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
-    -R 'concurrency_test|golden_test|security_test|obs_test|merkle_test|kernels_test|net_test|query_cache_test'
+    -R 'concurrency_test|golden_test|security_test|obs_test|merkle_test|kernels_test|net_test|query_cache_test|shard_test'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error
 fi

@@ -167,7 +167,8 @@ Result<VerifiedResults> Client::VerifyImpl(
     }
   }
   crypto::RsaVerifier verifier(params_.public_key);
-  if (!verifier.Verify(roots.Finalize(), params_.root_signature)) {
+  out.root_digest = roots.Finalize();
+  if (!verifier.Verify(out.root_digest, params_.root_signature)) {
     return Result<VerifiedResults>::Error(
         "client: ADS root signature verification failed");
   }
@@ -270,6 +271,7 @@ Result<VerifiedResults> Client::VerifyImpl(
   sig_timer.Stop();
 
   out.topk = inv.topk;
+  out.topk_scores_exact = inv.topk_exact;
   for (const auto& si : out.topk) {
     for (const ResultImage& ri : vo.results) {
       if (ri.id == si.id) {

@@ -29,6 +29,15 @@ struct VerifiedResults {
   std::vector<bovw::ScoredImage> topk;
   // Verified raw image payloads, aligned with `topk`.
   std::vector<Bytes> images;
+  // The ADS root digest h(root_1 | ... | root_{n_t}) the VO replayed to —
+  // the owner's signature in PublicParams verified over exactly this value.
+  // The sharded composite verifier pins each shard's response to the root
+  // digest recorded in the signed shard manifest through this field.
+  crypto::Digest root_digest = crypto::Digest::Zero();
+  // True when every verified score is provably exact rather than a lower
+  // bound (InvVerifyResult::topk_exact) — the precondition for merging
+  // results across shards.
+  bool topk_scores_exact = false;
   double client_bovw_ms = 0;  // time in steps 1-3
   double client_inv_ms = 0;   // time in steps 4-5
 };

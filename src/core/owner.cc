@@ -117,7 +117,8 @@ size_t SpPackage::AdsBytes() const {
 OwnerOutput BuildDeployment(
     const Config& config, ann::PointSet codebook,
     std::vector<std::pair<ImageId, bovw::BovwVector>> corpus,
-    std::unordered_map<ImageId, Bytes> image_data, uint64_t key_seed) {
+    std::unordered_map<ImageId, Bytes> image_data, uint64_t key_seed,
+    const BuildOverrides& overrides) {
   OwnerOutput out;
   out.package = std::make_unique<SpPackage>();
   SpPackage& pkg = *out.package;
@@ -127,8 +128,13 @@ OwnerOutput BuildDeployment(
   pkg.image_data = std::move(image_data);
 
   // Keys and per-image signatures (Eq. 15).
-  Rng key_rng(key_seed);
-  crypto::RsaKeyPair keys = crypto::RsaKeyPair::Generate(config.rsa_bits, key_rng);
+  crypto::RsaKeyPair keys;
+  if (overrides.keys) {
+    keys = *overrides.keys;
+  } else {
+    Rng key_rng(key_seed);
+    keys = crypto::RsaKeyPair::Generate(config.rsa_bits, key_rng);
+  }
   if (config.sign_images) {
     // One RSA signature per image; embarrassingly parallel.
     std::vector<const std::pair<const ImageId, Bytes>*> entries;
@@ -150,7 +156,8 @@ OwnerOutput BuildDeployment(
   vecs.reserve(pkg.corpus.size());
   for (const auto& [id, v] : pkg.corpus) vecs.push_back(v);
   bovw::ClusterWeights weights =
-      bovw::ClusterWeights::FromCorpus(num_clusters, vecs);
+      overrides.weights ? *overrides.weights
+                        : bovw::ClusterWeights::FromCorpus(num_clusters, vecs);
 
   if (config.freq_grouped) {
     pkg.fg_index = std::make_unique<freqgroup::FgInvertedIndex>(

@@ -111,13 +111,27 @@ struct OwnerOutput {
   crypto::RsaPrivateKey private_key;
 };
 
+// Optional injections for builds that must agree with other builds. The
+// shard planner (shard/planner.h) builds N deployments over disjoint corpus
+// slices but needs them mutually comparable: idf weights frozen from the
+// FULL corpus (so per-image scores are byte-identical to an unsharded
+// build) and one shared owner keypair (so every shard's roots and image
+// signatures verify under a single public key). Null members fall back to
+// the default behavior (weights from the build's own corpus, fresh keys
+// from key_seed).
+struct BuildOverrides {
+  const bovw::ClusterWeights* weights = nullptr;
+  const crypto::RsaKeyPair* keys = nullptr;
+};
+
 // Builds the whole deployment. `corpus` pairs image ids with their BoVW
 // vectors (pre-encoded; see workload/ or the sift+ann pipeline), and
 // `image_data` maps each id to its raw payload.
 OwnerOutput BuildDeployment(
     const Config& config, ann::PointSet codebook,
     std::vector<std::pair<ImageId, bovw::BovwVector>> corpus,
-    std::unordered_map<ImageId, Bytes> image_data, uint64_t key_seed = 0x5E5);
+    std::unordered_map<ImageId, Bytes> image_data, uint64_t key_seed = 0x5E5,
+    const BuildOverrides& overrides = {});
 
 }  // namespace imageproof::core
 

@@ -26,14 +26,15 @@ QueryCache::QueryCache(size_t capacity) : capacity_(capacity) {
 
 crypto::Digest QueryCache::Key(
     uint64_t version, bool compress_vo, size_t k,
-    const std::vector<std::vector<float>>& features) {
+    const std::vector<std::vector<float>>& features, bool settle_exact_topk) {
   crypto::Sha3_256 h;
-  // Length-prefixed framing so no two distinct (version, flag, k, features)
+  // Length-prefixed framing so no two distinct (version, flags, k, features)
   // tuples can collide by concatenation ambiguity.
   uint8_t header[8 + 1 + 8 + 8];
   uint64_t v = version;
   std::memcpy(header, &v, 8);
-  header[8] = compress_vo ? 1 : 0;
+  header[8] = static_cast<uint8_t>((compress_vo ? 1 : 0) |
+                                   (settle_exact_topk ? 2 : 0));
   uint64_t kk = k;
   std::memcpy(header + 9, &kk, 8);
   uint64_t nq = features.size();

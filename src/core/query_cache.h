@@ -66,11 +66,14 @@ class QueryCache {
   size_t capacity() const { return capacity_; }
 
   // Canonical cache key. Everything that influences a response byte is
-  // hashed: the snapshot version (epoch), the VO-compression flag, k, and
-  // the exact feature bit patterns (floats hashed as raw bytes — queries
-  // that differ in any ULP are distinct queries).
+  // hashed: the snapshot version (epoch), the VO-compression flag, the
+  // settle-exact flag (settle serves pop more postings, so their VOs must
+  // never alias the plain-serve entries), k, and the exact feature bit
+  // patterns (floats hashed as raw bytes — queries that differ in any ULP
+  // are distinct queries).
   static crypto::Digest Key(uint64_t version, bool compress_vo, size_t k,
-                            const std::vector<std::vector<float>>& features);
+                            const std::vector<std::vector<float>>& features,
+                            bool settle_exact_topk = false);
 
   // Returns the cached response and refreshes its LRU position, or null on
   // miss.

@@ -76,7 +76,8 @@ std::future<EngineResponse> QueryEngine::ReadyResponse(Status status) {
 EngineResponse QueryEngine::Serve(
     const std::shared_ptr<const Snapshot>& snap,
     const std::vector<std::vector<float>>& features, size_t k,
-    bool compress_vo, obs::TimePoint enqueued, Clock::time_point deadline) {
+    bool compress_vo, bool settle_exact_topk, obs::TimePoint enqueued,
+    Clock::time_point deadline) {
   queue_wait_us_.Record(obs::ElapsedUs(enqueued));
   EngineResponse out;
   out.snapshot = snap;
@@ -109,7 +110,8 @@ EngineResponse QueryEngine::Serve(
   crypto::Digest cache_key;
   const bool use_cache = cache_ != nullptr;
   if (use_cache) {
-    cache_key = QueryCache::Key(snap->version, compress_vo, k, features);
+    cache_key = QueryCache::Key(snap->version, compress_vo, k, features,
+                                settle_exact_topk);
     if (std::shared_ptr<const QueryResponse> hit = cache_->Lookup(cache_key)) {
       out.response = *hit;
       out.status = Status::Ok();
@@ -127,6 +129,7 @@ EngineResponse QueryEngine::Serve(
       has_deadline ? QueryControl(deadline) : QueryControl();
   ServeOptions serve;
   serve.compress_vo = compress_vo;
+  serve.settle_exact_topk = settle_exact_topk;
   serve.memo = snap->memo.get();
   out.status =
       sp.Query(features, k, par, control, serve, &out.response, scratch);
@@ -173,9 +176,10 @@ std::future<EngineResponse> QueryEngine::SubmitWithPolicy(
   std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
   obs::TimePoint enqueued = obs::Now();
   const bool compress_vo = submit_options.compress_vo;
+  const bool settle = submit_options.settle_exact_topk;
   auto task = [this, snap = std::move(snap), features = std::move(features),
-               k, compress_vo, enqueued, deadline] {
-    return Serve(snap, features, k, compress_vo, enqueued, deadline);
+               k, compress_vo, settle, enqueued, deadline] {
+    return Serve(snap, features, k, compress_vo, settle, enqueued, deadline);
   };
   if (policy == OverloadPolicy::kBlock) {
     // PR-1 backpressure semantics: a full queue blocks the submitter. If
@@ -226,9 +230,11 @@ void QueryEngine::SubmitAsync(std::vector<std::vector<float>> features,
   std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
   obs::TimePoint enqueued = obs::Now();
   const bool compress_vo = submit_options.compress_vo;
+  const bool settle = submit_options.settle_exact_topk;
   auto task = [this, snap = std::move(snap), features = std::move(features),
-               k, compress_vo, enqueued, deadline, shared_done] {
-    (*shared_done)(Serve(snap, features, k, compress_vo, enqueued, deadline));
+               k, compress_vo, settle, enqueued, deadline, shared_done] {
+    (*shared_done)(
+        Serve(snap, features, k, compress_vo, settle, enqueued, deadline));
   };
   std::future<void> fut;
   switch (pool_.TrySubmit(std::move(task), &fut)) {

@@ -132,6 +132,11 @@ struct SubmitOptions {
   // decompresses before digest verification, so authentication is
   // unchanged.
   bool compress_vo = false;
+  // Settle the inverted-index/frequency-group search until every claimed
+  // top-k score is provably exact (ServeOptions::settle_exact_topk). Set by
+  // the shard coordinator: the authenticated merge of per-shard results is
+  // only sound when each shard's scores are exact, not lower bounds.
+  bool settle_exact_topk = false;
 };
 
 // One immutable published state of the deployment. `params.root_signature`
@@ -308,8 +313,8 @@ class QueryEngine {
   // result cache (if enabled) before running the pipeline.
   EngineResponse Serve(const std::shared_ptr<const Snapshot>& snap,
                        const std::vector<std::vector<float>>& features,
-                       size_t k, bool compress_vo, obs::TimePoint enqueued,
-                       Clock::time_point deadline);
+                       size_t k, bool compress_vo, bool settle_exact_topk,
+                       obs::TimePoint enqueued, Clock::time_point deadline);
 
   // Clone-apply-validate-swap core of both update entry points, with the
   // transient-fault retry loop. `apply` receives the cloned package and the

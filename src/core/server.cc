@@ -250,6 +250,7 @@ Status ServiceProvider::Query(const std::vector<std::vector<float>>& features,
   params.k = k;
   params.check_batch = config.check_batch;
   params.compress_vo = serve.compress_vo;
+  params.settle_exact_topk = serve.settle_exact_topk;
   kern::SearchScratch* inv_scratch = scratch ? &scratch->inv : nullptr;
   if (config.freq_grouped) {
     freqgroup::FgSearchResult r = freqgroup::FgSearch(

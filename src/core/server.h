@@ -101,6 +101,11 @@ struct ServeOptions {
   // group-varint coding (InvSearchParams::compress_vo). Changes VO bytes —
   // only enabled for clients that negotiated it (net/wire.h query flag).
   bool compress_vo = false;
+  // Keep popping after the termination conditions hold until every claimed
+  // top-k score is provably exact (InvSearchParams::settle_exact_topk).
+  // Changes VO bytes — required by sharded serving, where the composite
+  // merge is only sound over exact per-shard scores.
+  bool settle_exact_topk = false;
   // Per-snapshot proof memo (core/proof_memo.h) for sharing derived MRKD
   // proof bytes across concurrent queries. Never changes VO bytes.
   const class ProofMemo* memo = nullptr;

@@ -179,38 +179,58 @@ FgSearchResult FgSearch(const FgInvertedIndex& index,
     pop_group(best);
   }
 
-  // Condition 2.
-  while (!trivial) {
-    ++result.stats.condition_checks;
-    double skl = sk_lower();
-    ImageId violator = 0;
-    bool found = false;
-    for (const auto& [id, score] : engine.Scores()) {
-      if (topk_set.contains(id)) continue;
-      if (engine.SUpper(id) > skl) {
-        violator = id;
-        found = true;
-        break;
-      }
-    }
-    if (!found) break;
-    auto possible = engine.PossibleLists(violator);
-    bool progressed = false;
-    double skl_now = skl;
-    for (size_t li : possible) {
-      size_t popped_here = 0;
-      while (!engine.Exhausted(li) && !engine.PoppedIn(li, violator)) {
-        if (!pop_group(li)) break;
-        ++popped_here;
-        if (popped_here % params.check_batch == 0 &&
-            engine.SUpper(violator) <= skl_now) {
+  // Condition 2 loop (also re-run by the settle pass below).
+  auto run_condition2 = [&]() {
+    while (!trivial) {
+      ++result.stats.condition_checks;
+      double skl = sk_lower();
+      ImageId violator = 0;
+      bool found = false;
+      for (const auto& [id, score] : engine.Scores()) {
+        if (topk_set.contains(id)) continue;
+        if (engine.SUpper(id) > skl) {
+          violator = id;
+          found = true;
           break;
         }
       }
-      if (popped_here > 0) progressed = true;
-      if (engine.SUpper(violator) <= skl_now) break;
+      if (!found) break;
+      auto possible = engine.PossibleLists(violator);
+      bool progressed = false;
+      double skl_now = skl;
+      for (size_t li : possible) {
+        size_t popped_here = 0;
+        while (!engine.Exhausted(li) && !engine.PoppedIn(li, violator)) {
+          if (!pop_group(li)) break;
+          ++popped_here;
+          if (popped_here % params.check_batch == 0 &&
+              engine.SUpper(violator) <= skl_now) {
+            break;
+          }
+        }
+        if (popped_here > 0) progressed = true;
+        if (engine.SUpper(violator) <= skl_now) break;
+      }
+      if (!progressed) break;
     }
-    if (!progressed) break;
+  };
+  run_condition2();
+
+  // Settle pass (settle_exact_topk): pop groups until no unpopped suffix
+  // can still contain a claimed image — same monotonicity argument as
+  // invindex/search.cc. Condition 2 is re-settled inline on the new state.
+  while (params.settle_exact_topk && !trivial) {
+    size_t pop_li = relevant.size();
+    for (ImageId id : topk_ids) {
+      std::vector<size_t> possible = engine.PossibleLists(id);
+      if (!possible.empty()) {
+        pop_li = possible.front();
+        break;
+      }
+    }
+    if (pop_li == relevant.size()) break;  // every claimed score is exact
+    if (pop_group(pop_li)) ++result.stats.popped_settle;
+    run_condition2();
   }
 
   // Final canonical re-check (same rationale as invindex/search.cc).

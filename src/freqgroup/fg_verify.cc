@@ -275,6 +275,7 @@ Status FgVerifyVo(const Bytes& vo, const bovw::BovwVector& query_bovw,
       return Status::Error("fg: nonempty proof for an empty request");
     }
     out->topk.clear();
+    out->topk_exact = true;  // vacuously: no claimed scores
     return Status::Ok();
   }
   if (claimed_topk.size() < requested_k) {
@@ -299,6 +300,14 @@ Status FgVerifyVo(const Bytes& vo, const bovw::BovwVector& query_bovw,
     if (topk_set.contains(id)) continue;
     if (engine.SUpper(id) > sk_lower) {
       return Status::Error("fg: condition 2 fails (popped image may rank higher)");
+    }
+  }
+
+  out->topk_exact = true;
+  for (ImageId id : claimed_topk) {
+    if (!engine.PossibleLists(id).empty()) {
+      out->topk_exact = false;
+      break;
     }
   }
 

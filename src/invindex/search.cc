@@ -251,6 +251,32 @@ InvSearchResult InvSearch(const MerkleInvertedIndex& index,
     }
   };
 
+  // Settle pass (settle_exact_topk): pop until no unpopped suffix can still
+  // contain a claimed image, so every claimed score the client reconstructs
+  // is exact. Filter membership only shrinks as pops delete fingerprints
+  // (and the final multiset state is pop-order invariant), so settledness
+  // is monotone: later condition pops can never un-settle it. Condition 1
+  // also survives the extra pops (s_k^L only grows, pi^U only shrinks);
+  // newly revealed non-result images are re-settled by run_condition2.
+  auto run_settle = [&]() {
+    while (params.settle_exact_topk && !trivial) {
+      size_t pop_li = relevant.size();
+      for (ImageId id : topk_ids) {
+        std::vector<size_t> possible = engine.PossibleLists(id);
+        if (!possible.empty()) {
+          pop_li = possible.front();
+          break;
+        }
+      }
+      if (pop_li == relevant.size()) break;  // every claimed score is exact
+      for (size_t i = 0; i < params.check_batch; ++i) {
+        if (!pop_one(pop_li)) break;
+        ++result.stats.popped_settle;
+      }
+      run_condition2();
+    }
+  };
+
   run_condition1();
   run_condition2();
 
@@ -275,6 +301,8 @@ InvSearchResult InvSearch(const MerkleInvertedIndex& index,
     run_condition1();
     run_condition2();
   }
+
+  run_settle();
 
   // Final canonical re-check: evaluate the conditions exactly as the client
   // will (same summation order). On the rare float-ordering miss, keep

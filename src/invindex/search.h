@@ -63,6 +63,17 @@ struct InvSearchParams {
   // (net/wire.h query-frame flag). Digest material is reconstructed from
   // the decoded values, so verification is unchanged.
   bool compress_vo = false;
+  // Extension (off by default): after the termination conditions hold, keep
+  // popping until no unpopped suffix of any relevant list can still contain
+  // a claimed top-k image (every claimed id's PossibleLists set is empty),
+  // so the verified score of every claimed result is provably *exact*, not
+  // just a lower bound (InvVerifyResult::topk_exact). The sharded
+  // coordinator (src/shard) requires this: a composite top-k merged from
+  // per-shard verified scores is only the provable global top-k when those
+  // scores are exact. With filters the extra pops only fire on a cuckoo
+  // false positive; without filters (Baseline) it drains every relevant
+  // list, which is why sharded serving is an ImageProof-config feature.
+  bool settle_exact_topk = false;
 };
 
 struct InvSearchStats {
@@ -74,6 +85,7 @@ struct InvSearchStats {
   size_t popped_initial = 0;  // Algorithm 3 line 1 (top-k occurrences)
   size_t popped_cond1 = 0;
   size_t popped_cond2 = 0;
+  size_t popped_settle = 0;  // settle_exact_topk extension
 
   double PoppedFraction() const {
     return relevant_postings == 0

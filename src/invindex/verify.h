@@ -36,6 +36,14 @@ struct InvVerifyResult {
   std::map<ClusterId, Digest> list_digests;
   std::map<ClusterId, double> weights;  // w_c per support cluster
   size_t popped_postings = 0;
+  // True when every claimed result's verified score is provably exact: no
+  // unpopped suffix of any relevant list can still contain the image — its
+  // post-deletion cuckoo-filter state proves absence (cuckoo filters have
+  // no false negatives), or the list is exhausted. Guaranteed by an SP
+  // serving with InvSearchParams::settle_exact_topk; required by the
+  // sharded composite verifier (shard/composite_client.h), which merges
+  // per-shard results by these scores.
+  bool topk_exact = false;
 };
 
 // `query_bovw` is the client's (already verified) BoVW vector of the query;

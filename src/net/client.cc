@@ -19,8 +19,8 @@ Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
 
 Result<FrameHeader> NetClient::RoundTrip(FrameType type, const Bytes& payload,
                                          size_t* reply_frame_bytes,
-                                         uint8_t flags) {
-  Bytes frame = EncodeFrame(type, payload, flags);
+                                         uint8_t flags, uint16_t version) {
+  Bytes frame = EncodeFrame(type, payload, flags, version);
   Status st = SendAll(sock_.fd(), frame.data(), frame.size());
   if (!st.ok()) return st;
 
@@ -120,6 +120,42 @@ Result<NetQueryResult> NetClient::Query(
   out.vo_bytes = std::move(resp.vo_bytes);
   out.response_frame_bytes = frame_bytes;
   return out;
+}
+
+Result<ResponseFrame> NetClient::QueryForRelay(
+    const std::vector<std::vector<float>>& features, size_t k,
+    uint32_t deadline_ms) {
+  QueryRequest req;
+  req.deadline_ms = deadline_ms;
+  req.k = k;
+  req.features = features;
+  auto reply = RoundTrip(FrameType::kQuery, EncodeQueryRequest(req), nullptr,
+                         compress_vo_ ? kFrameFlagCompressVo : 0);
+  if (!reply.ok()) return reply.status();
+  Status st = UnexpectedOrError(reply.value(), reply_buf_, FrameType::kResponse);
+  if (!st.ok()) return st;
+  ResponseFrame resp;
+  st = DecodeResponse(reply_buf_, &resp);
+  if (!st.ok()) return st;
+  return resp;
+}
+
+Result<Bytes> NetClient::QueryComposite(
+    const std::vector<std::vector<float>>& features, size_t k,
+    uint32_t deadline_ms) {
+  QueryRequest req;
+  req.deadline_ms = deadline_ms;
+  req.k = k;
+  req.features = features;
+  uint8_t flags = kFrameFlagComposite;
+  if (compress_vo_) flags |= kFrameFlagCompressVo;
+  auto reply = RoundTrip(FrameType::kQuery, EncodeQueryRequest(req), nullptr,
+                         flags, kWireVersionComposite);
+  if (!reply.ok()) return reply.status();
+  Status st = UnexpectedOrError(reply.value(), reply_buf_,
+                                FrameType::kCompositeResponse);
+  if (!st.ok()) return st;
+  return reply_buf_;
 }
 
 Result<UpdateAck> NetClient::Insert(uint64_t id, const bovw::BovwVector& bovw,

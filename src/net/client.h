@@ -53,6 +53,22 @@ class NetClient {
   Result<NetQueryResult> Query(const std::vector<std::vector<float>>& features,
                                size_t k, uint32_t deadline_ms = 0);
 
+  // Relay form of Query for the shard coordinator: one round trip, hardened
+  // frame/payload decoding, NO verification — the returned ResponseFrame is
+  // untrusted material destined for a composite VO that the end client
+  // verifies. Never hand its contents to anything that treats them as
+  // retrieval results.
+  Result<ResponseFrame> QueryForRelay(
+      const std::vector<std::vector<float>>& features, size_t k,
+      uint32_t deadline_ms = 0);
+
+  // Composite (sharded) query: sends a version-2 query frame with
+  // kFrameFlagComposite and returns the server's opaque composite-VO bytes,
+  // unverified — callers hand them to shard::CompositeClient, which is the
+  // only component that can (and must) verify them.
+  Result<Bytes> QueryComposite(const std::vector<std::vector<float>>& features,
+                               size_t k, uint32_t deadline_ms = 0);
+
   // Owner-side RPCs (the server must have updates enabled).
   Result<UpdateAck> Insert(uint64_t id, const bovw::BovwVector& bovw,
                            const Bytes& image_data);
@@ -81,7 +97,8 @@ class NetClient {
   // *reply_frame_bytes (may be null). `flags` goes out in the request
   // frame header.
   Result<FrameHeader> RoundTrip(FrameType type, const Bytes& payload,
-                                size_t* reply_frame_bytes, uint8_t flags = 0);
+                                size_t* reply_frame_bytes, uint8_t flags = 0,
+                                uint16_t version = kWireVersion);
   // Folds an inbound kError frame into a Status; non-error frames of the
   // wrong type are a protocol violation (kCorrupted).
   static Status UnexpectedOrError(const FrameHeader& header,

@@ -121,6 +121,43 @@ Result<StatusReply> RetryingClient::ServerStatus() {
       /*retry_op=*/true, [&](NetClient& c) { return c.ServerStatus(); });
 }
 
+Result<ResponseFrame> RetryingClient::QueryForRelay(
+    const std::vector<std::vector<float>>& features, size_t k,
+    uint32_t deadline_ms) {
+  const uint32_t attempt_deadline =
+      deadline_ms != 0 ? deadline_ms : policy_.attempt_deadline_ms;
+  return WithRetries<ResponseFrame>(
+      /*retry_op=*/true, [&](NetClient& c) {
+        return c.QueryForRelay(features, k, attempt_deadline);
+      });
+}
+
+Result<Bytes> RetryingClient::QueryComposite(
+    const std::vector<std::vector<float>>& features, size_t k,
+    uint32_t deadline_ms) {
+  const uint32_t attempt_deadline =
+      deadline_ms != 0 ? deadline_ms : policy_.attempt_deadline_ms;
+  return WithRetries<Bytes>(
+      /*retry_op=*/true, [&](NetClient& c) {
+        return c.QueryComposite(features, k, attempt_deadline);
+      });
+}
+
+Status RetryingClient::Probe(StatusReply* reply) {
+  Status conn = EnsureConnected();
+  if (!conn.ok()) return conn;
+  ++stats_.attempts;
+  Result<StatusReply> r = client_->ServerStatus();
+  if (!r.ok()) {
+    // Whatever went wrong, the cached socket is no longer trusted to be
+    // healthy; drop it so the next operation starts clean.
+    Disconnect();
+    return r.status();
+  }
+  if (reply != nullptr) *reply = *r;
+  return Status::Ok();
+}
+
 Result<UpdateAck> RetryingClient::Insert(uint64_t id,
                                          const bovw::BovwVector& bovw,
                                          const Bytes& image_data) {

@@ -75,6 +75,24 @@ class RetryingClient {
                                size_t k, uint32_t deadline_ms = 0);
   Result<StatusReply> ServerStatus();
 
+  // Relay / composite forms of Query (see NetClient): read-only, so both
+  // retry like Query. Results are UNVERIFIED bytes for a downstream
+  // verifier (the shard coordinator or shard::CompositeClient).
+  Result<ResponseFrame> QueryForRelay(
+      const std::vector<std::vector<float>>& features, size_t k,
+      uint32_t deadline_ms = 0);
+  Result<Bytes> QueryComposite(const std::vector<std::vector<float>>& features,
+                               size_t k, uint32_t deadline_ms = 0);
+
+  // Keepalive / health probe: ONE kStatusRequest round trip, no retries and
+  // no backoff — a probe exists to report the link's health now, not to
+  // nurse it back. kOk means the server answered (a draining server still
+  // does); any failure tears the cached connection down so the next
+  // operation reconnects from scratch. `reply` (optional) receives the
+  // server's counters on success. The shard coordinator uses this to
+  // health-check remote shard backends between queries.
+  Status Probe(StatusReply* reply = nullptr);
+
   // Owner updates: connect retried, request issued at most once (see
   // header comment). A kUnavailable after the write means "unknown whether
   // applied" and is the caller's call.

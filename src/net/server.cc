@@ -41,6 +41,10 @@ void NetServer::EnableUpdates(const crypto::RsaPrivateKey* owner_key) {
   owner_key_ = owner_key;
 }
 
+void NetServer::EnableComposite(CompositeHandler handler) {
+  composite_handler_ = std::move(handler);
+}
+
 Status NetServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) return Status::Error("net: server already started");
@@ -380,6 +384,7 @@ void NetServer::DispatchFrame(Conn* conn, const FrameHeader& header,
     case FrameType::kError:
     case FrameType::kStatusReply:
     case FrameType::kUpdateAck:
+    case FrameType::kCompositeResponse:
       // Server-to-client types arriving at the server: a confused or
       // hostile peer. Framing is intact, so answer and keep serving.
       SendError(conn, WireError::kBadRequest, "unexpected frame type");
@@ -402,11 +407,43 @@ void NetServer::HandleQuery(Conn* conn, const FrameHeader& header,
               "query: k and features must be nonzero");
     return;
   }
+  if ((header.flags & kFrameFlagComposite) != 0) {
+    // Sharded scatter-gather path (wire version 2). The handler fans out on
+    // its own executor; its completion hands the opaque composite bytes to
+    // the poll thread through the same outbox as engine completions, so
+    // drain accounting and connection lifetime work identically.
+    if (!composite_handler_) {
+      SendError(conn, WireError::kBadRequest,
+                "composite serving not enabled on this server");
+      return;
+    }
+    const uint64_t conn_id = conn->id;
+    std::shared_ptr<Outbox> outbox = outbox_;
+    pending_replies_.fetch_add(1, std::memory_order_acq_rel);
+    composite_handler_(
+        std::move(req.features), static_cast<size_t>(req.k),
+        (header.flags & kFrameFlagCompressVo) != 0, req.deadline_ms,
+        [outbox, conn_id](Result<Bytes> composite) {
+          Bytes frame;
+          if (composite.ok()) {
+            frame = EncodeFrame(FrameType::kCompositeResponse, *composite, 0,
+                                kWireVersionComposite);
+          } else {
+            frame = EncodeFrame(
+                FrameType::kError,
+                EncodeError({WireErrorFromStatus(composite.status().code()),
+                             composite.status().message()}));
+          }
+          outbox->Push(conn_id, std::move(frame));
+        });
+    return;
+  }
   core::SubmitOptions opts;
   opts.deadline = std::chrono::milliseconds(req.deadline_ms);
   // Compression is strictly opt-in per query: only a client that announced
   // it can decode the compressed VO section ever receives one.
   opts.compress_vo = (header.flags & kFrameFlagCompressVo) != 0;
+  opts.settle_exact_topk = options_.settle_exact_topk;
   const uint64_t conn_id = conn->id;
   std::shared_ptr<Outbox> outbox = outbox_;
   const size_t k = static_cast<size_t>(req.k);

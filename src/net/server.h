@@ -57,6 +57,12 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
   size_t max_connections = 64;
+  // Serve every query with ServeOptions::settle_exact_topk: all claimed
+  // top-k scores are provably exact rather than lower bounds. Shard servers
+  // behind a coordinator (shard/coordinator.h RemoteShardBackend) set this —
+  // the authenticated cross-shard merge is only sound over exact scores.
+  // Changes VO bytes for every query this server answers.
+  bool settle_exact_topk = false;
 };
 
 class NetServer {
@@ -72,6 +78,18 @@ class NetServer {
   // Enables kInsert/kDelete frames, re-signing with `owner_key` (borrowed;
   // must outlive Stop()). Call before Start().
   void EnableUpdates(const crypto::RsaPrivateKey* owner_key);
+
+  // Asynchronous producer of composite (sharded) responses for version-2
+  // queries carrying kFrameFlagComposite — typically
+  // shard::Coordinator::QueryAsync. The handler MUST NOT block the calling
+  // thread (it runs on the poll thread): hand the work to its own executor
+  // and invoke `done` exactly once from any thread with the serialized
+  // composite bytes or an error status. Call before Start(). Without a
+  // handler, composite queries answer kBadRequest.
+  using CompositeHandler = std::function<void(
+      std::vector<std::vector<float>> features, size_t k, bool compress_vo,
+      uint32_t deadline_ms, std::function<void(Result<Bytes>)> done)>;
+  void EnableComposite(CompositeHandler handler);
 
   // Binds + listens, then spawns the poll and update threads. On success
   // port() is the live port.
@@ -165,6 +183,7 @@ class NetServer {
   core::QueryEngine* engine_;
   ServerOptions options_;
   const crypto::RsaPrivateKey* owner_key_ = nullptr;
+  CompositeHandler composite_handler_;
 
   Socket listen_sock_;
   uint16_t port_ = 0;

@@ -78,11 +78,11 @@ int ExitCodeForStatus(const Status& status) {
 }
 
 void AppendFrame(FrameType type, const Bytes& payload, Bytes* out,
-                 uint8_t flags) {
+                 uint8_t flags, uint16_t version) {
   ByteWriter w;
   w.PutU32(kWireMagic);
-  w.PutU8(static_cast<uint8_t>(kWireVersion & 0xFF));
-  w.PutU8(static_cast<uint8_t>(kWireVersion >> 8));
+  w.PutU8(static_cast<uint8_t>(version & 0xFF));
+  w.PutU8(static_cast<uint8_t>(version >> 8));
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU8(flags);
   w.PutU32(static_cast<uint32_t>(payload.size()));
@@ -90,10 +90,11 @@ void AppendFrame(FrameType type, const Bytes& payload, Bytes* out,
   out->insert(out->end(), payload.begin(), payload.end());
 }
 
-Bytes EncodeFrame(FrameType type, const Bytes& payload, uint8_t flags) {
+Bytes EncodeFrame(FrameType type, const Bytes& payload, uint8_t flags,
+                  uint16_t version) {
   Bytes out;
   out.reserve(kFrameHeaderBytes + payload.size());
-  AppendFrame(type, payload, &out, flags);
+  AppendFrame(type, payload, &out, flags, version);
   return out;
 }
 
@@ -107,25 +108,34 @@ Status DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out) {
   if (magic != kWireMagic) return Corrupt("bad magic");
   if (!(s = r.GetU8(&vlo)).ok() || !(s = r.GetU8(&vhi)).ok()) return s;
   uint16_t version = static_cast<uint16_t>(vlo | (vhi << 8));
-  if (version != kWireVersion) return Corrupt("unknown protocol version");
+  if (version < kWireVersion || version > kMaxWireVersion) {
+    return Corrupt("unknown protocol version");
+  }
   if (!(s = r.GetU8(&type)).ok()) return s;
-  if (type < static_cast<uint8_t>(FrameType::kQuery) ||
-      type > static_cast<uint8_t>(FrameType::kUpdateAck)) {
+  const uint8_t max_type =
+      version >= kWireVersionComposite
+          ? static_cast<uint8_t>(FrameType::kCompositeResponse)
+          : static_cast<uint8_t>(FrameType::kUpdateAck);
+  if (type < static_cast<uint8_t>(FrameType::kQuery) || type > max_type) {
     return Corrupt("unknown frame type");
   }
   if (!(s = r.GetU8(&flags)).ok()) return s;
-  // The only defined flag is the VO-compression opt-in, and only a query
-  // may carry it; every other bit stays reserved and rejected, so future
-  // capabilities fail loudly instead of being silently ignored.
-  const uint8_t allowed =
-      type == static_cast<uint8_t>(FrameType::kQuery) ? kFrameFlagCompressVo
-                                                      : 0;
+  // Flags are gated by type AND version: only a query may carry the
+  // VO-compression opt-in, only a version-2 query the composite request.
+  // Every other bit stays reserved and rejected, so future capabilities
+  // fail loudly instead of being silently ignored.
+  uint8_t allowed = 0;
+  if (type == static_cast<uint8_t>(FrameType::kQuery)) {
+    allowed = kFrameFlagCompressVo;
+    if (version >= kWireVersionComposite) allowed |= kFrameFlagComposite;
+  }
   if ((flags & ~allowed) != 0) return Corrupt("reserved flags set");
   if (!(s = r.GetU32(&len)).ok()) return s;
   if (len > kMaxFramePayload) return Corrupt("frame exceeds size limit");
   out->type = static_cast<FrameType>(type);
   out->flags = flags;
   out->payload_len = len;
+  out->version = version;
   return Status::Ok();
 }
 

@@ -1,0 +1,59 @@
+// Composite VO: the verifiable object of a sharded scatter-gather query.
+//
+// The coordinator fans a query across N shards, each of which answers with
+// an ordinary ImageProof QueryVO proving its LOCAL top-k under its own
+// signed root. The composite VO bundles those per-shard proofs with the
+// owner-signed shard manifest that binds shard id -> root digest set, so a
+// client can re-verify the whole scatter-gather:
+//
+//   * the manifest travels in-band (`manifest_bytes`). It is owner-signed,
+//     so delivery through the untrusted SP/coordinator is safe — a swapped
+//     or doctored manifest fails its signature check;
+//   * one entry per shard, in shard-id order, no shard missing (entry i
+//     must claim shard_id == i, and the entry count must equal the
+//     manifest's num_shards) — so a coordinator cannot silently drop the
+//     shard holding a better result;
+//   * each entry carries the root signature its VO replays to, checked by
+//     the verifier against the manifest's {current, prev} digest set for
+//     that slot — so a (valid!) VO from shard 1 cannot be spliced into
+//     shard 3's slot, and a stale epoch beyond the one-epoch freshness
+//     window is rejected.
+//
+// The merge itself is not carried: it is recomputed by the verifier from
+// the per-shard verified results (shard/composite_client.h), which is what
+// makes it provable rather than claimed.
+
+#ifndef IMAGEPROOF_SHARD_COMPOSITE_H_
+#define IMAGEPROOF_SHARD_COMPOSITE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace imageproof::shard {
+
+// One shard's contribution: which slot it answers, the snapshot it served
+// from, the owner signature over that snapshot's root digest, and the
+// serialized core::QueryVO proving its local top-k.
+struct CompositeEntry {
+  uint32_t shard_id = 0;
+  uint64_t snapshot_version = 0;
+  Bytes root_signature;
+  Bytes vo_bytes;
+};
+
+struct CompositeVO {
+  Bytes manifest_bytes;  // serialized signed ShardManifest
+  std::vector<CompositeEntry> entries;  // shard-id order, one per shard
+
+  Bytes Serialize() const;
+  // Hardened: entry-count cap (kMaxShards) plus a bytes-present bound, blob
+  // caps, strict ordering NOT enforced here (the verifier rejects it with a
+  // precise message); every decode failure is kCorrupted.
+  static Status Deserialize(const Bytes& data, CompositeVO* out);
+};
+
+}  // namespace imageproof::shard
+
+#endif  // IMAGEPROOF_SHARD_COMPOSITE_H_

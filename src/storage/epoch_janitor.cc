@@ -126,10 +126,7 @@ Result<size_t> EpochJanitor::GcOnce() {
   return deleted;
 }
 
-Result<uint64_t> EpochJanitor::ScrubOnce() {
-  Result<uint64_t> current = PackageStore::CurrentEpoch(options_.dir);
-  if (!current.ok()) return uint64_t{0};  // fresh directory: nothing to scrub
-  const uint64_t epoch = *current;
+Result<uint64_t> EpochJanitor::ScrubEpoch(uint64_t epoch, bool is_current) {
   const std::string path =
       options_.dir + "/" + PackageStore::EpochFileName(epoch);
   ScrubOptions scrub_opts;
@@ -137,7 +134,6 @@ Result<uint64_t> EpochJanitor::ScrubOnce() {
   scrub_opts.cancel = &cancel_scrub_;
   ScrubReport report;
   Status s = PackageStore::Scrub(path, scrub_opts, &report);
-  scrub_passes_.fetch_add(1, std::memory_order_relaxed);
   scrub_bytes_.fetch_add(report.bytes_hashed, std::memory_order_relaxed);
   if (s.ok()) return uint64_t{0};
   if (s.code() != StatusCode::kCorrupted) return s;  // cancelled / IO error
@@ -148,12 +144,45 @@ Result<uint64_t> EpochJanitor::ScrubOnce() {
           .ok()) {
     epochs_quarantined_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (on_corruption_) {
+  // Rollback is only meaningful for the serving epoch: a rotted retained
+  // epoch endangers nothing that is live — the marker simply strikes it
+  // from the rollback-candidate list before anyone tries to trust it.
+  if (is_current && on_corruption_) {
     rollbacks_requested_.fetch_add(1, std::memory_order_relaxed);
     Status rb = on_corruption_(epoch);
     if (!rb.ok()) rollbacks_failed_.fetch_add(1, std::memory_order_relaxed);
   }
   return uint64_t{1};
+}
+
+Result<uint64_t> EpochJanitor::ScrubOnce() {
+  Result<uint64_t> current = PackageStore::CurrentEpoch(options_.dir);
+  if (!current.ok()) return uint64_t{0};  // fresh directory: nothing to scrub
+  scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+
+  // CURRENT first — it is the epoch whose rot matters most, and its
+  // detection must not wait behind a pile of retained files.
+  Result<uint64_t> corruptions = ScrubEpoch(*current, /*is_current=*/true);
+  if (!corruptions.ok()) return corruptions;
+  uint64_t found = *corruptions;
+
+  // Then every retained, not-yet-quarantined epoch: bit rot in a rollback
+  // candidate is invisible until the exact moment rollback needs it, which
+  // is the worst time to find out. Re-read CURRENT afterwards — the
+  // current-epoch scrub above may itself have triggered a rollback that
+  // republished a new epoch, and retained-epoch rules apply to the rest.
+  Result<std::vector<uint64_t>> epochs = ListEpochs(options_.dir);
+  if (!epochs.ok()) return found;
+  Result<uint64_t> now = PackageStore::CurrentEpoch(options_.dir);
+  for (uint64_t e : *epochs) {
+    if (cancel_scrub_.load(std::memory_order_acquire)) break;
+    if (now.ok() && e == *now) continue;  // already covered (or fresh)
+    if (IsQuarantined(options_.dir, e)) continue;
+    Result<uint64_t> r = ScrubEpoch(e, /*is_current=*/false);
+    if (!r.ok()) break;  // cancelled / IO error; keep what we found
+    found += *r;
+  }
+  return found;
 }
 
 JanitorStats EpochJanitor::stats() const {

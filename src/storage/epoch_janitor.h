@@ -1,7 +1,9 @@
 // Background housekeeping for an epoch directory: retain-last-N garbage
 // collection of pkg-<epoch>.ipk files, plus a rate-limited scrubber that
-// re-walks the digest chain of the epoch CURRENT names and triggers a
-// rollback when the bytes on disk no longer match.
+// re-walks the digest chain of the epoch CURRENT names — triggering a
+// rollback when the bytes on disk no longer match — and of every retained
+// non-current epoch, so rollback candidates are known-good before rollback
+// ever needs one (corrupt candidates are quarantined, nothing more).
 //
 // GC safety argument (the invariant, then why each rule preserves it):
 // after any interleaving of GC with concurrent epoch publication, CURRENT
@@ -99,9 +101,14 @@ class EpochJanitor {
 
   // One GC pass; returns the number of epoch files deleted.
   Result<size_t> GcOnce();
-  // One scrub of the epoch CURRENT names; returns 1 if a corruption was
-  // detected (and quarantine/rollback ran), 0 otherwise. A missing
-  // CURRENT (fresh directory) is Ok(0).
+  // One scrub pass: first the epoch CURRENT names, then every retained,
+  // not-yet-quarantined epoch file (rollback candidates rot silently
+  // otherwise — and a rotted candidate discovered during rollback is the
+  // worst possible time). Returns the number of corruptions detected. Each
+  // corrupt epoch gets a quarantine marker; the rollback callback fires
+  // only for the CURRENT epoch — a rotted retained epoch endangers nothing
+  // live, so it is struck from the candidate list and nothing else. A
+  // missing CURRENT (fresh directory) is Ok(0).
   Result<uint64_t> ScrubOnce();
 
   JanitorStats stats() const;
@@ -114,6 +121,11 @@ class EpochJanitor {
 
  private:
   void Loop();
+  // Scrubs one epoch file: on divergence writes its quarantine marker and,
+  // for the current epoch only, invokes the rollback callback. Returns the
+  // number of corruptions (0 or 1); non-kCorrupted scrub failures
+  // (cancel, IO) pass through as errors.
+  Result<uint64_t> ScrubEpoch(uint64_t epoch, bool is_current);
 
   JanitorOptions options_;
   RollbackFn on_corruption_;

@@ -142,7 +142,10 @@ TEST(FrameHeaderTest, RejectsBadMagicVersionFlagsTypeLength) {
             StatusCode::kCorrupted);
 
   bad = good;
-  bad[4] = 2;  // version
+  bad[4] = 2;  // version 2 (composite protocol) is known — header decodes
+  EXPECT_TRUE(net::DecodeFrameHeader(bad.data(), bad.size(), &header).ok());
+  EXPECT_EQ(header.version, 2);
+  bad[4] = 3;  // one past the newest known version
   EXPECT_EQ(net::DecodeFrameHeader(bad.data(), bad.size(), &header).code(),
             StatusCode::kCorrupted);
 
@@ -150,7 +153,13 @@ TEST(FrameHeaderTest, RejectsBadMagicVersionFlagsTypeLength) {
   bad[6] = 0;  // type below range
   EXPECT_EQ(net::DecodeFrameHeader(bad.data(), bad.size(), &header).code(),
             StatusCode::kCorrupted);
-  bad[6] = 9;  // type above range
+  bad[6] = 9;  // kCompositeResponse needs version 2; above range in v1
+  EXPECT_EQ(net::DecodeFrameHeader(bad.data(), bad.size(), &header).code(),
+            StatusCode::kCorrupted);
+  bad[4] = 2;  // same type under version 2 is legal
+  EXPECT_TRUE(net::DecodeFrameHeader(bad.data(), bad.size(), &header).ok());
+  EXPECT_EQ(header.type, FrameType::kCompositeResponse);
+  bad[6] = 10;  // still one past the newest version-2 type
   EXPECT_EQ(net::DecodeFrameHeader(bad.data(), bad.size(), &header).code(),
             StatusCode::kCorrupted);
 
@@ -167,6 +176,42 @@ TEST(FrameHeaderTest, RejectsBadMagicVersionFlagsTypeLength) {
   bad[11] = 0xFF;
   EXPECT_EQ(net::DecodeFrameHeader(bad.data(), bad.size(), &header).code(),
             StatusCode::kCorrupted);
+}
+
+TEST(FrameHeaderTest, CompositeFlagIsVersionAndTypeGated) {
+  // kFrameFlagComposite is only meaningful on a version-2 kQuery; anywhere
+  // else it is a reserved bit and the frame is corrupt.
+  net::QueryRequest qr;
+  qr.k = 3;
+  qr.features = {{1.0f, 2.0f}};
+  Bytes q = net::EncodeQueryRequest(qr);
+  Bytes v2 = net::EncodeFrame(FrameType::kQuery, q, net::kFrameFlagComposite,
+                              net::kWireVersionComposite);
+  FrameHeader header;
+  ASSERT_TRUE(net::DecodeFrameHeader(v2.data(), v2.size(), &header).ok());
+  EXPECT_EQ(header.version, net::kWireVersionComposite);
+  EXPECT_EQ(header.flags & net::kFrameFlagComposite, net::kFrameFlagComposite);
+
+  // Same frame downgraded to version 1: the flag becomes reserved.
+  Bytes v1 = v2;
+  v1[4] = 1;
+  EXPECT_EQ(net::DecodeFrameHeader(v1.data(), v1.size(), &header).code(),
+            StatusCode::kCorrupted);
+
+  // A version-2 non-query may not carry it either.
+  Bytes status = net::EncodeFrame(FrameType::kStatusRequest, {}, 0,
+                                  net::kWireVersionComposite);
+  status[7] = net::kFrameFlagComposite;
+  EXPECT_EQ(
+      net::DecodeFrameHeader(status.data(), status.size(), &header).code(),
+      StatusCode::kCorrupted);
+
+  // Both query flags together (compressed composite) are legal on v2.
+  Bytes both = net::EncodeFrame(
+      FrameType::kQuery, q,
+      net::kFrameFlagComposite | net::kFrameFlagCompressVo,
+      net::kWireVersionComposite);
+  EXPECT_TRUE(net::DecodeFrameHeader(both.data(), both.size(), &header).ok());
 }
 
 TEST(FrameExtractTest, NeedMoreThenFrameThenPipelined) {

@@ -78,6 +78,11 @@ TEST(QueryCacheTest, KeySeparatesEpochFlagKAndFeatures) {
   EXPECT_NE(base, core::QueryCache::Key(1, false, 6, a));
   EXPECT_NE(base, core::QueryCache::Key(1, false, 5, b));
   EXPECT_NE(base, core::QueryCache::Key(1, false, 5, c));
+  // Settled serves pop more postings, so their VOs must never alias the
+  // plain-serve entries (sharded serving always queries settled).
+  EXPECT_NE(base, core::QueryCache::Key(1, false, 5, a, true));
+  EXPECT_EQ(core::QueryCache::Key(1, false, 5, a, true),
+            core::QueryCache::Key(1, false, 5, a, true));
 }
 
 TEST(QueryCacheTest, InsertLookupAndLruEviction) {

@@ -356,6 +356,56 @@ TEST_F(ResilienceTest, ScrubDetectsFlippedByteInSectionData) {
   EXPECT_EQ(s.code(), StatusCode::kCorrupted) << s.message();
 }
 
+TEST_F(JanitorGcTest, ScrubCoversRetainedEpochsWithoutRollback) {
+  // Bit rot in a RETAINED (non-CURRENT) epoch must be found by the scrub
+  // pass — a rollback candidate that rots silently is discovered at the
+  // worst possible moment otherwise — but it endangers nothing live, so
+  // the only consequence is its quarantine marker: no rollback callback.
+  std::string dir = WriteEpochs("scrub_retained", 3);
+  ASSERT_TRUE(storage::PackageStore::SetCurrentEpoch(dir, 3).ok());
+
+  const std::string p1 = dir + "/" + storage::PackageStore::EpochFileName(1);
+  {
+    FILE* f = std::fopen(p1.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long mid = std::ftell(f) / 2;
+    ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+    std::fputc(c ^ 0x20, f);
+    std::fclose(f);
+  }
+
+  storage::JanitorOptions jo;
+  jo.dir = dir;
+  jo.retain_epochs = 3;
+  std::atomic<int> rollbacks{0};
+  storage::EpochJanitor janitor(jo, [&](uint64_t) {
+    rollbacks.fetch_add(1);
+    return Status::Ok();
+  });
+
+  auto found = janitor.ScrubOnce();
+  ASSERT_TRUE(found.ok()) << found.status().message();
+  EXPECT_EQ(*found, 1u);
+  EXPECT_TRUE(storage::EpochJanitor::IsQuarantined(dir, 1));
+  EXPECT_FALSE(storage::EpochJanitor::IsQuarantined(dir, 2));
+  EXPECT_FALSE(storage::EpochJanitor::IsQuarantined(dir, 3));
+  EXPECT_EQ(rollbacks.load(), 0);  // CURRENT is healthy; nothing to roll back
+  auto cur = storage::PackageStore::CurrentEpoch(dir);
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(*cur, 3u);
+
+  // A second pass skips the quarantined epoch instead of re-counting it.
+  auto again = janitor.ScrubOnce();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+  EXPECT_EQ(janitor.stats().scrub_corruptions, 1u);
+  EXPECT_EQ(janitor.stats().epochs_quarantined, 1u);
+}
+
 TEST_F(ResilienceTest, ScrubberQuarantinesAndEngineRollsForward) {
   std::string dir = TempDir("scrub_rollback");
   core::OwnerOutput owner = BuildSmallDeployment(17, 80);

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <thread>
+#include <unordered_map>
 
 #include "core/client.h"
 #include "core/owner.h"
@@ -25,6 +27,11 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "shard/composite.h"
+#include "shard/composite_client.h"
+#include "shard/coordinator.h"
+#include "shard/manifest.h"
+#include "shard/planner.h"
 #include "workload/synthetic.h"
 
 namespace imageproof {
@@ -843,6 +850,220 @@ TEST_F(WireMitmTest, AdvisoryVersionMutationStillVerifies) {
     });
   });
   EXPECT_TRUE(st.ok()) << st.message();
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial composite-merge matrix (sharded scatter-gather)
+// ---------------------------------------------------------------------------
+//
+// A malicious coordinator holds N individually valid per-shard VOs, all
+// signed by the same owner key — the composite layer is what stops it from
+// recombining them dishonestly. Each attack below mutates a REAL composite
+// (decode, edit fields, re-encode), and VerifyComposite must reject every
+// one; the honest bytes are accepted as the control.
+
+class CompositeAdversaryTest : public ::testing::Test {
+ public:
+  CompositeAdversaryTest() {
+    core::Config config = core::Config::ImageProof();
+    config.rsa_bits = 512;
+    workload::CorpusParams cp;
+    cp.num_images = 120;
+    cp.num_clusters = 96;
+    cp.min_distinct = 4;
+    cp.max_distinct = 14;
+    cp.seed = 21;
+    corpus_ = workload::GenerateCorpus(cp);
+    for (const auto& [id, v] : corpus_) {
+      blobs_[id] = workload::GenerateImageBlob(id);
+    }
+    workload::CodebookParams cbp;
+    cbp.num_clusters = 96;
+    cbp.dims = 12;
+    cbp.seed = 22;
+    codebook_ = workload::GenerateCodebook(cbp);
+    features_ = workload::FeaturesFromBovw(codebook_, corpus_[3].second, 24,
+                                           0.2, 0.1, 99);
+
+    shard::ShardedDeployment dep =
+        shard::ShardPlanner::Build(config, codebook_, corpus_, blobs_, 2);
+    base_params_ = dep.shards[0].public_params;
+    keys_ = dep.keys;
+    // Keep shard 0's package shared so UnsettledScores can serve it raw.
+    std::vector<std::unique_ptr<shard::ShardBackend>> backends;
+    for (core::OwnerOutput& s : dep.shards) {
+      std::shared_ptr<const core::SpPackage> pkg(std::move(s.package));
+      if (packages_.empty()) packages_.push_back(pkg);
+      backends.push_back(std::make_unique<shard::LocalShardBackend>(
+          std::move(pkg), s.public_params, dep.keys.private_key));
+    }
+    coordinator_ = std::make_unique<shard::Coordinator>(
+        std::move(backends), dep.manifest, dep.keys.private_key,
+        shard::CoordinatorOptions{});
+    Result<Bytes> r = coordinator_->Query(features_, 5);
+    EXPECT_TRUE(r.ok());
+    honest_bytes_ = *r;
+    EXPECT_TRUE(
+        shard::CompositeVO::Deserialize(honest_bytes_, &honest_).ok());
+  }
+
+  bool Accepts(const shard::CompositeVO& vo) {
+    shard::CompositeClient client(base_params_);
+    return client.VerifyComposite(features_, 5, vo.Serialize()).ok();
+  }
+
+  std::vector<std::pair<bovw::ImageId, bovw::BovwVector>> corpus_;
+  std::unordered_map<bovw::ImageId, Bytes> blobs_;
+  ann::PointSet codebook_;
+  std::vector<std::vector<float>> features_;
+  core::PublicParams base_params_;
+  crypto::RsaKeyPair keys_;
+  std::vector<std::shared_ptr<const core::SpPackage>> packages_;
+  std::unique_ptr<shard::Coordinator> coordinator_;
+  Bytes honest_bytes_;
+  shard::CompositeVO honest_;
+};
+
+TEST_F(CompositeAdversaryTest, HonestCompositeAccepted) {
+  EXPECT_TRUE(Accepts(honest_));
+}
+
+TEST_F(CompositeAdversaryTest, DroppedShardRejected) {
+  // The dropped shard might hold a better result; coverage must be total.
+  shard::CompositeVO vo = honest_;
+  vo.entries.resize(1);
+  EXPECT_FALSE(Accepts(vo));
+  shard::CompositeVO vo2 = honest_;
+  vo2.entries.erase(vo2.entries.begin());  // drop shard 0, keep shard 1
+  EXPECT_FALSE(Accepts(vo2));
+}
+
+TEST_F(CompositeAdversaryTest, ReorderedEntriesRejected) {
+  shard::CompositeVO vo = honest_;
+  std::swap(vo.entries[0], vo.entries[1]);
+  EXPECT_FALSE(Accepts(vo));
+}
+
+TEST_F(CompositeAdversaryTest, SplicedEntryRejected) {
+  // Shard 0's (individually valid, owner-signed) VO answering shard 1's
+  // slot: the replayed root is not in slot 1's digest set.
+  shard::CompositeVO vo = honest_;
+  vo.entries[1] = vo.entries[0];
+  vo.entries[1].shard_id = 1;
+  EXPECT_FALSE(Accepts(vo));
+}
+
+TEST_F(CompositeAdversaryTest, DuplicatedEntryRejected) {
+  shard::CompositeVO vo = honest_;
+  vo.entries.push_back(vo.entries[1]);
+  EXPECT_FALSE(Accepts(vo));
+}
+
+TEST_F(CompositeAdversaryTest, StaleRootBeyondWindowRejected) {
+  // Two epoch swaps on shard 0 age its original root out of the
+  // {current, prev} window; replaying the original response is a rollback.
+  const auto& corpus_vec = packages_[0]->corpus;
+  ASSERT_TRUE(coordinator_
+                  ->Insert(1000, corpus_vec[0].second,
+                           workload::GenerateImageBlob(1000))
+                  .ok());
+  ASSERT_TRUE(coordinator_
+                  ->Insert(1002, corpus_vec[1].second,
+                           workload::GenerateImageBlob(1002))
+                  .ok());
+  Result<Bytes> fresh = coordinator_->Query(features_, 5);
+  ASSERT_TRUE(fresh.ok());
+  shard::CompositeVO vo;
+  ASSERT_TRUE(shard::CompositeVO::Deserialize(*fresh, &vo).ok());
+  vo.entries[0] = honest_.entries[0];
+  EXPECT_FALSE(Accepts(vo));
+}
+
+TEST_F(CompositeAdversaryTest, TamperedManifestRejected) {
+  shard::CompositeVO vo = honest_;
+  ASSERT_FALSE(vo.manifest_bytes.empty());
+  vo.manifest_bytes[vo.manifest_bytes.size() / 2] ^= 0x01;
+  EXPECT_FALSE(Accepts(vo));
+}
+
+TEST_F(CompositeAdversaryTest, SubstitutedManifestRejected) {
+  // A structurally valid manifest signed by a DIFFERENT key (an SP's own):
+  // the owner-key signature check must refuse it.
+  Rng rng(91);
+  crypto::RsaKeyPair forged_keys = crypto::RsaKeyPair::Generate(512, rng);
+  shard::ShardManifest m;
+  ASSERT_TRUE(
+      shard::ShardManifest::Deserialize(honest_.manifest_bytes, &m).ok());
+  m.Sign(forged_keys.private_key);
+  shard::CompositeVO vo = honest_;
+  vo.manifest_bytes = m.Serialize();
+  EXPECT_FALSE(Accepts(vo));
+}
+
+TEST_F(CompositeAdversaryTest, UnsettledScoresRejected) {
+  // A plain (non-settled) serve yields a perfectly valid VO whose scores
+  // are only lower bounds — which would let a shard deflate a score to
+  // eject an image from the global merge, so exactness is mandatory. The
+  // filterless Baseline config makes inexactness structural (absence from
+  // a non-exhausted list is unprovable without filters), so the plain
+  // serve below is guaranteed un-settled while the coordinator's settled
+  // serve of the same deployment drains to exact scores.
+  core::Config config = core::Config::Baseline();
+  config.rsa_bits = 512;
+  // A corpus big enough that posting lists outlive the bound-resolution
+  // pops (short lists drain completely, which would make even a plain
+  // serve exact and void the attack).
+  workload::CorpusParams cp;
+  cp.num_images = 600;
+  cp.num_clusters = 128;
+  cp.seed = 31;
+  auto corpus = workload::GenerateCorpus(cp);
+  std::unordered_map<bovw::ImageId, Bytes> blobs;
+  for (const auto& [id, v] : corpus) blobs[id] = workload::GenerateImageBlob(id);
+  workload::CodebookParams cbp;
+  cbp.num_clusters = 128;
+  cbp.dims = 12;
+  cbp.seed = 32;
+  ann::PointSet codebook = workload::GenerateCodebook(cbp);
+  std::vector<std::vector<float>> features =
+      workload::FeaturesFromBovw(codebook, corpus[3].second, 40, 0.2, 0.3, 99);
+  shard::ShardedDeployment dep =
+      shard::ShardPlanner::Build(config, codebook, corpus, blobs, 2);
+  const core::PublicParams base = dep.shards[0].public_params;
+  std::shared_ptr<const core::SpPackage> shard0(std::move(dep.shards[0].package));
+  std::shared_ptr<const core::SpPackage> shard1(std::move(dep.shards[1].package));
+  std::vector<std::unique_ptr<shard::ShardBackend>> backends;
+  backends.push_back(std::make_unique<shard::LocalShardBackend>(
+      shard0, dep.shards[0].public_params, dep.keys.private_key));
+  backends.push_back(std::make_unique<shard::LocalShardBackend>(
+      shard1, dep.shards[1].public_params, dep.keys.private_key));
+  shard::Coordinator coord(std::move(backends), dep.manifest,
+                           dep.keys.private_key, shard::CoordinatorOptions{});
+  Result<Bytes> honest = coord.Query(features, 5);
+  ASSERT_TRUE(honest.ok()) << honest.status().message();
+  shard::CompositeClient client(base);
+  ASSERT_TRUE(client.VerifyComposite(features, 5, *honest).ok());
+
+  core::ServiceProvider sp(shard0.get());
+  core::QueryResponse resp;
+  ASSERT_TRUE(sp.Query(features, 5, {}, {}, {}, &resp).ok());
+  core::Client plain(base);
+  Result<core::VerifiedResults> unsettled =
+      plain.Verify(features, 5, resp.vo);
+  ASSERT_TRUE(unsettled.ok());
+  ASSERT_FALSE(unsettled->topk_scores_exact);  // the attack's precondition
+
+  shard::CompositeVO vo;
+  ASSERT_TRUE(shard::CompositeVO::Deserialize(*honest, &vo).ok());
+  vo.entries[0].vo_bytes = resp.vo.Serialize();
+  EXPECT_FALSE(client.VerifyComposite(features, 5, vo.Serialize()).ok());
+}
+
+TEST_F(CompositeAdversaryTest, TamperedEntrySignatureRejected) {
+  shard::CompositeVO vo = honest_;
+  ASSERT_FALSE(vo.entries[0].root_signature.empty());
+  vo.entries[0].root_signature[0] ^= 0x01;
+  EXPECT_FALSE(Accepts(vo));
 }
 
 }  // namespace
